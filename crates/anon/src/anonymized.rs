@@ -1,0 +1,328 @@
+//! The published artifact: a partition of the table into groups with
+//! generalized QI boxes.
+
+use std::sync::Arc;
+
+use bgkanon_data::{AttributeKind, Schema, Table};
+
+/// Inclusive code range of one QI attribute within a group. For numeric
+/// attributes this is the generalized interval `[min, max]`; for categorical
+/// attributes the published generalization is the lowest common ancestor of
+/// the values (computed for display), while the range records the raw code
+/// span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QiRange {
+    /// Smallest code in the group.
+    pub min: u32,
+    /// Largest code in the group.
+    pub max: u32,
+}
+
+impl QiRange {
+    /// Does the range cover `code`?
+    pub fn contains(&self, code: u32) -> bool {
+        self.min <= code && code <= self.max
+    }
+
+    /// Number of codes covered.
+    pub fn width(&self) -> u32 {
+        self.max - self.min + 1
+    }
+}
+
+/// One equivalence class of the published table.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Member rows (indices into the original table).
+    pub rows: Vec<usize>,
+    /// Per-QI-attribute code ranges.
+    pub ranges: Vec<QiRange>,
+    /// Histogram of sensitive values within the group.
+    pub sensitive_counts: Vec<u32>,
+}
+
+impl Group {
+    /// Build a group from rows of `table`, computing ranges and counts.
+    pub fn from_rows(table: &Table, rows: Vec<usize>) -> Self {
+        assert!(!rows.is_empty(), "group must be non-empty");
+        let d = table.qi_count();
+        let mut ranges = vec![
+            QiRange {
+                min: u32::MAX,
+                max: 0
+            };
+            d
+        ];
+        for &r in &rows {
+            for (i, range) in ranges.iter_mut().enumerate() {
+                let v = table.qi_value(r, i);
+                range.min = range.min.min(v);
+                range.max = range.max.max(v);
+            }
+        }
+        let sensitive_counts = table.sensitive_counts_in(&rows);
+        Group {
+            rows,
+            ranges,
+            sensitive_counts,
+        }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the group has no rows (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Human-readable generalized QI labels, one per attribute: numeric
+    /// attributes as `[lo,hi]`, categorical attributes as the lowest common
+    /// ancestor in the hierarchy (or the single value).
+    pub fn generalized_labels(&self, schema: &Schema) -> Vec<String> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .map(|(i, range)| {
+                let attr = schema.qi_attribute(i);
+                if range.min == range.max {
+                    return attr.display_value(range.min);
+                }
+                match attr.kind() {
+                    AttributeKind::Numeric { .. } => format!(
+                        "[{},{}]",
+                        attr.display_value(range.min),
+                        attr.display_value(range.max)
+                    ),
+                    AttributeKind::Categorical { hierarchy, .. } => {
+                        let lca = hierarchy
+                            .lca_of_set(range.min..=range.max)
+                            .expect("non-empty range");
+                        hierarchy.label(lca).to_owned()
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A published anonymized table: a partition of the original rows into
+/// groups. (For bucketization the QI values are published exactly; for
+/// generalization they are replaced by the group box — under the paper's
+/// threat model both reveal the same group structure.)
+#[derive(Debug, Clone)]
+pub struct AnonymizedTable {
+    schema: Arc<Schema>,
+    groups: Vec<Group>,
+    n_rows: usize,
+}
+
+impl AnonymizedTable {
+    /// Assemble from groups; validates that the groups partition
+    /// `0..table.len()`.
+    pub fn new(table: &Table, groups: Vec<Group>) -> Self {
+        let mut seen = vec![false; table.len()];
+        for g in &groups {
+            for &r in &g.rows {
+                assert!(r < table.len(), "row {r} out of bounds");
+                assert!(!seen[r], "row {r} appears in two groups");
+                seen[r] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "groups must cover every row of the table"
+        );
+        AnonymizedTable {
+            schema: Arc::clone(table.schema()),
+            groups,
+            n_rows: table.len(),
+        }
+    }
+
+    /// The schema shared with the original table.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The equivalence classes.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of rows in the underlying table.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Average group size.
+    pub fn average_group_size(&self) -> f64 {
+        self.n_rows as f64 / self.groups.len() as f64
+    }
+
+    /// The groups as plain row-index lists (the shape the privacy
+    /// [`Auditor`](bgkanon_privacy::Auditor) consumes).
+    pub fn row_groups(&self) -> Vec<Vec<usize>> {
+        self.groups.iter().map(|g| g.rows.clone()).collect()
+    }
+
+    /// Write the published table as CSV: one line per tuple with its group
+    /// id, the group's generalized QI labels, and the tuple's sensitive
+    /// value (the sensitive column is what generalization releases; within a
+    /// group its association with particular rows is hidden by
+    /// construction). `table` must be the original the partition was built
+    /// from.
+    pub fn write_csv<W: std::io::Write>(
+        &self,
+        table: &Table,
+        mut writer: W,
+    ) -> std::io::Result<()> {
+        let names: Vec<&str> = std::iter::once("group")
+            .chain(self.schema.qi_attributes().iter().map(|a| a.name()))
+            .chain(std::iter::once(self.schema.sensitive_attribute().name()))
+            .collect();
+        writeln!(writer, "{}", names.join(","))?;
+        let sens = self.schema.sensitive_attribute();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let labels = g.generalized_labels(&self.schema).join(",");
+            // Publish the sensitive multiset in code order, not row order —
+            // the random permutation the paper's bucketization performs.
+            let mut values: Vec<u32> = g.rows.iter().map(|&r| table.sensitive_value(r)).collect();
+            values.sort_unstable();
+            for s in values {
+                writeln!(writer, "{gi},{labels},{}", sens.display_value(s))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the published table as text, one group per block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let labels = g.generalized_labels(&self.schema).join(", ");
+            out.push_str(&format!("group {gi} (n={}): [{labels}] — ", g.len()));
+            let sens = self.schema.sensitive_attribute();
+            let values: Vec<String> = g
+                .sensitive_counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(s, &c)| format!("{}×{}", sens.display_value(s as u32), c))
+                .collect();
+            out.push_str(&values.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+
+    #[test]
+    fn group_from_rows_computes_ranges() {
+        let t = toy::hospital_table();
+        let g = Group::from_rows(&t, vec![0, 1, 2]);
+        // Ages 69, 45, 52 → codes 29, 5, 12 over domain 40..70.
+        assert_eq!(g.ranges[0], QiRange { min: 5, max: 29 });
+        // Sexes M, F, F → codes {0, 1}.
+        assert_eq!(g.ranges[1], QiRange { min: 0, max: 1 });
+        assert_eq!(g.sensitive_counts, vec![1, 1, 1, 0]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn generalized_labels_match_paper_table_1b() {
+        let t = toy::hospital_table();
+        let schema = t.schema();
+        let g1 = Group::from_rows(&t, vec![0, 1, 2]);
+        assert_eq!(g1.generalized_labels(schema), vec!["[45,69]", "Sex"]);
+        let g2 = Group::from_rows(&t, vec![3, 4, 5]);
+        assert_eq!(g2.generalized_labels(schema), vec!["[42,47]", "F"]);
+        let g3 = Group::from_rows(&t, vec![6, 7, 8]);
+        assert_eq!(g3.generalized_labels(schema), vec!["[50,56]", "M"]);
+    }
+
+    #[test]
+    fn qi_range_helpers() {
+        let r = QiRange { min: 3, max: 7 };
+        assert!(r.contains(3) && r.contains(7) && r.contains(5));
+        assert!(!r.contains(2) && !r.contains(8));
+        assert_eq!(r.width(), 5);
+    }
+
+    #[test]
+    fn anonymized_table_validates_partition() {
+        let t = toy::hospital_table();
+        let groups: Vec<Group> = toy::hospital_groups()
+            .into_iter()
+            .map(|rows| Group::from_rows(&t, rows))
+            .collect();
+        let at = AnonymizedTable::new(&t, groups);
+        assert_eq!(at.group_count(), 3);
+        assert_eq!(at.len(), 9);
+        assert!((at.average_group_size() - 3.0).abs() < 1e-12);
+        assert_eq!(at.row_groups().len(), 3);
+        let rendered = at.render();
+        assert!(rendered.contains("group 0"));
+        assert!(rendered.contains("Emphysema"));
+    }
+
+    #[test]
+    fn csv_export_publishes_sorted_multisets() {
+        let t = toy::hospital_table();
+        let groups: Vec<Group> = toy::hospital_groups()
+            .into_iter()
+            .map(|rows| Group::from_rows(&t, rows))
+            .collect();
+        let at = AnonymizedTable::new(&t, groups);
+        let mut out = Vec::new();
+        at.write_csv(&t, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "group,Age,Sex,Disease");
+        // 9 tuples + header.
+        assert_eq!(lines.len(), 10);
+        // First group publishes [45,69] / Sex with its three diseases in
+        // code order (Emphysema < Cancer < Flu) — the association with
+        // specific rows is gone.
+        assert_eq!(lines[1], "0,[45,69],Sex,Emphysema");
+        assert_eq!(lines[2], "0,[45,69],Sex,Cancer");
+        assert_eq!(lines[3], "0,[45,69],Sex,Flu");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every row")]
+    fn incomplete_partition_rejected() {
+        let t = toy::hospital_table();
+        let groups = vec![Group::from_rows(&t, vec![0, 1, 2])];
+        let _ = AnonymizedTable::new(&t, groups);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two groups")]
+    fn overlapping_partition_rejected() {
+        let t = toy::hospital_table();
+        let all: Vec<usize> = (0..9).collect();
+        let groups = vec![
+            Group::from_rows(&t, all.clone()),
+            Group::from_rows(&t, vec![0]),
+        ];
+        let _ = AnonymizedTable::new(&t, groups);
+    }
+}

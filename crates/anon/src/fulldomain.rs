@@ -1,0 +1,332 @@
+//! Full-domain (global-recoding) generalization — the Incognito family
+//! (LeFevre et al., the paper's reference \[34\]).
+//!
+//! Where Mondrian recodes *locally* (each region gets its own box),
+//! full-domain generalization picks one **generalization level per
+//! attribute** and applies it to every tuple:
+//!
+//! * categorical attributes generalize to the ancestor at height ≥ ℓ in
+//!   their hierarchy (ℓ = 0 keeps leaves, ℓ = H collapses to the root);
+//! * numeric attributes generalize to equal-width bins of `2^ℓ` codes
+//!   (ℓ = 0 keeps exact values).
+//!
+//! The search walks the lattice of level vectors bottom-up by total level
+//! and returns the *minimal* satisfying vectors (no strictly lower vector
+//! satisfies the requirement), exploiting the **generalization
+//! monotonicity** of size-based requirements (k-anonymity, distinct
+//! ℓ-diversity): coarsening only merges groups. For non-monotone
+//! requirements ((B,t), t-closeness) the lattice is searched exhaustively.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgkanon_data::{AttributeKind, Table};
+use bgkanon_privacy::{GroupView, PrivacyRequirement};
+
+use crate::anonymized::{AnonymizedTable, Group};
+
+/// One point of the generalization lattice: a level per QI attribute.
+pub type Levels = Vec<u32>;
+
+/// The full-domain generalizer.
+pub struct FullDomain {
+    requirement: Arc<dyn PrivacyRequirement>,
+    /// Treat the requirement as monotone under generalization (enables
+    /// minimal-vector pruning). True for k-anonymity and distinct
+    /// ℓ-diversity; set false for (B,t)-privacy or t-closeness.
+    monotone: bool,
+}
+
+/// Result of a full-domain run.
+#[derive(Debug, Clone)]
+pub struct FullDomainOutcome {
+    /// The chosen (minimal, best-utility) level vector.
+    pub levels: Levels,
+    /// The induced partition.
+    pub anonymized: AnonymizedTable,
+    /// Number of lattice nodes whose partition was materialized and checked.
+    pub nodes_checked: usize,
+}
+
+impl FullDomain {
+    /// Build for a generalization-monotone requirement (k-anonymity,
+    /// distinct ℓ-diversity and their conjunctions).
+    pub fn new_monotone(requirement: Arc<dyn PrivacyRequirement>) -> Self {
+        FullDomain {
+            requirement,
+            monotone: true,
+        }
+    }
+
+    /// Build for an arbitrary requirement; every lattice node may be
+    /// checked.
+    pub fn new_exhaustive(requirement: Arc<dyn PrivacyRequirement>) -> Self {
+        FullDomain {
+            requirement,
+            monotone: false,
+        }
+    }
+
+    /// Maximum level of each attribute of `table`.
+    pub fn max_levels(table: &Table) -> Levels {
+        table
+            .schema()
+            .qi_attributes()
+            .iter()
+            .map(|a| match a.kind() {
+                AttributeKind::Numeric { values } => {
+                    // Smallest L with 2^L ≥ r: bins of 2^L codes collapse
+                    // the domain into one bin.
+                    let r = values.len() as u32;
+                    32 - r.saturating_sub(1).leading_zeros()
+                }
+                AttributeKind::Categorical { hierarchy, .. } => hierarchy.height(),
+            })
+            .collect()
+    }
+
+    /// Generalized signature of `code` on attribute `attr` at `level`.
+    fn signature(table: &Table, attr: usize, level: u32, code: u32) -> u32 {
+        match table.schema().qi_attribute(attr).kind() {
+            AttributeKind::Numeric { .. } => code >> level,
+            AttributeKind::Categorical { hierarchy, .. } => {
+                let mut node = hierarchy.leaf_node(code);
+                while hierarchy.node_height(node) < level {
+                    match hierarchy.parent(node) {
+                        Some(p) => node = p,
+                        None => break,
+                    }
+                }
+                node as u32
+            }
+        }
+    }
+
+    /// Partition rows of `table` by their generalized signature at `levels`.
+    pub fn partition(table: &Table, levels: &Levels) -> Vec<Vec<usize>> {
+        assert_eq!(levels.len(), table.qi_count(), "one level per attribute");
+        let d = table.qi_count();
+        let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        let mut sig = vec![0u32; d];
+        for row in 0..table.len() {
+            for (i, s) in sig.iter_mut().enumerate() {
+                *s = Self::signature(table, i, levels[i], table.qi_value(row, i));
+            }
+            map.entry(sig.clone()).or_default().push(row);
+        }
+        let mut groups: Vec<Vec<usize>> = map.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+
+    /// Does the partition at `levels` satisfy the requirement?
+    fn satisfies(&self, table: &Table, levels: &Levels) -> bool {
+        let mut buf = Vec::new();
+        for rows in Self::partition(table, levels) {
+            let view = GroupView::compute(table, &rows, &mut buf);
+            if !self.requirement.is_satisfied(&view) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Search the lattice and return the best outcome: among the minimal
+    /// satisfying level vectors, the one whose partition has the lowest
+    /// Discernibility Metric. Returns `None` when even the top of the
+    /// lattice (everything generalized to one group) fails.
+    pub fn anonymize(&self, table: &Table) -> Option<FullDomainOutcome> {
+        assert!(!table.is_empty(), "cannot anonymize an empty table");
+        let maxima = Self::max_levels(table);
+        // Enumerate the lattice in increasing total-level order.
+        let mut nodes: Vec<Levels> = enumerate_lattice(&maxima);
+        nodes.sort_by_key(|v| v.iter().sum::<u32>());
+
+        let mut minimal: Vec<Levels> = Vec::new();
+        let mut checked = 0usize;
+        for node in &nodes {
+            if self.monotone
+                && minimal
+                    .iter()
+                    .any(|m| m.iter().zip(node).all(|(a, b)| a <= b))
+            {
+                // A lower satisfying vector dominates this node: with a
+                // monotone requirement it satisfies too, but is not minimal.
+                continue;
+            }
+            checked += 1;
+            if self.satisfies(table, node) {
+                minimal.push(node.clone());
+                if !self.monotone {
+                    // Without monotonicity every satisfying node is a
+                    // candidate; keep collecting.
+                }
+            }
+        }
+        // Pick the candidate with the lowest DM (Σ|G|²).
+        let mut best: Option<(u64, Levels)> = None;
+        for levels in &minimal {
+            let dm: u64 = Self::partition(table, levels)
+                .iter()
+                .map(|g| (g.len() * g.len()) as u64)
+                .sum();
+            if best.as_ref().map(|(b, _)| dm < *b).unwrap_or(true) {
+                best = Some((dm, levels.clone()));
+            }
+        }
+        let (_, levels) = best?;
+        let groups = Self::partition(table, &levels)
+            .into_iter()
+            .map(|rows| Group::from_rows(table, rows))
+            .collect();
+        Some(FullDomainOutcome {
+            levels,
+            anonymized: AnonymizedTable::new(table, groups),
+            nodes_checked: checked,
+        })
+    }
+}
+
+/// All level vectors `0 ≤ v_i ≤ maxima_i`.
+fn enumerate_lattice(maxima: &Levels) -> Vec<Levels> {
+    let mut out = vec![Vec::new()];
+    for &m in maxima {
+        let mut next = Vec::with_capacity(out.len() * (m as usize + 1));
+        for prefix in &out {
+            for level in 0..=m {
+                let mut v = prefix.clone();
+                v.push(level);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::{adult, toy};
+    use bgkanon_privacy::{And, DistinctLDiversity, KAnonymity};
+
+    #[test]
+    fn lattice_enumeration_counts() {
+        assert_eq!(enumerate_lattice(&vec![1, 2]).len(), 6);
+        assert_eq!(enumerate_lattice(&vec![0]).len(), 1);
+    }
+
+    #[test]
+    fn max_levels_match_schema() {
+        let t = adult::generate(50, 1);
+        let maxima = FullDomain::max_levels(&t);
+        // Age: 74 values → 2^7 = 128 ≥ 74 → 7 levels. Hierarchy heights:
+        // workclass 3, education 3, marital 3, race 2, gender 1.
+        assert_eq!(maxima, vec![7, 3, 3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn top_of_lattice_collapses_to_one_group() {
+        let t = adult::generate(120, 2);
+        let top = FullDomain::max_levels(&t);
+        let parts = FullDomain::partition(&t, &top);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), t.len());
+    }
+
+    #[test]
+    fn bottom_of_lattice_is_qi_grouping() {
+        let t = adult::generate(120, 3);
+        let bottom = vec![0u32; 6];
+        let parts = FullDomain::partition(&t, &bottom);
+        assert_eq!(parts.len(), t.group_by_qi().len());
+    }
+
+    #[test]
+    fn full_domain_k_anonymity_holds() {
+        let t = adult::generate(400, 4);
+        let fd = FullDomain::new_monotone(Arc::new(KAnonymity::new(5)));
+        let outcome = fd
+            .anonymize(&t)
+            .expect("top of lattice always satisfies k ≤ n");
+        for g in outcome.anonymized.groups() {
+            assert!(g.len() >= 5, "group of {}", g.len());
+        }
+        // The chosen vector is not the top of the lattice (some structure
+        // survives) on 400 correlated rows.
+        assert!(outcome.levels.iter().sum::<u32>() < FullDomain::max_levels(&t).iter().sum());
+    }
+
+    #[test]
+    fn monotone_pruning_checks_fewer_nodes() {
+        let t = adult::generate(200, 5);
+        let req = || Arc::new(KAnonymity::new(4));
+        let pruned = FullDomain::new_monotone(req()).anonymize(&t).unwrap();
+        let full = FullDomain::new_exhaustive(req()).anonymize(&t).unwrap();
+        assert!(pruned.nodes_checked <= full.nodes_checked);
+        // Both find level vectors satisfying the requirement.
+        for g in full.anonymized.groups() {
+            assert!(g.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn composite_requirement_supported() {
+        let t = adult::generate(300, 6);
+        let fd = FullDomain::new_monotone(Arc::new(And::pair(
+            KAnonymity::new(3),
+            DistinctLDiversity::new(3),
+        )));
+        let outcome = fd.anonymize(&t).expect("satisfiable at the top");
+        for g in outcome.anonymized.groups() {
+            assert!(g.len() >= 3);
+            assert!(g.sensitive_counts.iter().filter(|&&c| c > 0).count() >= 3);
+        }
+    }
+
+    #[test]
+    fn global_recoding_never_beats_local_recoding_on_dm() {
+        // Mondrian (local recoding) is at least as fine as the best single
+        // global level vector.
+        use crate::mondrian::Mondrian;
+        let t = adult::generate(500, 7);
+        let k = 6;
+        let local = Mondrian::new(Arc::new(KAnonymity::new(k))).anonymize(&t);
+        let global = FullDomain::new_monotone(Arc::new(KAnonymity::new(k)))
+            .anonymize(&t)
+            .unwrap()
+            .anonymized;
+        let dm = |at: &AnonymizedTable| -> u64 {
+            at.groups().iter().map(|g| (g.len() * g.len()) as u64).sum()
+        };
+        assert!(
+            dm(&local) <= dm(&global),
+            "local {} vs global {}",
+            dm(&local),
+            dm(&global)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_requirement_returns_none_only_if_top_fails() {
+        let t = toy::hospital_table();
+        // k = 100 > n: even one group of 9 fails.
+        let fd = FullDomain::new_monotone(Arc::new(KAnonymity::new(100)));
+        assert!(fd.anonymize(&t).is_none());
+    }
+
+    #[test]
+    fn signature_respects_hierarchy_levels() {
+        let t = adult::generate(50, 8);
+        // Gender at level 0: distinct codes; at level 1 (root): same node.
+        let s0f = FullDomain::signature(&t, 5, 0, 0);
+        let s0m = FullDomain::signature(&t, 5, 0, 1);
+        assert_ne!(s0f, s0m);
+        let s1f = FullDomain::signature(&t, 5, 1, 0);
+        let s1m = FullDomain::signature(&t, 5, 1, 1);
+        assert_eq!(s1f, s1m);
+        // Age at level 3: bins of 8 codes.
+        assert_eq!(FullDomain::signature(&t, 0, 3, 7), 0);
+        assert_eq!(FullDomain::signature(&t, 0, 3, 8), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Mondrian multidimensional partitioning (LeFevre et al.), parameterized by
+//! a privacy requirement.
+//!
+//! Top-down: start with the whole table as one region; repeatedly pick the
+//! dimension with the widest *normalized* range, split at the median, and
+//! commit the split only if **both** halves satisfy the requirement;
+//! otherwise try the next-widest dimension. A region where no dimension
+//! admits a valid split becomes a published group. This reproduces the
+//! "variations of Mondrian \[that\] use the original dimension selection and
+//! median split heuristics, and check if the specific privacy requirement is
+//! satisfied" (§V).
+
+use std::sync::Arc;
+
+use bgkanon_data::Table;
+use bgkanon_privacy::{GroupView, PrivacyRequirement};
+
+use crate::anonymized::{AnonymizedTable, Group};
+
+/// The Mondrian anonymizer.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_anon::Mondrian;
+/// use bgkanon_privacy::KAnonymity;
+///
+/// let table = bgkanon_data::adult::generate(200, 42);
+/// let mondrian = Mondrian::new(Arc::new(KAnonymity::new(5)));
+/// let published = mondrian.anonymize(&table);
+/// assert!(published.groups().iter().all(|g| g.len() >= 5));
+/// ```
+pub struct Mondrian {
+    requirement: Arc<dyn PrivacyRequirement>,
+}
+
+impl Mondrian {
+    /// Build with the privacy requirement every published group must
+    /// satisfy.
+    pub fn new(requirement: Arc<dyn PrivacyRequirement>) -> Self {
+        Mondrian { requirement }
+    }
+
+    /// The requirement in force.
+    pub fn requirement(&self) -> &Arc<dyn PrivacyRequirement> {
+        &self.requirement
+    }
+
+    /// Partition `table` into the finest groups Mondrian can certify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole table itself does not satisfy the requirement —
+    /// no anonymization can then exist under this algorithm.
+    pub fn anonymize(&self, table: &Table) -> AnonymizedTable {
+        assert!(!table.is_empty(), "cannot anonymize an empty table");
+        let all_rows: Vec<usize> = (0..table.len()).collect();
+        let mut counts_buf = Vec::new();
+        let root_view = GroupView::compute(table, &all_rows, &mut counts_buf);
+        assert!(
+            self.requirement.is_satisfied(&root_view),
+            "the whole table does not satisfy `{}`; no Mondrian output exists",
+            self.requirement.name()
+        );
+        let mut groups = Vec::new();
+        let mut stack = vec![all_rows];
+        while let Some(rows) = stack.pop() {
+            match self.try_split(table, &rows) {
+                Some((left, right)) => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                None => groups.push(Group::from_rows(table, rows)),
+            }
+        }
+        // Deterministic group order: by first row index.
+        groups.sort_by_key(|g| g.rows[0]);
+        AnonymizedTable::new(table, groups)
+    }
+
+    /// Attempt a median split of `rows`, returning both halves if some
+    /// dimension yields halves that both satisfy the requirement.
+    fn try_split(&self, table: &Table, rows: &[usize]) -> Option<(Vec<usize>, Vec<usize>)> {
+        if rows.len() < 2 {
+            return None;
+        }
+        let d = table.qi_count();
+        // Normalized width of each dimension over this region.
+        let mut widths: Vec<(usize, f64)> = (0..d)
+            .map(|i| {
+                let (mut lo, mut hi) = (u32::MAX, 0u32);
+                for &r in rows {
+                    let v = table.qi_value(r, i);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                let w = if hi > lo {
+                    table.schema().qi_distance(i).get(lo, hi)
+                } else {
+                    0.0
+                };
+                (i, w)
+            })
+            .collect();
+        // Widest first; ties broken by attribute index for determinism.
+        widths.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let mut sorted = rows.to_vec();
+        for &(dim, width) in &widths {
+            if width <= 0.0 {
+                break; // Every remaining dimension is constant.
+            }
+            sorted.sort_by_key(|&r| table.qi_value(r, dim));
+            // Median split value: the value of the middle row. Rows with
+            // value ≤ split go left; ties stay together (strict Mondrian on
+            // discrete domains).
+            let median_value = table.qi_value(sorted[sorted.len() / 2], dim);
+            // Choose the split threshold so both sides are non-empty: prefer
+            // `v < median_value` vs rest; if the left side is empty (median
+            // equals minimum), use `v ≤ median_value` vs rest.
+            let split_at = {
+                let lt = sorted
+                    .iter()
+                    .position(|&r| table.qi_value(r, dim) >= median_value)
+                    .unwrap_or(0);
+                if lt > 0 {
+                    lt
+                } else {
+                    match sorted
+                        .iter()
+                        .position(|&r| table.qi_value(r, dim) > median_value)
+                    {
+                        Some(le) if le < sorted.len() => le,
+                        _ => continue, // All values equal — cannot split here.
+                    }
+                }
+            };
+            let (left, right) = sorted.split_at(split_at);
+            let (left, right) = (left.to_vec(), right.to_vec());
+            let mut buf_l = Vec::new();
+            let mut buf_r = Vec::new();
+            let lv = GroupView::compute(table, &left, &mut buf_l);
+            let rv = GroupView::compute(table, &right, &mut buf_r);
+            if self.requirement.is_satisfied(&lv) && self.requirement.is_satisfied(&rv) {
+                return Some((left, right));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::{adult, toy};
+    use bgkanon_privacy::{And, DistinctLDiversity, KAnonymity};
+
+    fn mondrian_k(k: usize) -> Mondrian {
+        Mondrian::new(Arc::new(KAnonymity::new(k)))
+    }
+
+    #[test]
+    fn output_is_a_partition_satisfying_requirement() {
+        let t = adult::generate(500, 3);
+        let m = mondrian_k(4);
+        let at = m.anonymize(&t);
+        // Partition validity is asserted inside AnonymizedTable::new; check
+        // the requirement on every group.
+        for g in at.groups() {
+            assert!(g.len() >= 4, "group of size {}", g.len());
+        }
+        assert!(
+            at.group_count() > 1,
+            "500 rows must split under 4-anonymity"
+        );
+    }
+
+    #[test]
+    fn groups_cannot_be_split_further_greedily() {
+        // Finest-partition property: every leaf either is small or no median
+        // split of it satisfies the requirement. We verify the weaker, exact
+        // invariant that re-running Mondrian on a leaf yields one group.
+        let t = adult::generate(300, 4);
+        let m = mondrian_k(5);
+        let at = m.anonymize(&t);
+        for g in at.groups().iter().take(5) {
+            let sub = t.subset(&g.rows);
+            let sub_at = mondrian_k(5).anonymize(&sub);
+            assert_eq!(sub_at.group_count(), 1);
+        }
+    }
+
+    #[test]
+    fn stricter_k_gives_fewer_larger_groups() {
+        let t = adult::generate(800, 5);
+        let loose = mondrian_k(3).anonymize(&t);
+        let strict = mondrian_k(12).anonymize(&t);
+        assert!(strict.group_count() <= loose.group_count());
+        assert!(strict.average_group_size() >= loose.average_group_size());
+        for g in strict.groups() {
+            assert!(g.len() >= 12);
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let t = adult::generate(400, 6);
+        let a = mondrian_k(5).anonymize(&t);
+        let b = mondrian_k(5).anonymize(&t);
+        assert_eq!(a.group_count(), b.group_count());
+        for (ga, gb) in a.groups().iter().zip(b.groups()) {
+            assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
+    fn composite_requirement_enforced() {
+        let t = adult::generate(600, 7);
+        let req = And::pair(KAnonymity::new(3), DistinctLDiversity::new(3));
+        let m = Mondrian::new(Arc::new(req));
+        let at = m.anonymize(&t);
+        for g in at.groups() {
+            assert!(g.len() >= 3);
+            let distinct = g.sensitive_counts.iter().filter(|&&c| c > 0).count();
+            assert!(distinct >= 3);
+        }
+    }
+
+    #[test]
+    fn toy_table_with_k1_splits_to_unique_qi_regions() {
+        // k = 1 lets Mondrian cut down to QI-homogeneous cells.
+        let t = toy::hospital_table();
+        let at = mondrian_k(1).anonymize(&t);
+        for g in at.groups() {
+            // Within a leaf, no dimension has spread — or the group is a
+            // single row. (Mondrian with k=1 always splits while some
+            // dimension varies.)
+            if g.len() > 1 {
+                for range in &g.ranges {
+                    assert_eq!(range.min, range.max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not satisfy")]
+    fn impossible_requirement_panics() {
+        let t = toy::hospital_table();
+        let m = mondrian_k(100);
+        let _ = m.anonymize(&t);
+    }
+
+    #[test]
+    fn group_ranges_contain_member_values() {
+        let t = adult::generate(300, 8);
+        let at = mondrian_k(6).anonymize(&t);
+        for g in at.groups() {
+            for &r in &g.rows {
+                for (i, range) in g.ranges.iter().enumerate() {
+                    assert!(range.contains(t.qi_value(r, i)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `cargo bench --bench experiments` — regenerates every figure of the
+//! paper at a reduced (quick) scale and prints the paper-vs-measured rows.
+//! This is a plain `harness = false` target so the whole reproduction runs
+//! under `cargo bench --workspace`.
+//!
+//! Scale up with `cargo bench --bench experiments -- --full` (paper scale)
+//! or `-- --rows N`.
+
+use bgkanon_bench::{ablation, config::ExperimentConfig, fig1, fig2, fig3, fig4, fig5, fig6};
+
+fn main() {
+    // Cargo's bench runner passes `--bench`; ignore it alongside our flags.
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--bench")
+        .collect();
+    let (cfg, _) = ExperimentConfig::from_args(&args);
+    // Default to quick scale under `cargo bench` unless the user overrode.
+    let cfg = if args.is_empty() {
+        ExperimentConfig::quick()
+    } else {
+        cfg
+    };
+
+    println!("bgkanon experiment suite (reduced scale) — {cfg:?}");
+    println!("run `cargo run --release -p bgkanon-bench --bin all_experiments -- --full` for paper scale\n");
+
+    let t0 = std::time::Instant::now();
+    for out in [
+        fig1::run_a(&cfg),
+        fig1::run_b(&cfg),
+        fig1::run_c(&cfg),
+        fig2::run(&cfg),
+        fig3::run_a(&cfg),
+        fig3::run_b(&cfg),
+        fig4::run_a(&cfg),
+        fig4::run_b(&cfg),
+        fig5::run_a(&cfg),
+        fig5::run_b(&cfg),
+        fig6::run_a(&cfg),
+        fig6::run_b(&cfg),
+        ablation::kernel_family(&cfg),
+        ablation::measure_smoothing(&cfg),
+        ablation::omega_vs_exact(&cfg),
+        ablation::rule_subsumption(&cfg),
+        ablation::recoding_comparison(&cfg),
+    ] {
+        println!("{out}");
+    }
+    println!("total experiment time: {:.1}s", t0.elapsed().as_secs_f64());
+}

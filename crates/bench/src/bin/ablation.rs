@@ -1,0 +1,15 @@
+//! Run the ablation studies (kernel family, measure smoothing,
+//! exact-vs-Omega, negative-rule subsumption). Scale flags: `--quick`,
+//! `--full`, `--rows N`, `--seed S`.
+
+use bgkanon_bench::{ablation, config::ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, _) = ExperimentConfig::from_args(&args);
+    print!("{}", ablation::kernel_family(&cfg));
+    print!("{}", ablation::measure_smoothing(&cfg));
+    print!("{}", ablation::omega_vs_exact(&cfg));
+    print!("{}", ablation::rule_subsumption(&cfg));
+    print!("{}", ablation::recoding_comparison(&cfg));
+}

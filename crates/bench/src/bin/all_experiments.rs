@@ -1,0 +1,32 @@
+//! Regenerate every figure of the paper in sequence. Scale flags:
+//! `--quick`, `--full`, `--rows N`, `--seed S`.
+
+use bgkanon_bench::{ablation, config::ExperimentConfig, fig1, fig2, fig3, fig4, fig5, fig6};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, _) = ExperimentConfig::from_args(&args);
+    println!("bgkanon experiment suite — {cfg:?}\n");
+    for (name, out) in [
+        ("fig1a", fig1::run_a(&cfg)),
+        ("fig1b", fig1::run_b(&cfg)),
+        ("fig1c", fig1::run_c(&cfg)),
+        ("fig2", fig2::run(&cfg)),
+        ("fig3a", fig3::run_a(&cfg)),
+        ("fig3b", fig3::run_b(&cfg)),
+        ("fig4a", fig4::run_a(&cfg)),
+        ("fig4b", fig4::run_b(&cfg)),
+        ("fig5a", fig5::run_a(&cfg)),
+        ("fig5b", fig5::run_b(&cfg)),
+        ("fig6a", fig6::run_a(&cfg)),
+        ("fig6b", fig6::run_b(&cfg)),
+        ("ablation-kernel", ablation::kernel_family(&cfg)),
+        ("ablation-smoothing", ablation::measure_smoothing(&cfg)),
+        ("ablation-omega", ablation::omega_vs_exact(&cfg)),
+        ("ablation-rules", ablation::rule_subsumption(&cfg)),
+        ("ablation-recoding", ablation::recoding_comparison(&cfg)),
+    ] {
+        let _ = name;
+        println!("{out}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerate Fig. 1 of the paper. Sub-figure selector: `a`, `b`, `c`
+//! (disjoint-sample extension) or `all` (default). Scale flags: `--quick`,
+//! `--full`, `--rows N`, `--seed S`.
+
+use bgkanon_bench::{config::ExperimentConfig, fig1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = ExperimentConfig::from_args(&args);
+    let which = rest.first().map(String::as_str).unwrap_or("all");
+    if which == "a" || which == "all" {
+        print!("{}", fig1::run_a(&cfg));
+    }
+    if which == "b" || which == "all" {
+        print!("{}", fig1::run_b(&cfg));
+    }
+    if which == "c" || which == "all" {
+        print!("{}", fig1::run_c(&cfg));
+    }
+}

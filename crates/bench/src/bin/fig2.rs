@@ -1,0 +1,10 @@
+//! Regenerate Fig. 2 of the paper (accuracy of the Ω-estimate). Scale
+//! flags: `--quick`, `--full`, `--rows N`, `--seed S`.
+
+use bgkanon_bench::{config::ExperimentConfig, fig2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, _) = ExperimentConfig::from_args(&args);
+    print!("{}", fig2::run(&cfg));
+}

@@ -1,0 +1,17 @@
+//! Regenerate Fig. 3 of the paper. Sub-figure selector: `a`, `b`
+//! or `all` (default). Scale flags: `--quick`, `--full`, `--rows N`,
+//! `--seed S`.
+
+use bgkanon_bench::{config::ExperimentConfig, fig3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = ExperimentConfig::from_args(&args);
+    let which = rest.first().map(String::as_str).unwrap_or("all");
+    if which == "a" || which == "all" {
+        print!("{}", fig3::run_a(&cfg));
+    }
+    if which == "b" || which == "all" {
+        print!("{}", fig3::run_b(&cfg));
+    }
+}

@@ -1,0 +1,111 @@
+//! Experiment sizing and reproducibility knobs.
+
+/// Scale and seeding of an experiment run.
+///
+/// The paper evaluates on the ~30K-tuple Adult dataset; the default here is
+/// 10K so every figure regenerates in minutes on a laptop, with `--full`
+/// restoring the paper's scale and `--quick` shrinking to CI size.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Number of synthetic Adult tuples.
+    pub rows: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Queries per workload point (Fig. 6).
+    pub queries: usize,
+    /// Monte-Carlo trials per point (Fig. 2).
+    pub trials: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            rows: 10_000,
+            seed: 42,
+            queries: 1_000,
+            trials: 100,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// CI-sized run.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            rows: 2_000,
+            queries: 200,
+            trials: 25,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The paper's scale (≈30K tuples).
+    pub fn full() -> Self {
+        ExperimentConfig {
+            rows: bgkanon::data::adult::ADULT_DEFAULT_ROWS,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Parse command-line arguments shared by all figure binaries:
+    /// `[--quick|--full] [--rows N] [--seed S]`. Unrecognized arguments are
+    /// returned for the binary to interpret (e.g. the `a`/`b` sub-figure
+    /// selector).
+    pub fn from_args(args: &[String]) -> (Self, Vec<String>) {
+        let mut cfg = ExperimentConfig::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => cfg = ExperimentConfig::quick(),
+                "--full" => cfg = ExperimentConfig::full(),
+                "--rows" => {
+                    let v = it.next().expect("--rows needs a value");
+                    cfg.rows = v.parse().expect("--rows needs an integer");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    cfg.seed = v.parse().expect("--seed needs an integer");
+                }
+                _ => rest.push(a.clone()),
+            }
+        }
+        (cfg, rest)
+    }
+
+    /// The dataset for this configuration.
+    pub fn table(&self) -> bgkanon::data::Table {
+        bgkanon::data::adult::generate(self.rows, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(ExperimentConfig::quick().rows < ExperimentConfig::default().rows);
+        assert_eq!(ExperimentConfig::full().rows, 30_162);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["a", "--rows", "500", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (cfg, rest) = ExperimentConfig::from_args(&args);
+        assert_eq!(cfg.rows, 500);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(rest, vec!["a".to_string()]);
+        let (cfg2, _) = ExperimentConfig::from_args(&["--quick".to_string()]);
+        assert_eq!(cfg2.rows, 2_000);
+    }
+
+    #[test]
+    fn table_generation_respects_rows() {
+        let (cfg, _) = ExperimentConfig::from_args(&["--rows".into(), "123".into()]);
+        assert_eq!(cfg.table().len(), 123);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fig. 3 — continuity of the worst-case disclosure risk (§V.C).
+//!
+//! * **(a)** generate (B,t)-private tables for table-side bandwidth
+//!   `b ∈ {0.2, 0.225, …, 0.5}` and measure the worst-case disclosure risk
+//!   against adversaries `b′ ∈ {0.2, 0.3, 0.4, 0.5}`: the risk must vary
+//!   *continuously* in `b` (no jumps), which is what justifies protecting
+//!   against all adversaries with a finite skyline;
+//! * **(b)** two-block bandwidth `B = (b1,b1,b1,b2,b2,b2)` swept over a 4×4
+//!   grid at fixed `b′ = 0.3` — the risk surface is likewise smooth.
+
+use bgkanon::params::PARA1;
+use bgkanon::privacy::Auditor;
+use bgkanon::publisher::Publisher;
+
+use crate::config::ExperimentConfig;
+use crate::models::{auditor_for, B_PRIME_SWEEP};
+use crate::report::{f3, Report};
+
+/// The table-side bandwidth sweep of Fig. 3(a): 0.2 to 0.5 in steps of
+/// 0.025.
+pub fn b_sweep() -> Vec<f64> {
+    (0..=12).map(|i| 0.2 + 0.025 * f64::from(i)).collect()
+}
+
+/// Fig. 3(a): worst-case risk as a function of the table's `b`.
+pub fn run_a(cfg: &ExperimentConfig) -> String {
+    let table = cfg.table();
+    let auditors: Vec<Auditor> = B_PRIME_SWEEP
+        .iter()
+        .map(|&b| auditor_for(&table, b))
+        .collect();
+    let mut report = Report::new(
+        &format!(
+            "Fig 3(a): worst-case disclosure risk vs table bandwidth b (n={}, t={})",
+            table.len(),
+            PARA1.t
+        ),
+        &["b'=0.2", "b'=0.3", "b'=0.4", "b'=0.5"],
+    );
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); B_PRIME_SWEEP.len()];
+    for b in b_sweep() {
+        let outcome = Publisher::new()
+            .k_anonymity(PARA1.k)
+            .bt_privacy(b, PARA1.t)
+            .publish(&table)
+            .expect("satisfiable");
+        let cells: Vec<String> = auditors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let wc = outcome.audit_with(&table, a, PARA1.t).worst_case;
+                series[i].push(wc);
+                f3(wc)
+            })
+            .collect();
+        report.row(&format!("b={b:.3}"), cells);
+    }
+    // Continuity diagnostic: largest jump between adjacent b values.
+    let max_jump = series
+        .iter()
+        .flat_map(|s| s.windows(2).map(|w| (w[1] - w[0]).abs()))
+        .fold(0.0, f64::max);
+    report.note(&format!(
+        "max jump between adjacent b values: {max_jump:.3} (continuity: small jumps)"
+    ));
+    report.render()
+}
+
+/// Fig. 3(b): worst-case risk over the `(b1, b2)` grid at `b′ = 0.3`.
+pub fn run_b(cfg: &ExperimentConfig) -> String {
+    let table = cfg.table();
+    let auditor = auditor_for(&table, 0.3);
+    let grid = [0.2, 0.3, 0.4, 0.5];
+    let mut report = Report::new(
+        &format!(
+            "Fig 3(b): worst-case disclosure risk over (b1, b2) (n={}, b'=0.3, t={})",
+            table.len(),
+            PARA1.t
+        ),
+        &["b2=0.2", "b2=0.3", "b2=0.4", "b2=0.5"],
+    );
+    for &b1 in &grid {
+        let cells: Vec<String> = grid
+            .iter()
+            .map(|&b2| {
+                let bandwidth: Vec<f64> = vec![b1, b1, b1, b2, b2, b2];
+                let outcome = Publisher::new()
+                    .k_anonymity(PARA1.k)
+                    .bt_privacy_vector(bandwidth, PARA1.t)
+                    .publish(&table)
+                    .expect("satisfiable");
+                f3(outcome.audit_with(&table, &auditor, PARA1.t).worst_case)
+            })
+            .collect();
+        report.row(&format!("b1={b1}"), cells);
+    }
+    report.note("paper: the risk surface varies continuously over the (b1, b2) domain");
+    report.render()
+}
+
+/// Largest adjacent-`b` jump of the Fig. 3(a) series — the continuity
+/// statistic used by tests.
+pub fn max_continuity_jump(cfg: &ExperimentConfig) -> f64 {
+    let table = cfg.table();
+    let auditors: Vec<Auditor> = B_PRIME_SWEEP
+        .iter()
+        .map(|&b| auditor_for(&table, b))
+        .collect();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); B_PRIME_SWEEP.len()];
+    for b in b_sweep() {
+        let outcome = Publisher::new()
+            .k_anonymity(PARA1.k)
+            .bt_privacy(b, PARA1.t)
+            .publish(&table)
+            .expect("satisfiable");
+        for (i, a) in auditors.iter().enumerate() {
+            series[i].push(outcome.audit_with(&table, a, PARA1.t).worst_case);
+        }
+    }
+    series
+        .iter()
+        .flat_map(|s| s.windows(2).map(|w| (w[1] - w[0]).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_13_points() {
+        let s = b_sweep();
+        assert_eq!(s.len(), 13);
+        assert!((s[0] - 0.2).abs() < 1e-12);
+        assert!((s[12] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn risk_changes_continuously() {
+        let cfg = ExperimentConfig {
+            rows: 400,
+            ..ExperimentConfig::quick()
+        };
+        let jump = max_continuity_jump(&cfg);
+        // "Slight changes of the B parameter do not cause a large change of
+        // the worst-case disclosure risk."
+        assert!(jump < 0.25, "max adjacent jump {jump} too large");
+    }
+
+    #[test]
+    fn fig3b_grid_renders() {
+        let cfg = ExperimentConfig {
+            rows: 300,
+            ..ExperimentConfig::quick()
+        };
+        let out = run_b(&cfg);
+        assert!(out.contains("b1=0.5"));
+        assert!(out.contains("b2=0.2"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text report rendering: the same rows/series the paper's figures
+//! plot, as aligned tables.
+
+use std::fmt::Write as _;
+
+/// A titled table of labelled rows.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report with a title and column headers.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Report {
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a labelled row of cells.
+    pub fn row(&mut self, label: &str, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        self.rows.push((label.to_owned(), cells));
+    }
+
+    /// Append a free-form note printed under the table.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_owned());
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let col_widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|(_, cells)| cells[i].chars().count())
+                    .max()
+                    .unwrap_or(0)
+                    .max(c.chars().count())
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let mut header = format!("{:<label_width$}", "");
+        for (c, w) in self.columns.iter().zip(&col_widths) {
+            let _ = write!(header, "  {c:>w$}");
+        }
+        let _ = writeln!(out, "{header}");
+        for (label, cells) in &self.rows {
+            let mut line = format!("{label:<label_width$}");
+            for (cell, w) in cells.iter().zip(&col_widths) {
+                let _ = write!(line, "  {cell:>w$}");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+}
+
+/// Format an `f64` with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format an `f64` with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a duration in seconds with 2 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("demo", &["x", "longer"]);
+        r.row("first", vec!["1".into(), "2".into()]);
+        r.row("second-longer", vec!["10".into(), "20000".into()]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("note: a note"));
+        // All data lines have the same width.
+        let lines: Vec<&str> = s.lines().skip(1).take(3).collect();
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("demo", &["x"]);
+        r.row("a", vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(secs(std::time::Duration::from_millis(2500)), "2.50s");
+    }
+}

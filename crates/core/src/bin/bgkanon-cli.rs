@@ -1,0 +1,307 @@
+//! `bgkanon-cli` — command-line front end for the library.
+//!
+//! ```text
+//! bgkanon-cli generate  --rows 30162 --seed 42 --out adult_synth.csv
+//! bgkanon-cli anonymize --input adult_synth.csv --model bt --k 4 --b 0.3 --t 0.25 --out published.csv
+//! bgkanon-cli audit     --input adult_synth.csv --model ldiv --k 3 --l 3 --b-prime 0.3 --t 0.25
+//! bgkanon-cli mine      --input adult_synth.csv --min-support 50 --pairwise
+//! ```
+//!
+//! Input files use the 7-column Adult layout produced by `generate`
+//! (`Age,Workclass,Education,Marital-status,Race,Gender,Occupation`), or the
+//! raw UCI `adult.data` format with `--format adult-data`.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use bgkanon::data::csv::{read_csv, write_csv, CsvOptions};
+use bgkanon::data::{adult, Table};
+use bgkanon::knowledge::mining::{mine_negative_rules, MiningConfig};
+use bgkanon::prelude::*;
+use bgkanon::utility;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bgkanon-cli generate  --rows N --seed S --out FILE
+  bgkanon-cli anonymize --input FILE --model (kanon|ldiv|probldiv|tclose|bt|skyline)
+                        [--k K] [--l L] [--t T] [--b B] [--skyline b:t,b:t,...]
+                        [--format csv|adult-data] [--out FILE]
+  bgkanon-cli audit     --input FILE --model ... [model flags] --b-prime B --t T
+  bgkanon-cli mine      --input FILE [--min-support N] [--pairwise]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "anonymize" => anonymize(&flags),
+        "audit" => audit(&flags),
+        "mine" => mine(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found `{a}`"))?;
+        if key == "pairwise" {
+            flags.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value `{v}` for --{key}")),
+    }
+}
+
+fn load_table(flags: &HashMap<String, String>) -> Result<Table, String> {
+    let path = flags
+        .get("input")
+        .ok_or("--input FILE is required")?
+        .clone();
+    let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let format = flags.get("format").map(String::as_str).unwrap_or("csv");
+    let (table, report) = match format {
+        "adult-data" => adult::load_adult_csv(reader).map_err(|e| e.to_string())?,
+        "csv" => {
+            let options = CsvOptions {
+                has_header: true,
+                ..CsvOptions::default()
+            };
+            read_csv(reader, adult::adult_schema(), &options).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown --format `{other}` (csv | adult-data)")),
+    };
+    eprintln!(
+        "loaded {} tuples from {path} ({} rows skipped for missing values)",
+        report.loaded, report.skipped_missing
+    );
+    Ok(table)
+}
+
+fn build_publisher(flags: &HashMap<String, String>) -> Result<Publisher, String> {
+    let model = flags.get("model").ok_or("--model is required")?.as_str();
+    let k: usize = parse(flags, "k")?.unwrap_or(3);
+    let l: usize = parse(flags, "l")?.unwrap_or(k);
+    let t: f64 = parse(flags, "t")?.unwrap_or(0.25);
+    let b: f64 = parse(flags, "b")?.unwrap_or(0.3);
+    let publisher = Publisher::new().k_anonymity(k);
+    Ok(match model {
+        "kanon" => publisher,
+        "ldiv" => publisher.distinct_l_diversity(l),
+        "probldiv" => publisher.probabilistic_l_diversity(l),
+        "tclose" => publisher.t_closeness(t),
+        "bt" => publisher.bt_privacy(b, t),
+        "skyline" => {
+            let spec = flags
+                .get("skyline")
+                .ok_or("--skyline b:t,b:t,... is required for the skyline model")?;
+            let mut pairs = Vec::new();
+            for part in spec.split(',') {
+                let (bs, ts) = part
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad skyline point `{part}` (expected b:t)"))?;
+                let bp: f64 = bs.parse().map_err(|_| format!("bad b in `{part}`"))?;
+                let tp: f64 = ts.parse().map_err(|_| format!("bad t in `{part}`"))?;
+                pairs.push((bp, tp));
+            }
+            publisher.skyline(pairs)
+        }
+        other => return Err(format!("unknown --model `{other}`")),
+    })
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let rows: usize = parse(flags, "rows")?.unwrap_or(adult::ADULT_DEFAULT_ROWS);
+    let seed: u64 = parse(flags, "seed")?.unwrap_or(42);
+    let out = flags.get("out").ok_or("--out FILE is required")?;
+    let table = adult::generate(rows, seed);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_csv(&table, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {rows} synthetic Adult tuples to {out}");
+    Ok(())
+}
+
+fn anonymize(flags: &HashMap<String, String>) -> Result<(), String> {
+    let table = load_table(flags)?;
+    let publisher = build_publisher(flags)?;
+    let outcome = publisher.publish(&table).map_err(|e| e.to_string())?;
+    eprintln!(
+        "requirement: {}\ngroups: {} (avg size {:.1}) in {:?}",
+        outcome.requirement_name,
+        outcome.anonymized.group_count(),
+        outcome.anonymized.average_group_size(),
+        outcome.elapsed
+    );
+    eprintln!(
+        "utility: DM {}  GCP {:.1}",
+        utility::discernibility(&outcome.anonymized),
+        utility::global_certainty_penalty(&outcome.anonymized)
+    );
+    if let Some(out) = flags.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        outcome
+            .anonymized
+            .write_csv(&table, BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("published table written to {out}");
+    }
+    Ok(())
+}
+
+fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let table = load_table(flags)?;
+    let publisher = build_publisher(flags)?;
+    let outcome = publisher.publish(&table).map_err(|e| e.to_string())?;
+    let b_prime: f64 = parse(flags, "b-prime")?.unwrap_or(0.3);
+    let t: f64 = parse(flags, "t")?.unwrap_or(0.25);
+    let report = outcome.audit_against(&table, b_prime, t);
+    println!("requirement : {}", outcome.requirement_name);
+    println!("adversary   : Adv(b'={b_prime}) with threshold t={t}");
+    println!("worst-case  : {:.4}", report.worst_case);
+    println!("mean risk   : {:.4}", report.mean);
+    println!("vulnerable  : {}/{}", report.vulnerable, table.len());
+    Ok(())
+}
+
+fn mine(flags: &HashMap<String, String>) -> Result<(), String> {
+    let table = load_table(flags)?;
+    let config = MiningConfig {
+        min_support: parse(flags, "min-support")?.unwrap_or(50),
+        pairwise: flags.contains_key("pairwise"),
+    };
+    let rules = mine_negative_rules(&table, &config);
+    println!(
+        "{} negative association rules (min support {}):",
+        rules.len(),
+        config.min_support
+    );
+    let sensitive = table.schema().sensitive_attribute();
+    for rule in &rules {
+        println!(
+            "  {} ⇒ ¬{}   (support {})",
+            rule.pattern.display(&table),
+            sensitive.display_value(rule.sensitive_value),
+            rule.support
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_handles_values_and_switches() {
+        let args: Vec<String> = ["--rows", "10", "--pairwise", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("rows").unwrap(), "10");
+        assert_eq!(f.get("pairwise").unwrap(), "true");
+        assert_eq!(f.get("seed").unwrap(), "7");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bad_shapes() {
+        assert!(parse_flags(&["rows".to_string()]).is_err());
+        assert!(parse_flags(&["--rows".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_typed_values() {
+        let f = flags(&[("k", "5"), ("t", "0.2")]);
+        assert_eq!(parse::<usize>(&f, "k").unwrap(), Some(5));
+        assert_eq!(parse::<f64>(&f, "t").unwrap(), Some(0.2));
+        assert_eq!(parse::<usize>(&f, "absent").unwrap(), None);
+        assert!(parse::<usize>(&f, "t").is_err());
+    }
+
+    #[test]
+    fn build_publisher_for_every_model() {
+        for model in ["kanon", "ldiv", "probldiv", "tclose", "bt"] {
+            let f = flags(&[("model", model), ("k", "3")]);
+            assert!(build_publisher(&f).is_ok(), "{model}");
+        }
+        let sky = flags(&[("model", "skyline"), ("skyline", "0.2:0.3,0.4:0.2")]);
+        assert!(build_publisher(&sky).is_ok());
+        let bad_sky = flags(&[("model", "skyline"), ("skyline", "0.2-0.3")]);
+        assert!(build_publisher(&bad_sky).is_err());
+        let unknown = flags(&[("model", "nope")]);
+        assert!(build_publisher(&unknown).is_err());
+        let missing = flags(&[]);
+        assert!(build_publisher(&missing).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_command() {
+        let args: Vec<String> = vec!["frobnicate".into()];
+        assert!(run(&args).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_and_reload_roundtrip() {
+        let dir = std::env::temp_dir().join("bgkanon_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.csv");
+        let out = path.to_string_lossy().to_string();
+        run(&[
+            "generate".into(),
+            "--rows".into(),
+            "50".into(),
+            "--seed".into(),
+            "1".into(),
+            "--out".into(),
+            out.clone(),
+        ])
+        .unwrap();
+        let f = flags(&[("input", out.as_str())]);
+        let table = load_table(&f).unwrap();
+        assert_eq!(table.len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+}

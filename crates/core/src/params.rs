@@ -1,0 +1,90 @@
+//! The paper's experimental parameter sets (Table V).
+//!
+//! Four privacy-parameter profiles, each fixing `k = ℓ` and pairing a
+//! t-closeness/(B,t) threshold `t` with the table-side bandwidth `b`:
+//!
+//! | profile | k | ℓ | t | b |
+//! |---|---|---|---|---|
+//! | para1 | 3 | 3 | 0.25 | 0.3 |
+//! | para2 | 4 | 4 | 0.20 | 0.3 |
+//! | para3 | 5 | 5 | 0.15 | 0.3 |
+//! | para4 | 6 | 6 | 0.10 | 0.3 |
+
+/// One privacy-parameter profile from Table V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Display name (`para1`…`para4`).
+    pub name: &'static str,
+    /// k-anonymity parameter (enforced together with every model).
+    pub k: usize,
+    /// ℓ-diversity parameter.
+    pub l: usize,
+    /// Threshold for t-closeness and (B,t)-privacy.
+    pub t: f64,
+    /// Table-side bandwidth for (B,t)-privacy.
+    pub b: f64,
+}
+
+/// `para1 = (3, 3, 0.25, 0.3)`.
+pub const PARA1: PaperParams = PaperParams {
+    name: "para1",
+    k: 3,
+    l: 3,
+    t: 0.25,
+    b: 0.3,
+};
+
+/// `para2 = (4, 4, 0.2, 0.3)`.
+pub const PARA2: PaperParams = PaperParams {
+    name: "para2",
+    k: 4,
+    l: 4,
+    t: 0.2,
+    b: 0.3,
+};
+
+/// `para3 = (5, 5, 0.15, 0.3)`.
+pub const PARA3: PaperParams = PaperParams {
+    name: "para3",
+    k: 5,
+    l: 5,
+    t: 0.15,
+    b: 0.3,
+};
+
+/// `para4 = (6, 6, 0.1, 0.3)`.
+pub const PARA4: PaperParams = PaperParams {
+    name: "para4",
+    k: 6,
+    l: 6,
+    t: 0.1,
+    b: 0.3,
+};
+
+/// All four profiles in order.
+pub const ALL_PARAMS: [PaperParams; 4] = [PARA1, PARA2, PARA3, PARA4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_values() {
+        assert_eq!(ALL_PARAMS.len(), 4);
+        for (i, p) in ALL_PARAMS.iter().enumerate() {
+            assert_eq!(p.k, i + 3);
+            assert_eq!(p.l, p.k);
+            assert_eq!(p.b, 0.3);
+        }
+        assert_eq!(PARA1.t, 0.25);
+        assert_eq!(PARA4.t, 0.1);
+        assert_eq!(PARA2.name, "para2");
+    }
+
+    #[test]
+    fn t_decreases_with_stringency() {
+        for w in ALL_PARAMS.windows(2) {
+            assert!(w[0].t > w[1].t);
+        }
+    }
+}

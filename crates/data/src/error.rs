@@ -1,0 +1,120 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors raised while building schemas, tables, or parsing data files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute domain was empty or otherwise malformed.
+    InvalidDomain {
+        /// Attribute name.
+        attribute: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A value code was outside the attribute's domain `0..r`.
+    CodeOutOfRange {
+        /// Attribute name.
+        attribute: String,
+        /// The offending code.
+        code: u32,
+        /// The domain size of the attribute.
+        domain_size: u32,
+    },
+    /// A textual value did not belong to the attribute's domain.
+    UnknownValue {
+        /// Attribute name.
+        attribute: String,
+        /// The unrecognized textual value.
+        value: String,
+    },
+    /// A row had the wrong number of fields.
+    ArityMismatch {
+        /// Expected number of fields (QI attributes + 1 sensitive).
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+        /// 1-based line number when parsing a file, 0 for API misuse.
+        line: usize,
+    },
+    /// A hierarchy was structurally invalid (e.g. a leaf set that does not
+    /// cover the attribute domain exactly once).
+    InvalidHierarchy {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The operation requires a non-empty table.
+    EmptyTable,
+    /// An I/O error occurred while reading or writing a data file.
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidDomain { attribute, reason } => {
+                write!(f, "invalid domain for attribute `{attribute}`: {reason}")
+            }
+            DataError::CodeOutOfRange {
+                attribute,
+                code,
+                domain_size,
+            } => write!(
+                f,
+                "code {code} out of range for attribute `{attribute}` (domain size {domain_size})"
+            ),
+            DataError::UnknownValue { attribute, value } => {
+                write!(f, "unknown value `{value}` for attribute `{attribute}`")
+            }
+            DataError::ArityMismatch {
+                expected,
+                found,
+                line,
+            } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            DataError::InvalidHierarchy { reason } => write!(f, "invalid hierarchy: {reason}"),
+            DataError::EmptyTable => write!(f, "operation requires a non-empty table"),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::CodeOutOfRange {
+            attribute: "Age".into(),
+            code: 99,
+            domain_size: 74,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Age"));
+        assert!(msg.contains("99"));
+        assert!(msg.contains("74"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DataError::EmptyTable, DataError::EmptyTable);
+        assert_ne!(DataError::EmptyTable, DataError::Io("x".into()));
+    }
+}

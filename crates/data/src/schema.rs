@@ -1,0 +1,140 @@
+//! Table schema: quasi-identifier attributes plus one sensitive attribute.
+
+use crate::attribute::Attribute;
+use crate::distance::DistanceMatrix;
+use crate::error::DataError;
+
+/// Schema of a microdata table: `d` quasi-identifier attributes and a single
+/// sensitive attribute `S` (§II.A). Precomputes the per-attribute semantic
+/// [`DistanceMatrix`] for both the QI attributes and the sensitive attribute.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    qi: Vec<Attribute>,
+    sensitive: Attribute,
+    qi_distances: Vec<DistanceMatrix>,
+    sensitive_distance: DistanceMatrix,
+}
+
+impl Schema {
+    /// Build a schema from QI attributes and the sensitive attribute.
+    pub fn new(qi: Vec<Attribute>, sensitive: Attribute) -> Result<Self, DataError> {
+        let sensitive_distance = DistanceMatrix::for_attribute(&sensitive);
+        Schema::with_sensitive_distance(qi, sensitive, sensitive_distance)
+    }
+
+    /// Build a schema with a publisher-supplied sensitive distance matrix
+    /// (§II.C allows the data publisher to specify the matrix directly; the
+    /// joint-sensitive-attribute construction in
+    /// [`crate::joint`] relies on this).
+    pub fn with_sensitive_distance(
+        qi: Vec<Attribute>,
+        sensitive: Attribute,
+        sensitive_distance: DistanceMatrix,
+    ) -> Result<Self, DataError> {
+        if qi.is_empty() {
+            return Err(DataError::InvalidDomain {
+                attribute: "<schema>".into(),
+                reason: "schema requires at least one quasi-identifier attribute".into(),
+            });
+        }
+        if sensitive_distance.size() != sensitive.domain_size() as usize {
+            return Err(DataError::InvalidDomain {
+                attribute: sensitive.name().to_owned(),
+                reason: format!(
+                    "distance matrix size {} does not match sensitive domain {}",
+                    sensitive_distance.size(),
+                    sensitive.domain_size()
+                ),
+            });
+        }
+        let qi_distances = qi.iter().map(DistanceMatrix::for_attribute).collect();
+        Ok(Schema {
+            qi,
+            sensitive,
+            qi_distances,
+            sensitive_distance,
+        })
+    }
+
+    /// Number of quasi-identifier attributes `d`.
+    pub fn qi_count(&self) -> usize {
+        self.qi.len()
+    }
+
+    /// The QI attributes in order.
+    pub fn qi_attributes(&self) -> &[Attribute] {
+        &self.qi
+    }
+
+    /// The `i`-th QI attribute.
+    pub fn qi_attribute(&self, i: usize) -> &Attribute {
+        &self.qi[i]
+    }
+
+    /// The sensitive attribute `S`.
+    pub fn sensitive_attribute(&self) -> &Attribute {
+        &self.sensitive
+    }
+
+    /// Domain size `m` of the sensitive attribute.
+    pub fn sensitive_domain_size(&self) -> usize {
+        self.sensitive.domain_size() as usize
+    }
+
+    /// Distance matrix of the `i`-th QI attribute.
+    pub fn qi_distance(&self, i: usize) -> &DistanceMatrix {
+        &self.qi_distances[i]
+    }
+
+    /// Distance matrix of the sensitive attribute (used by the paper's
+    /// kernel-smoothed distance measure, §IV-B.2).
+    pub fn sensitive_distance(&self) -> &DistanceMatrix {
+        &self.sensitive_distance
+    }
+
+    /// Index of the QI attribute named `name`, if any.
+    pub fn qi_index(&self, name: &str) -> Option<usize> {
+        self.qi.iter().position(|a| a.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::numeric_range("Age", 20, 70).unwrap(),
+                Attribute::categorical_flat("Sex", &["F", "M"]).unwrap(),
+            ],
+            Attribute::categorical_flat("Disease", &["Flu", "Cancer", "HIV"]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_exposes_attributes() {
+        let s = schema();
+        assert_eq!(s.qi_count(), 2);
+        assert_eq!(s.qi_attribute(0).name(), "Age");
+        assert_eq!(s.sensitive_attribute().name(), "Disease");
+        assert_eq!(s.sensitive_domain_size(), 3);
+        assert_eq!(s.qi_index("Sex"), Some(1));
+        assert_eq!(s.qi_index("Disease"), None);
+    }
+
+    #[test]
+    fn schema_precomputes_distances() {
+        let s = schema();
+        assert_eq!(s.qi_distance(0).size(), 51);
+        assert_eq!(s.qi_distance(1).get(0, 1), 1.0);
+        assert_eq!(s.sensitive_distance().size(), 3);
+    }
+
+    #[test]
+    fn schema_requires_qi() {
+        let r = Schema::new(vec![], Attribute::categorical_flat("S", &["a"]).unwrap());
+        assert!(r.is_err());
+    }
+}

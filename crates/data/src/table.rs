@@ -1,0 +1,324 @@
+//! The microdata [`Table`]: encoded rows over a [`Schema`].
+//!
+//! Rows are stored row-major in a flat `Vec<u32>` (QI codes) plus a parallel
+//! `Vec<u32>` of sensitive codes, which keeps scans cache-friendly for the
+//! kernel estimator and Mondrian partitioner.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::DataError;
+use crate::schema::Schema;
+
+/// An immutable, validated microdata table.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_data::{Attribute, Schema, TableBuilder};
+///
+/// let schema = Arc::new(Schema::new(
+///     vec![Attribute::numeric_range("Age", 20, 60).unwrap()],
+///     Attribute::categorical_flat("Disease", &["Flu", "HIV"]).unwrap(),
+/// ).unwrap());
+/// let mut builder = TableBuilder::new(schema);
+/// builder.push_text(&["25", "Flu"]).unwrap();
+/// builder.push_text(&["40", "HIV"]).unwrap();
+/// let table = builder.build().unwrap();
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.sensitive_distribution(), vec![0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    /// Row-major QI codes: `qi_data[row * d + attr]`.
+    qi_data: Vec<u32>,
+    /// Sensitive code per row.
+    sensitive: Vec<u32>,
+}
+
+/// A borrowed view of one tuple: its QI codes and sensitive code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleRef<'a> {
+    /// QI codes in attribute order.
+    pub qi: &'a [u32],
+    /// Sensitive attribute code.
+    pub sensitive: u32,
+}
+
+impl Table {
+    /// Number of rows `n`.
+    pub fn len(&self) -> usize {
+        self.sensitive.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.sensitive.is_empty()
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of QI attributes `d`.
+    pub fn qi_count(&self) -> usize {
+        self.schema.qi_count()
+    }
+
+    /// QI codes of row `row`.
+    #[inline]
+    pub fn qi(&self, row: usize) -> &[u32] {
+        let d = self.schema.qi_count();
+        &self.qi_data[row * d..(row + 1) * d]
+    }
+
+    /// QI code of row `row` on attribute `attr`.
+    #[inline]
+    pub fn qi_value(&self, row: usize, attr: usize) -> u32 {
+        self.qi_data[row * self.schema.qi_count() + attr]
+    }
+
+    /// Sensitive code of row `row`.
+    #[inline]
+    pub fn sensitive_value(&self, row: usize) -> u32 {
+        self.sensitive[row]
+    }
+
+    /// Borrowed view of row `row`.
+    pub fn tuple(&self, row: usize) -> TupleRef<'_> {
+        TupleRef {
+            qi: self.qi(row),
+            sensitive: self.sensitive[row],
+        }
+    }
+
+    /// Iterate over all tuples in row order.
+    pub fn tuples(&self) -> impl Iterator<Item = TupleRef<'_>> + '_ {
+        (0..self.len()).map(move |r| self.tuple(r))
+    }
+
+    /// Counts of each sensitive value over the whole table
+    /// (`counts[s]` = number of rows with sensitive code `s`).
+    pub fn sensitive_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.schema.sensitive_domain_size()];
+        for &s in &self.sensitive {
+            counts[s as usize] += 1;
+        }
+        counts
+    }
+
+    /// The overall distribution `Q` of the sensitive attribute — the
+    /// t-closeness reference distribution.
+    pub fn sensitive_distribution(&self) -> Vec<f64> {
+        let counts = self.sensitive_counts();
+        let n = self.len() as f64;
+        counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Counts of each sensitive value restricted to `rows`.
+    pub fn sensitive_counts_in(&self, rows: &[usize]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.schema.sensitive_domain_size()];
+        for &r in rows {
+            counts[self.sensitive[r] as usize] += 1;
+        }
+        counts
+    }
+
+    /// Group rows by identical QI combinations. Returns a map from the QI
+    /// code vector to the list of row indices carrying it. This is the
+    /// "distinct QI folding" used by the kernel estimator.
+    pub fn group_by_qi(&self) -> HashMap<Box<[u32]>, Vec<usize>> {
+        let mut map: HashMap<Box<[u32]>, Vec<usize>> = HashMap::new();
+        for r in 0..self.len() {
+            map.entry(self.qi(r).into()).or_default().push(r);
+        }
+        map
+    }
+
+    /// Restrict the table to `rows` (in the given order), producing a new
+    /// table sharing the schema. Useful for sampled experiments.
+    pub fn subset(&self, rows: &[usize]) -> Table {
+        let d = self.schema.qi_count();
+        let mut qi_data = Vec::with_capacity(rows.len() * d);
+        let mut sensitive = Vec::with_capacity(rows.len());
+        for &r in rows {
+            qi_data.extend_from_slice(self.qi(r));
+            sensitive.push(self.sensitive[r]);
+        }
+        Table {
+            schema: Arc::clone(&self.schema),
+            qi_data,
+            sensitive,
+        }
+    }
+
+    /// Take the first `n` rows (or all rows if fewer).
+    pub fn head(&self, n: usize) -> Table {
+        let rows: Vec<usize> = (0..self.len().min(n)).collect();
+        self.subset(&rows)
+    }
+}
+
+/// Row-by-row builder for [`Table`], validating codes against the schema.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Arc<Schema>,
+    qi_data: Vec<u32>,
+    sensitive: Vec<u32>,
+}
+
+impl TableBuilder {
+    /// Start building a table over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        TableBuilder {
+            schema,
+            qi_data: Vec::new(),
+            sensitive: Vec::new(),
+        }
+    }
+
+    /// Append a row of already-encoded codes.
+    pub fn push_codes(&mut self, qi: &[u32], sensitive: u32) -> Result<(), DataError> {
+        if qi.len() != self.schema.qi_count() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.qi_count() + 1,
+                found: qi.len() + 1,
+                line: 0,
+            });
+        }
+        for (i, &code) in qi.iter().enumerate() {
+            self.schema.qi_attribute(i).check_code(code)?;
+        }
+        self.schema.sensitive_attribute().check_code(sensitive)?;
+        self.qi_data.extend_from_slice(qi);
+        self.sensitive.push(sensitive);
+        Ok(())
+    }
+
+    /// Append a row of textual values (QI values then the sensitive value).
+    pub fn push_text(&mut self, fields: &[&str]) -> Result<(), DataError> {
+        let d = self.schema.qi_count();
+        if fields.len() != d + 1 {
+            return Err(DataError::ArityMismatch {
+                expected: d + 1,
+                found: fields.len(),
+                line: 0,
+            });
+        }
+        let mut qi = Vec::with_capacity(d);
+        for (i, f) in fields[..d].iter().enumerate() {
+            qi.push(self.schema.qi_attribute(i).encode(f)?);
+        }
+        let s = self.schema.sensitive_attribute().encode(fields[d])?;
+        self.push_codes(&qi, s)
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.sensitive.len()
+    }
+
+    /// True if no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.sensitive.is_empty()
+    }
+
+    /// Finish building. Fails on an empty table.
+    pub fn build(self) -> Result<Table, DataError> {
+        if self.sensitive.is_empty() {
+            return Err(DataError::EmptyTable);
+        }
+        Ok(Table {
+            schema: self.schema,
+            qi_data: self.qi_data,
+            sensitive: self.sensitive,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                vec![
+                    Attribute::numeric_range("Age", 20, 70).unwrap(),
+                    Attribute::categorical_flat("Sex", &["F", "M"]).unwrap(),
+                ],
+                Attribute::categorical_flat("Disease", &["Flu", "Cancer", "HIV"]).unwrap(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(schema());
+        b.push_text(&["25", "F", "Flu"]).unwrap();
+        b.push_text(&["25", "F", "Cancer"]).unwrap();
+        b.push_text(&["60", "M", "HIV"]).unwrap();
+        b.push_text(&["60", "M", "Flu"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.qi_count(), 2);
+        assert_eq!(t.qi(0), &[5, 0]);
+        assert_eq!(t.sensitive_value(2), 2);
+        assert_eq!(t.tuple(3).qi, &[40, 1]);
+        assert_eq!(t.tuples().count(), 4);
+    }
+
+    #[test]
+    fn sensitive_statistics() {
+        let t = sample();
+        assert_eq!(t.sensitive_counts(), vec![2, 1, 1]);
+        let q = t.sensitive_distribution();
+        assert_eq!(q, vec![0.5, 0.25, 0.25]);
+        assert_eq!(t.sensitive_counts_in(&[0, 1]), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn group_by_qi_folds_duplicates() {
+        let t = sample();
+        let g = t.group_by_qi();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[&Box::from([5u32, 0u32])], vec![0, 1]);
+        assert_eq!(g[&Box::from([40u32, 1u32])], vec![2, 3]);
+    }
+
+    #[test]
+    fn subset_and_head() {
+        let t = sample();
+        let s = t.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sensitive_value(0), 2);
+        assert_eq!(s.qi(1), &[5, 0]);
+        assert_eq!(t.head(3).len(), 3);
+        assert_eq!(t.head(100).len(), 4);
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let mut b = TableBuilder::new(schema());
+        assert!(b.push_text(&["25", "F"]).is_err());
+        assert!(b.push_text(&["25", "X", "Flu"]).is_err());
+        assert!(b.push_codes(&[0], 0).is_err());
+        assert!(b.push_codes(&[0, 5], 0).is_err());
+        assert!(b.push_codes(&[0, 0], 9).is_err());
+        assert!(b.is_empty());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        let b = TableBuilder::new(schema());
+        assert!(matches!(b.build(), Err(DataError::EmptyTable)));
+    }
+}

@@ -1,0 +1,154 @@
+//! A released group as the adversary sees it: per-tuple priors plus the
+//! group's sensitive-value multiset.
+
+use bgkanon_data::Table;
+use bgkanon_stats::Dist;
+
+/// The adversary's view of one anonymized group `E` with sensitive multiset
+/// `S` (§III.C): `priors[j]` is her prior belief about tuple `t_j`, and
+/// `counts[s]` is the multiplicity `n_s` of sensitive value `s` in `S`.
+#[derive(Debug, Clone)]
+pub struct GroupPriors {
+    priors: Vec<Dist>,
+    counts: Vec<u32>,
+}
+
+impl GroupPriors {
+    /// Build from explicit priors and the actual sensitive codes of the
+    /// group members (the codes are collapsed into the multiset — their
+    /// association with particular tuples is exactly what the adversary does
+    /// *not* know).
+    pub fn new(priors: Vec<Dist>, sensitive_codes: &[u32]) -> Self {
+        assert!(!priors.is_empty(), "group must be non-empty");
+        assert_eq!(
+            priors.len(),
+            sensitive_codes.len(),
+            "one sensitive code per tuple"
+        );
+        let m = priors[0].len();
+        assert!(
+            priors.iter().all(|p| p.len() == m),
+            "all priors share the sensitive domain"
+        );
+        let mut counts = vec![0u32; m];
+        for &s in sensitive_codes {
+            assert!((s as usize) < m, "sensitive code out of domain");
+            counts[s as usize] += 1;
+        }
+        GroupPriors { priors, counts }
+    }
+
+    /// Build from explicit priors and a precomputed multiset histogram.
+    pub fn from_counts(priors: Vec<Dist>, counts: Vec<u32>) -> Self {
+        assert!(!priors.is_empty(), "group must be non-empty");
+        let m = priors[0].len();
+        assert_eq!(counts.len(), m, "counts dimension mismatch");
+        let k: u32 = counts.iter().sum();
+        assert_eq!(k as usize, priors.len(), "multiset size = group size");
+        GroupPriors { priors, counts }
+    }
+
+    /// Build the adversary's view of rows `rows` of `table`, with
+    /// `prior_of(qi)` supplying her prior for each QI combination.
+    pub fn from_table_rows<'a, F>(table: &'a Table, rows: &[usize], mut prior_of: F) -> Self
+    where
+        F: FnMut(&'a [u32]) -> Dist,
+    {
+        assert!(!rows.is_empty(), "group must be non-empty");
+        let priors: Vec<Dist> = rows.iter().map(|&r| prior_of(table.qi(r))).collect();
+        let codes: Vec<u32> = rows.iter().map(|&r| table.sensitive_value(r)).collect();
+        GroupPriors::new(priors, &codes)
+    }
+
+    /// Group size `k`.
+    pub fn len(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// True when the group is empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.priors.is_empty()
+    }
+
+    /// Sensitive domain size `m`.
+    pub fn domain_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Prior of tuple `j`.
+    pub fn prior(&self, j: usize) -> &Dist {
+        &self.priors[j]
+    }
+
+    /// All priors in tuple order.
+    pub fn priors(&self) -> &[Dist] {
+        &self.priors
+    }
+
+    /// The multiset histogram `n_s`.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The empirical (bucket) distribution `n_s / k` — what an adversary
+    /// with no background knowledge concludes for every tuple.
+    pub fn bucket_distribution(&self) -> Dist {
+        Dist::from_counts(&self.counts).expect("group is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+
+    fn d(v: &[f64]) -> Dist {
+        Dist::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn constructor_builds_multiset() {
+        let g = GroupPriors::new(
+            vec![d(&[0.5, 0.5]), d(&[0.9, 0.1]), d(&[0.2, 0.8])],
+            &[1, 1, 0],
+        );
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.counts(), &[1, 2]);
+        assert_eq!(g.domain_size(), 2);
+        let b = g.bucket_distribution();
+        assert!((b.get(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_table_rows_uses_prior_fn() {
+        let t = toy::hospital_table();
+        let g = GroupPriors::from_table_rows(&t, &[0, 1, 2], |_qi| Dist::uniform(4));
+        assert_eq!(g.len(), 3);
+        // Rows 0..2 carry Emphysema, Cancer, Flu.
+        assert_eq!(g.counts(), &[1, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group must be non-empty")]
+    fn empty_group_rejected() {
+        let _ = GroupPriors::new(vec![], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sensitive code per tuple")]
+    fn mismatched_codes_rejected() {
+        let _ = GroupPriors::new(vec![d(&[1.0, 0.0])], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitive code out of domain")]
+    fn out_of_domain_code_rejected() {
+        let _ = GroupPriors::new(vec![d(&[1.0, 0.0])], &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiset size")]
+    fn from_counts_validates_size() {
+        let _ = GroupPriors::from_counts(vec![d(&[1.0, 0.0])], vec![1, 1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bgkanon-inference
+//!
+//! Computing the adversary's posterior belief (§III of the paper).
+//!
+//! After anonymization the adversary knows, for each released group `E`, the
+//! multiset `S` of sensitive values it carries, but not the mapping between
+//! tuples and values. Combining her prior beliefs with Bayes' rule gives the
+//! posterior `P*(s_i | t_j)`:
+//!
+//! * [`exact`] implements the general formula (Eq. 3–4), whose likelihood
+//!   term is a matrix permanent — exponential, but exact; used for small
+//!   groups and for validating the approximation;
+//! * [`omega`] implements the Ω-estimate (Eq. 5), the paper's linear-time
+//!   approximation generalizing Lakshmanan et al.'s O-estimate under the
+//!   random-world assumption;
+//! * [`accuracy`] measures the Ω-estimate's average distance error ρ
+//!   (the Fig. 2 experiment);
+//! * [`relational`] implements the paper's §VII future-work extension:
+//!   same-value-family knowledge over a relationship graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod exact;
+pub mod group;
+pub mod omega;
+pub mod relational;
+
+pub use exact::exact_posteriors;
+pub use group::GroupPriors;
+pub use omega::omega_posteriors;
+pub use relational::{relational_posteriors, RelationalKnowledge};

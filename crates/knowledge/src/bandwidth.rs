@@ -1,0 +1,151 @@
+//! The background-knowledge parameter `B` (§II.C, §IV.A).
+//!
+//! `B = (B_1..B_d)` is a per-QI-attribute bandwidth vector over *normalized*
+//! semantic distances, so each `B_i` lives naturally in `(0, 1]` (values
+//! above 1 are allowed and simply widen the kernel past the domain range).
+//! Smaller components mean a more knowledgeable adversary on that attribute.
+
+use std::fmt;
+
+/// A validated bandwidth vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bandwidth(Vec<f64>);
+
+impl Bandwidth {
+    /// Build from per-attribute bandwidths; each must be positive and finite.
+    pub fn new(b: Vec<f64>) -> Result<Self, BandwidthError> {
+        if b.is_empty() {
+            return Err(BandwidthError::Empty);
+        }
+        if let Some(&bad) = b
+            .iter()
+            .find(|&&x| x <= 0.0 || x.is_nan() || !x.is_finite())
+        {
+            return Err(BandwidthError::NonPositive(bad));
+        }
+        Ok(Bandwidth(b))
+    }
+
+    /// The same bandwidth `b` on all `d` attributes — the experiments'
+    /// `B = (b, b, …, b)` convention.
+    pub fn uniform(b: f64, d: usize) -> Result<Self, BandwidthError> {
+        Bandwidth::new(vec![b; d])
+    }
+
+    /// Split-profile constructor used by Fig. 3(b): the first `split`
+    /// attributes get `b1`, the rest get `b2`.
+    pub fn split(b1: f64, b2: f64, split: usize, d: usize) -> Result<Self, BandwidthError> {
+        if split > d {
+            return Err(BandwidthError::BadSplit { split, d });
+        }
+        let mut v = vec![b1; d];
+        for x in v.iter_mut().skip(split) {
+            *x = b2;
+        }
+        Bandwidth::new(v)
+    }
+
+    /// Number of attributes `d`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the vector is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Bandwidth of attribute `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B(")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Errors constructing a [`Bandwidth`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandwidthError {
+    /// Zero-length vector.
+    Empty,
+    /// A non-positive, NaN or infinite component.
+    NonPositive(f64),
+    /// `split > d` in [`Bandwidth::split`].
+    BadSplit {
+        /// Requested split point.
+        split: usize,
+        /// Dimension.
+        d: usize,
+    },
+}
+
+impl fmt::Display for BandwidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BandwidthError::Empty => write!(f, "empty bandwidth vector"),
+            BandwidthError::NonPositive(x) => {
+                write!(f, "bandwidth components must be positive, got {x}")
+            }
+            BandwidthError::BadSplit { split, d } => {
+                write!(f, "split point {split} exceeds dimension {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BandwidthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_constructor() {
+        let b = Bandwidth::uniform(0.3, 6).unwrap();
+        assert_eq!(b.len(), 6);
+        assert!(b.as_slice().iter().all(|&x| x == 0.3));
+    }
+
+    #[test]
+    fn split_constructor_matches_fig3b() {
+        let b = Bandwidth::split(0.2, 0.5, 3, 6).unwrap();
+        assert_eq!(b.as_slice(), &[0.2, 0.2, 0.2, 0.5, 0.5, 0.5]);
+        assert!(Bandwidth::split(0.2, 0.5, 7, 6).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(Bandwidth::new(vec![]), Err(BandwidthError::Empty));
+        assert!(matches!(
+            Bandwidth::new(vec![0.2, 0.0]),
+            Err(BandwidthError::NonPositive(_))
+        ));
+        assert!(matches!(
+            Bandwidth::new(vec![f64::NAN]),
+            Err(BandwidthError::NonPositive(_))
+        ));
+        assert!(Bandwidth::new(vec![0.2, 1.5]).is_ok());
+    }
+
+    #[test]
+    fn display() {
+        let b = Bandwidth::uniform(0.25, 2).unwrap();
+        assert_eq!(format!("{b}"), "B(0.25, 0.25)");
+    }
+}

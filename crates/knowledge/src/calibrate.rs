@@ -1,0 +1,187 @@
+//! Choosing bandwidth profiles: correlation diagnostics for the data
+//! publisher.
+//!
+//! The skyline model (§IV.A) leaves the publisher a design question: *which*
+//! `B` vectors deserve a skyline point? Attributes that carry a lot of
+//! information about the sensitive value are the ones adversaries exploit,
+//! so per-attribute **mutual information** `I(A_i; S)` (and its normalized
+//! form) ranks where small bandwidths matter. [`suggest_skyline`] turns the
+//! diagnostics into a concrete starter skyline.
+
+use bgkanon_data::Table;
+
+/// Correlation diagnostics of one QI attribute against the sensitive
+/// attribute.
+#[derive(Debug, Clone)]
+pub struct AttributeDiagnostics {
+    /// Attribute index.
+    pub attribute: usize,
+    /// Attribute name.
+    pub name: String,
+    /// Mutual information `I(A_i; S)` in bits.
+    pub mutual_information: f64,
+    /// `I(A_i; S) / H(S)` — the fraction of sensitive-attribute entropy the
+    /// attribute explains (0 = independent, 1 = fully determining).
+    pub normalized: f64,
+}
+
+/// Entropy (bits) of a count histogram.
+fn entropy_bits(counts: &[u64]) -> f64 {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Mutual information `I(A_i; S)` for every QI attribute, sorted from most
+/// to least informative.
+pub fn attribute_diagnostics(table: &Table) -> Vec<AttributeDiagnostics> {
+    let schema = table.schema();
+    let m = schema.sensitive_domain_size();
+    let n = table.len() as f64;
+    let h_s = entropy_bits(&table.sensitive_counts());
+
+    let mut out: Vec<AttributeDiagnostics> = (0..table.qi_count())
+        .map(|attr| {
+            let r = schema.qi_attribute(attr).domain_size() as usize;
+            // Joint histogram.
+            let mut joint = vec![0u64; r * m];
+            let mut marginal_a = vec![0u64; r];
+            for row in 0..table.len() {
+                let a = table.qi_value(row, attr) as usize;
+                let s = table.sensitive_value(row) as usize;
+                joint[a * m + s] += 1;
+                marginal_a[a] += 1;
+            }
+            // I(A;S) = H(S) − H(S|A) = H(S) − Σ_a p(a) H(S|A=a).
+            let mut h_s_given_a = 0.0;
+            for a in 0..r {
+                if marginal_a[a] == 0 {
+                    continue;
+                }
+                let pa = marginal_a[a] as f64 / n;
+                h_s_given_a += pa * entropy_bits(&joint[a * m..(a + 1) * m]);
+            }
+            let mi = (h_s - h_s_given_a).max(0.0);
+            AttributeDiagnostics {
+                attribute: attr,
+                name: schema.qi_attribute(attr).name().to_owned(),
+                mutual_information: mi,
+                normalized: if h_s > 0.0 { mi / h_s } else { 0.0 },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.mutual_information
+            .partial_cmp(&a.mutual_information)
+            .expect("MI is finite")
+    });
+    out
+}
+
+/// A starter skyline from the diagnostics: three `(b, t)` points covering
+/// strong, medium and weak adversaries, with thresholds linearly relaxed
+/// for stronger ones (they already know more, so they may be allowed to
+/// learn a little more — Definition 2's usual shape).
+///
+/// `base_t` is the threshold for the weakest adversary (e.g. 0.15); the
+/// returned pairs are sorted by increasing bandwidth.
+pub fn suggest_skyline(table: &Table, base_t: f64) -> Vec<(f64, f64)> {
+    assert!(
+        base_t > 0.0 && base_t.is_finite(),
+        "base threshold must be positive"
+    );
+    let diags = attribute_diagnostics(table);
+    // How concentrated is the information? If a single attribute explains a
+    // large share of H(S), strong (small-b) adversaries deserve attention:
+    // push the strong point lower.
+    let top = diags.first().map(|d| d.normalized).unwrap_or(0.0);
+    let strong_b = if top > 0.2 { 0.15 } else { 0.2 };
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    vec![
+        (strong_b, round3(base_t * 2.0)),
+        (0.3, round3(base_t * 1.5)),
+        (0.5, base_t),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::adult;
+
+    #[test]
+    fn informative_attributes_rank_first() {
+        // In the synthetic Adult model, Education and Gender drive
+        // Occupation strongly; Race barely does.
+        let t = adult::generate(10_000, 42);
+        let diags = attribute_diagnostics(&t);
+        assert_eq!(diags.len(), 6);
+        let rank = |name: &str| diags.iter().position(|d| d.name == name).unwrap();
+        assert!(
+            rank("Education") < rank("Race"),
+            "{:?}",
+            diags
+                .iter()
+                .map(|d| (&d.name, d.mutual_information))
+                .collect::<Vec<_>>()
+        );
+        assert!(rank("Gender") < rank("Race"));
+        for d in &diags {
+            assert!(d.mutual_information >= 0.0);
+            assert!((0.0..=1.0).contains(&d.normalized));
+        }
+    }
+
+    #[test]
+    fn independent_attribute_has_near_zero_mi() {
+        // Race is sampled independently of occupation in the generator.
+        let t = adult::generate(20_000, 42);
+        let diags = attribute_diagnostics(&t);
+        let race = diags.iter().find(|d| d.name == "Race").unwrap();
+        assert!(
+            race.mutual_information < 0.02,
+            "race MI {}",
+            race.mutual_information
+        );
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_point() {
+        assert_eq!(entropy_bits(&[0, 0]), 0.0);
+        assert!((entropy_bits(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy_bits(&[7, 0]), 0.0);
+    }
+
+    #[test]
+    fn suggested_skyline_is_enforceable() {
+        // The suggested skyline must be orderable and usable (b increasing,
+        // t decreasing).
+        let t = adult::generate(400, 3);
+        let sky = suggest_skyline(&t, 0.2);
+        assert_eq!(sky.len(), 3);
+        for w in sky.windows(2) {
+            assert!(w[0].0 < w[1].0, "bandwidths increase");
+            assert!(
+                w[0].1 >= w[1].1,
+                "thresholds relax for stronger adversaries"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base threshold")]
+    fn invalid_base_threshold_rejected() {
+        let t = adult::generate(50, 3);
+        let _ = suggest_skyline(&t, 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Nadaraya–Watson kernel regression estimation of the prior belief
+//! function (Eq. 1–2 of the paper).
+//!
+//! For a QI point `q = (q_1..q_d)` the estimated prior is
+//!
+//! ```text
+//!            Σ_j P(t_j) · Π_i K_i(d_i(q_i, t_j[A_i]))
+//! P̂pri(q) = ─────────────────────────────────────────
+//!            Σ_j        Π_i K_i(d_i(q_i, t_j[A_i]))
+//! ```
+//!
+//! where `P(t_j)` is the point-mass representation of tuple `t_j` and `d_i`
+//! the normalized semantic distance of attribute `A_i`. Implementation
+//! notes:
+//!
+//! * per attribute, kernel weights are precomputed over the full `r × r`
+//!   distance matrix, so each tuple-pair weight is `d` table lookups and
+//!   multiplications;
+//! * rows with identical QI combinations are folded (weight = count), making
+//!   the cost `O(u² · (d + m))` for `u` distinct QI points;
+//! * distinct points are processed in parallel with scoped threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgkanon_data::{Schema, Table};
+use bgkanon_stats::{Dist, Kernel};
+
+use crate::bandwidth::Bandwidth;
+
+/// Which kernel family to instantiate per attribute. The paper uses
+/// Epanechnikov throughout; Uniform recovers the §II.D special cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelFamily {
+    /// The paper's default.
+    #[default]
+    Epanechnikov,
+    /// Box kernel.
+    Uniform,
+    /// Triangular kernel.
+    Triangular,
+}
+
+impl KernelFamily {
+    /// Instantiate a kernel of this family with bandwidth `b`.
+    pub fn kernel(self, b: f64) -> Kernel {
+        match self {
+            KernelFamily::Epanechnikov => Kernel::epanechnikov(b),
+            KernelFamily::Uniform => Kernel::uniform(b),
+            KernelFamily::Triangular => Kernel::triangular(b),
+        }
+    }
+}
+
+/// The estimated prior belief function `P̂pri` of one adversary.
+///
+/// Holds a distribution for every distinct QI combination of the estimation
+/// table; unseen combinations can be estimated on demand with
+/// [`PriorEstimator::estimate_at`].
+#[derive(Debug, Clone)]
+pub struct PriorModel {
+    priors: HashMap<Box<[u32]>, Dist>,
+    /// The whole-table sensitive distribution, used as the zero-weight
+    /// fallback (it is also what Eq. 2 degrades to with maximal bandwidth).
+    table_distribution: Dist,
+}
+
+impl PriorModel {
+    /// Assemble a model from raw parts (the persistence layer and tests use
+    /// this; prefer [`PriorEstimator::estimate`]).
+    pub fn from_parts(priors: HashMap<Box<[u32]>, Dist>, table_distribution: Dist) -> Self {
+        PriorModel {
+            priors,
+            table_distribution,
+        }
+    }
+
+    /// Prior belief for the QI combination `qi`, if it appeared in the
+    /// estimation table.
+    pub fn prior(&self, qi: &[u32]) -> Option<&Dist> {
+        self.priors.get(qi)
+    }
+
+    /// Prior belief for `qi`, falling back to the whole-table distribution
+    /// for combinations outside the estimation table.
+    pub fn prior_or_fallback(&self, qi: &[u32]) -> &Dist {
+        self.priors.get(qi).unwrap_or(&self.table_distribution)
+    }
+
+    /// The whole-table sensitive distribution `Q`.
+    pub fn table_distribution(&self) -> &Dist {
+        &self.table_distribution
+    }
+
+    /// Number of distinct QI combinations covered.
+    pub fn len(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// True if no combinations are covered.
+    pub fn is_empty(&self) -> bool {
+        self.priors.is_empty()
+    }
+
+    /// Iterate over `(qi, prior)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], &Dist)> {
+        self.priors.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+}
+
+/// Configured kernel regression estimator for one bandwidth vector.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_knowledge::{Bandwidth, PriorEstimator};
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let estimator = PriorEstimator::new(
+///     Arc::clone(table.schema()),
+///     Bandwidth::uniform(0.4, 2).unwrap(),
+/// );
+/// let model = estimator.estimate(&table);
+/// // One prior per distinct QI combination; all normalized.
+/// assert_eq!(model.len(), table.group_by_qi().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PriorEstimator {
+    schema: Arc<Schema>,
+    bandwidth: Bandwidth,
+    family: KernelFamily,
+    /// Per attribute, row-major `r × r` kernel weights
+    /// `W_i[a][b] = K_i(d_i(a, b))`.
+    weight_tables: Vec<Vec<f64>>,
+}
+
+impl PriorEstimator {
+    /// Build an estimator for `schema` with bandwidths `bandwidth` (one per
+    /// QI attribute) and the paper's Epanechnikov kernel.
+    pub fn new(schema: Arc<Schema>, bandwidth: Bandwidth) -> Self {
+        Self::with_family(schema, bandwidth, KernelFamily::Epanechnikov)
+    }
+
+    /// Build with an explicit kernel family.
+    pub fn with_family(schema: Arc<Schema>, bandwidth: Bandwidth, family: KernelFamily) -> Self {
+        assert_eq!(
+            bandwidth.len(),
+            schema.qi_count(),
+            "bandwidth dimension {} must equal the number of QI attributes {}",
+            bandwidth.len(),
+            schema.qi_count()
+        );
+        let weight_tables = (0..schema.qi_count())
+            .map(|i| {
+                let kernel = family.kernel(bandwidth.get(i));
+                let dist = schema.qi_distance(i);
+                let r = dist.size();
+                let mut table = vec![0.0f64; r * r];
+                for a in 0..r {
+                    let row = dist.row(a as u32);
+                    for (b, &d) in row.iter().enumerate() {
+                        table[a * r + b] = kernel.weight(d);
+                    }
+                }
+                table
+            })
+            .collect();
+        PriorEstimator {
+            schema,
+            bandwidth,
+            family,
+            weight_tables,
+        }
+    }
+
+    /// The bandwidth vector `B`.
+    pub fn bandwidth(&self) -> &Bandwidth {
+        &self.bandwidth
+    }
+
+    /// The kernel family in use.
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// Product kernel weight `Π_i K_i(d_i(a_i, b_i))` between two QI points.
+    #[inline]
+    fn pair_weight(&self, a: &[u32], b: &[u32]) -> f64 {
+        let mut w = 1.0;
+        for (i, table) in self.weight_tables.iter().enumerate() {
+            let r = self.schema.qi_distance(i).size();
+            w *= table[a[i] as usize * r + b[i] as usize];
+            if w == 0.0 {
+                return 0.0;
+            }
+        }
+        w
+    }
+
+    /// Estimate the full prior model over every distinct QI combination in
+    /// `table`, in parallel.
+    pub fn estimate(&self, table: &Table) -> PriorModel {
+        let m = self.schema.sensitive_domain_size();
+        // Fold identical QI combinations.
+        let folded = fold_table(table, m);
+        let points: Vec<&FoldedPoint> = folded.iter().collect();
+        let n_points = points.len();
+
+        let table_distribution =
+            Dist::new(table.sensitive_distribution()).expect("table distribution is valid");
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_points.max(1));
+        let chunk = n_points.div_ceil(threads);
+
+        let mut results: Vec<Option<Dist>> = vec![None; n_points];
+        crossbeam::scope(|scope| {
+            for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+                let points = &points;
+                let fallback = &table_distribution;
+                let this = &*self;
+                scope.spawn(move |_| {
+                    let start = t * chunk;
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        let q = points[start + off];
+                        *slot = Some(this.estimate_folded(&q.qi, points, m, fallback));
+                    }
+                });
+            }
+        })
+        .expect("estimation threads do not panic");
+
+        let priors = folded
+            .iter()
+            .zip(results)
+            .map(|(p, d)| (p.qi.clone(), d.expect("filled by thread")))
+            .collect();
+        PriorModel {
+            priors,
+            table_distribution,
+        }
+    }
+
+    /// Estimate the prior at one (possibly unseen) QI point `q` against
+    /// `table`.
+    pub fn estimate_at(&self, table: &Table, q: &[u32]) -> Dist {
+        assert_eq!(q.len(), self.schema.qi_count(), "QI arity mismatch");
+        let m = self.schema.sensitive_domain_size();
+        let folded = fold_table(table, m);
+        let points: Vec<&FoldedPoint> = folded.iter().collect();
+        let fallback =
+            Dist::new(table.sensitive_distribution()).expect("table distribution is valid");
+        self.estimate_folded(q, &points, m, &fallback)
+    }
+
+    fn estimate_folded(
+        &self,
+        q: &[u32],
+        points: &[&FoldedPoint],
+        m: usize,
+        fallback: &Dist,
+    ) -> Dist {
+        let mut numer = vec![0.0f64; m];
+        let mut denom = 0.0f64;
+        for p in points {
+            let w = self.pair_weight(q, &p.qi);
+            if w > 0.0 {
+                denom += w * p.count as f64;
+                for (s, &c) in p.sensitive_counts.iter().enumerate() {
+                    if c > 0 {
+                        numer[s] += w * f64::from(c);
+                    }
+                }
+            }
+        }
+        if denom <= 0.0 {
+            // No point of the table inside the kernel support (possible only
+            // for q outside the table with small bandwidths).
+            return fallback.clone();
+        }
+        for x in numer.iter_mut() {
+            *x /= denom;
+        }
+        Dist::new(numer).unwrap_or_else(|_| fallback.clone())
+    }
+}
+
+/// A distinct QI combination with its multiplicity and sensitive histogram.
+#[derive(Debug, Clone)]
+struct FoldedPoint {
+    qi: Box<[u32]>,
+    count: u32,
+    sensitive_counts: Vec<u32>,
+}
+
+fn fold_table(table: &Table, m: usize) -> Vec<FoldedPoint> {
+    let mut map: HashMap<Box<[u32]>, FoldedPoint> = HashMap::new();
+    for row in 0..table.len() {
+        let qi: Box<[u32]> = table.qi(row).into();
+        let s = table.sensitive_value(row) as usize;
+        let entry = map.entry(qi.clone()).or_insert_with(|| FoldedPoint {
+            qi,
+            count: 0,
+            sensitive_counts: vec![0; m],
+        });
+        entry.count += 1;
+        entry.sensitive_counts[s] += 1;
+    }
+    let mut v: Vec<FoldedPoint> = map.into_values().collect();
+    // Deterministic order (parallel chunking must be reproducible).
+    v.sort_by(|a, b| a.qi.cmp(&b.qi));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+
+    fn hospital() -> Table {
+        toy::hospital_table()
+    }
+
+    #[test]
+    fn priors_are_distributions() {
+        let t = hospital();
+        let b = Bandwidth::uniform(0.3, 2).unwrap();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), b);
+        let model = est.estimate(&t);
+        assert!(!model.is_empty());
+        for (_, p) in model.iter() {
+            let sum: f64 = p.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.as_slice().iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_kernel_full_bandwidth_gives_table_distribution() {
+        // §II.D: uniform kernel with B = the whole (normalized) range makes
+        // every tuple weight equal, so the prior is the table distribution.
+        let t = hospital();
+        let b = Bandwidth::uniform(1.0, 2).unwrap();
+        let est = PriorEstimator::with_family(Arc::clone(t.schema()), b, KernelFamily::Uniform);
+        let model = est.estimate(&t);
+        let q = model.table_distribution();
+        for (_, p) in model.iter() {
+            assert!(
+                p.max_abs_diff(q) < 1e-12,
+                "prior {p} should equal table distribution {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_bandwidth_recovers_mle() {
+        // B → 0: only exact QI matches carry weight, so the prior equals the
+        // empirical distribution among tuples sharing the QI combination.
+        let t = hospital();
+        let b = Bandwidth::uniform(1e-6, 2).unwrap();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), b);
+        let model = est.estimate(&t);
+        // Row 2 (52, F, Flu) and row 8 (52, M, Gastritis) have unique QI
+        // combos → point masses on their own sensitive values.
+        let p = model.prior(t.qi(2)).unwrap();
+        assert!((p.get(2) - 1.0).abs() < 1e-9, "expected point mass on Flu");
+        let p8 = model.prior(t.qi(8)).unwrap();
+        assert!((p8.get(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_bandwidth_is_more_informed() {
+        // The 69-year-old male (row 0) has Emphysema. A small-bandwidth
+        // adversary assigns Emphysema higher prior probability at his QI
+        // point than a large-bandwidth adversary.
+        let t = hospital();
+        let mk = |b: f64| {
+            let est =
+                PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(b, 2).unwrap());
+            est.estimate(&t).prior(t.qi(0)).unwrap().clone()
+        };
+        let sharp = mk(0.15);
+        let blurry = mk(1.0);
+        assert!(
+            sharp.get(0) > blurry.get(0),
+            "sharp {} vs blurry {}",
+            sharp.get(0),
+            blurry.get(0)
+        );
+    }
+
+    #[test]
+    fn estimate_at_unseen_point_works() {
+        let t = hospital();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.5, 2).unwrap());
+        // Age 60 (code 20), M (code 1) is not in the table.
+        let p = est.estimate_at(&t, &[20, 1]);
+        let sum: f64 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_point_outside_support_falls_back() {
+        let t = hospital();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(1e-6, 2).unwrap());
+        let p = est.estimate_at(&t, &[0, 1]); // age 40, M — nothing within 1e-6
+        assert!(p.max_abs_diff(&model_table_dist(&t)) < 1e-12);
+    }
+
+    fn model_table_dist(t: &Table) -> Dist {
+        Dist::new(t.sensitive_distribution()).unwrap()
+    }
+
+    #[test]
+    fn estimation_is_deterministic_across_runs() {
+        let t = bgkanon_data::adult::generate(300, 5);
+        let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.3, 6).unwrap());
+        let a = est.estimate(&t);
+        let b = est.estimate(&t);
+        for (qi, p) in a.iter() {
+            assert!(p.max_abs_diff(b.prior(qi).unwrap()) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn per_attribute_bandwidths_differ() {
+        // Knowing Age precisely but Sex loosely differs from the converse.
+        let t = hospital();
+        let mk = |b: Vec<f64>| {
+            let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::new(b).unwrap());
+            est.estimate(&t).prior(t.qi(0)).unwrap().clone()
+        };
+        let age_sharp = mk(vec![0.1, 1.0]);
+        let sex_sharp = mk(vec![1.0, 0.1]);
+        assert!(age_sharp.max_abs_diff(&sex_sharp) > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth dimension")]
+    fn dimension_mismatch_panics() {
+        let t = hospital();
+        let _ = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.3, 5).unwrap());
+    }
+
+    #[test]
+    fn kernel_family_constructors() {
+        assert_eq!(
+            KernelFamily::Epanechnikov.kernel(0.5),
+            Kernel::epanechnikov(0.5)
+        );
+        assert_eq!(KernelFamily::Uniform.kernel(0.5), Kernel::uniform(0.5));
+        assert_eq!(
+            KernelFamily::Triangular.kernel(0.5),
+            Kernel::triangular(0.5)
+        );
+    }
+
+    #[test]
+    fn prior_model_fallback_for_unknown_combination() {
+        let t = hospital();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.3, 2).unwrap());
+        let model = est.estimate(&t);
+        // Age 70 (code 30) never occurs in the hospital table.
+        let unknown = [30u32, 0u32];
+        assert!(model.prior(&unknown).is_none());
+        assert_eq!(
+            model.prior_or_fallback(&unknown).as_slice(),
+            model.table_distribution().as_slice()
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Saving and loading estimated prior models.
+//!
+//! Kernel estimation is the expensive step of the (B,t) pipeline
+//! (Fig. 4(b)), and experiments reuse the same adversary across many
+//! releases. [`save_model`]/[`load_model`] persist a [`PriorModel`] as a
+//! line-oriented text file:
+//!
+//! ```text
+//! bgkanon-prior-model v1
+//! dims <d> <m>
+//! table <p_1> … <p_m>
+//! prior <q_1> … <q_d> <p_1> … <p_m>
+//! …
+//! ```
+//!
+//! Entries are written in sorted QI order, so files are byte-stable for a
+//! given model.
+
+use std::io::{BufRead, Write};
+
+use bgkanon_stats::Dist;
+
+use crate::estimator::PriorModel;
+
+/// Magic first line of the format.
+pub const MAGIC: &str = "bgkanon-prior-model v1";
+
+/// Errors from [`load_model`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file (carries a line number and reason).
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fmt_floats(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| format!("{x:.17e}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Write `model` to `writer`.
+pub fn save_model<W: Write>(model: &PriorModel, mut writer: W) -> std::io::Result<()> {
+    // Sort entries for byte-stable output.
+    let mut entries: Vec<(&[u32], &Dist)> = model.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let d = entries.first().map(|(qi, _)| qi.len()).unwrap_or(0);
+    let m = model.table_distribution().len();
+    writeln!(writer, "{MAGIC}")?;
+    writeln!(writer, "dims {d} {m}")?;
+    writeln!(
+        writer,
+        "table {}",
+        fmt_floats(model.table_distribution().as_slice())
+    )?;
+    for (qi, dist) in entries {
+        let codes = qi.iter().map(u32::to_string).collect::<Vec<_>>().join(" ");
+        writeln!(writer, "prior {codes} {}", fmt_floats(dist.as_slice()))?;
+    }
+    Ok(())
+}
+
+/// Read a model previously written by [`save_model`].
+pub fn load_model<R: BufRead>(reader: R) -> Result<PriorModel, PersistError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, first) = lines.next().ok_or(PersistError::Format {
+        line: 1,
+        reason: "empty file".into(),
+    })?;
+    if first?.trim() != MAGIC {
+        return Err(PersistError::Format {
+            line: 1,
+            reason: format!("missing magic `{MAGIC}`"),
+        });
+    }
+    let (_, dims) = lines.next().ok_or(PersistError::Format {
+        line: 2,
+        reason: "missing dims line".into(),
+    })?;
+    let dims = dims?;
+    let mut it = dims.split_whitespace();
+    if it.next() != Some("dims") {
+        return Err(PersistError::Format {
+            line: 2,
+            reason: "expected `dims <d> <m>`".into(),
+        });
+    }
+    let parse_usize = |tok: Option<&str>, line: usize| -> Result<usize, PersistError> {
+        tok.and_then(|t| t.parse().ok())
+            .ok_or(PersistError::Format {
+                line,
+                reason: "bad integer".into(),
+            })
+    };
+    let d = parse_usize(it.next(), 2)?;
+    let m = parse_usize(it.next(), 2)?;
+
+    let parse_dist = |toks: &[&str], line: usize| -> Result<Dist, PersistError> {
+        let p: Result<Vec<f64>, _> = toks.iter().map(|t| t.parse::<f64>()).collect();
+        let p = p.map_err(|_| PersistError::Format {
+            line,
+            reason: "bad float".into(),
+        })?;
+        Dist::new(p).map_err(|e| PersistError::Format {
+            line,
+            reason: format!("invalid distribution: {e}"),
+        })
+    };
+
+    let (_, table_line) = lines.next().ok_or(PersistError::Format {
+        line: 3,
+        reason: "missing table line".into(),
+    })?;
+    let table_line = table_line?;
+    let toks: Vec<&str> = table_line.split_whitespace().collect();
+    if toks.first() != Some(&"table") || toks.len() != m + 1 {
+        return Err(PersistError::Format {
+            line: 3,
+            reason: format!("expected `table` with {m} probabilities"),
+        });
+    }
+    let table_distribution = parse_dist(&toks[1..], 3)?;
+
+    let mut priors = std::collections::HashMap::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.first() != Some(&"prior") || toks.len() != 1 + d + m {
+            return Err(PersistError::Format {
+                line: line_no,
+                reason: format!("expected `prior` with {d} codes and {m} probabilities"),
+            });
+        }
+        let codes: Result<Vec<u32>, _> = toks[1..=d].iter().map(|t| t.parse::<u32>()).collect();
+        let codes = codes.map_err(|_| PersistError::Format {
+            line: line_no,
+            reason: "bad QI code".into(),
+        })?;
+        let dist = parse_dist(&toks[1 + d..], line_no)?;
+        priors.insert(codes.into_boxed_slice(), dist);
+    }
+    Ok(PriorModel::from_parts(priors, table_distribution))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::estimator::PriorEstimator;
+    use std::sync::Arc;
+
+    fn model() -> PriorModel {
+        let t = bgkanon_data::adult::generate(300, 9);
+        PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.3, 6).unwrap())
+            .estimate(&t)
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let m = model();
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        let loaded = load_model(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), m.len());
+        assert!(
+            loaded
+                .table_distribution()
+                .max_abs_diff(m.table_distribution())
+                < 1e-15
+        );
+        for (qi, p) in m.iter() {
+            let q = loaded.prior(qi).expect("entry survives roundtrip");
+            assert!(p.max_abs_diff(q) < 1e-15, "entry {qi:?}");
+        }
+    }
+
+    #[test]
+    fn output_is_byte_stable() {
+        let m = model();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        save_model(&m, &mut a).unwrap();
+        save_model(&m, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_model("not a model\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format { line: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let text = format!("{MAGIC}\ndims 2 3\n");
+        assert!(load_model(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn corrupted_probability_rejected() {
+        let text = format!("{MAGIC}\ndims 1 2\ntable 0.5 0.5\nprior 3 0.9 0.3\n");
+        let err = load_model(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let text = format!("{MAGIC}\ndims 2 2\ntable 0.5 0.5\nprior 3 0.9 0.1\n");
+        assert!(load_model(text.as_bytes()).is_err());
+    }
+}

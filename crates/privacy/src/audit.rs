@@ -1,0 +1,244 @@
+//! Auditing a published grouping against an adversary — the probabilistic
+//! background-knowledge attack of §V.A.
+//!
+//! Given the original table, the published partition into groups, and an
+//! adversary profile, the [`Auditor`] computes every tuple's disclosure risk
+//! `D[Ppri, Ppos]` and reports the worst case plus the number of
+//! **vulnerable tuples** (risk above the threshold `t`) — the quantity
+//! plotted in Fig. 1.
+
+use std::sync::Arc;
+
+use bgkanon_data::Table;
+use bgkanon_inference::{exact_posteriors, omega_posteriors, GroupPriors};
+use bgkanon_knowledge::Adversary;
+use bgkanon_stats::measure::BeliefDistance;
+
+/// Result of auditing one published table against one adversary.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Per-row disclosure risk, indexed like the original table.
+    pub risks: Vec<f64>,
+    /// `max_q D[Ppri, Ppos]` — the worst-case disclosure risk (Fig. 3).
+    pub worst_case: f64,
+    /// Mean risk across tuples.
+    pub mean: f64,
+    /// Number of tuples whose risk exceeds the audit threshold (Fig. 1).
+    pub vulnerable: usize,
+    /// The audit threshold used for `vulnerable`.
+    pub threshold: f64,
+}
+
+impl AuditReport {
+    /// Risk quantile over the audited tuples (`q ∈ [0, 1]`; `q = 0.5` is
+    /// the median, `q = 1.0` the worst case). Ignores uncovered rows.
+    pub fn risk_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut covered: Vec<f64> = self.risks.iter().copied().filter(|r| !r.is_nan()).collect();
+        if covered.is_empty() {
+            return 0.0;
+        }
+        covered.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        let idx = ((covered.len() - 1) as f64 * q).round() as usize;
+        covered[idx]
+    }
+}
+
+/// Replays the attack: prior from the adversary, posterior via the
+/// Ω-estimate over each published group (optionally exact Bayesian
+/// inference for small groups).
+#[derive(Clone)]
+pub struct Auditor {
+    adversary: Arc<Adversary>,
+    measure: Arc<dyn BeliefDistance>,
+    /// Groups of at most this size are audited with exact inference instead
+    /// of the Ω-estimate. 0 disables exact inference.
+    exact_below: usize,
+}
+
+impl Auditor {
+    /// Build from an adversary profile and a belief-distance measure.
+    pub fn new(adversary: Arc<Adversary>, measure: Arc<dyn BeliefDistance>) -> Self {
+        Auditor {
+            adversary,
+            measure,
+            exact_below: 0,
+        }
+    }
+
+    /// Use exact Bayesian inference (instead of the Ω-estimate) for groups
+    /// of at most `k` tuples — slower but removes the approximation error
+    /// quantified in Fig. 2. Keep `k` modest (≤ 16): the exact computation
+    /// is exponential in the number of distinct sensitive values.
+    pub fn use_exact_below(mut self, k: usize) -> Self {
+        self.exact_below = k;
+        self
+    }
+
+    /// The adversary being simulated.
+    pub fn adversary(&self) -> &Arc<Adversary> {
+        &self.adversary
+    }
+
+    /// Disclosure risk of every tuple under the published `groups`
+    /// (disjoint row-index sets covering the table).
+    pub fn tuple_risks(&self, table: &Table, groups: &[Vec<usize>]) -> Vec<f64> {
+        let mut risks = vec![f64::NAN; table.len()];
+        for rows in groups {
+            if rows.is_empty() {
+                continue;
+            }
+            let priors =
+                GroupPriors::from_table_rows(table, rows, |qi| self.adversary.prior(qi).clone());
+            let posteriors = if rows.len() <= self.exact_below {
+                exact_posteriors(&priors)
+            } else {
+                omega_posteriors(&priors)
+            };
+            for (j, &row) in rows.iter().enumerate() {
+                risks[row] = self.measure.distance(priors.prior(j), &posteriors[j]);
+            }
+        }
+        risks
+    }
+
+    /// Full audit with vulnerability threshold `t`.
+    pub fn report(&self, table: &Table, groups: &[Vec<usize>], t: f64) -> AuditReport {
+        let risks = self.tuple_risks(table, groups);
+        let covered: Vec<f64> = risks.iter().copied().filter(|r| !r.is_nan()).collect();
+        let worst_case = covered.iter().copied().fold(0.0, f64::max);
+        let mean = if covered.is_empty() {
+            0.0
+        } else {
+            covered.iter().sum::<f64>() / covered.len() as f64
+        };
+        let vulnerable = covered.iter().filter(|&&r| r > t).count();
+        AuditReport {
+            risks,
+            worst_case,
+            mean,
+            vulnerable,
+            threshold: t,
+        }
+    }
+}
+
+impl std::fmt::Debug for Auditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Auditor")
+            .field("adversary", &self.adversary.label())
+            .field("measure", &self.measure.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+    use bgkanon_knowledge::Bandwidth;
+    use bgkanon_stats::measure::SmoothedJs;
+
+    fn auditor(table: &Table, b: f64) -> Auditor {
+        let adv = Arc::new(Adversary::kernel(
+            table,
+            Bandwidth::uniform(b, table.qi_count()).unwrap(),
+        ));
+        let measure = Arc::new(SmoothedJs::paper_default(
+            table.schema().sensitive_distance(),
+        ));
+        Auditor::new(adv, measure)
+    }
+
+    #[test]
+    fn risks_cover_all_rows() {
+        let t = toy::hospital_table();
+        let a = auditor(&t, 0.3);
+        let risks = a.tuple_risks(&t, &toy::hospital_groups());
+        assert_eq!(risks.len(), t.len());
+        assert!(risks.iter().all(|r| !r.is_nan() && *r >= 0.0));
+    }
+
+    #[test]
+    fn exact_inference_option_changes_small_group_audits() {
+        let t = toy::hospital_table();
+        let a_omega = auditor(&t, 0.3);
+        let a_exact = auditor(&t, 0.3).use_exact_below(16);
+        let groups = toy::hospital_groups();
+        let omega_risks = a_omega.tuple_risks(&t, &groups);
+        let exact_risks = a_exact.tuple_risks(&t, &groups);
+        // Same shape, finite everywhere; generally not identical.
+        assert_eq!(omega_risks.len(), exact_risks.len());
+        assert!(exact_risks.iter().all(|r| r.is_finite()));
+        let max_gap = omega_risks
+            .iter()
+            .zip(&exact_risks)
+            .map(|(o, e)| (o - e).abs())
+            .fold(0.0f64, f64::max);
+        // Fig. 2's bound: the Ω approximation is close to exact.
+        assert!(max_gap < 0.35, "gap {max_gap}");
+    }
+
+    #[test]
+    fn risk_quantiles_are_monotone() {
+        let t = toy::hospital_table();
+        let rep = auditor(&t, 0.3).report(&t, &toy::hospital_groups(), 0.1);
+        let q25 = rep.risk_quantile(0.25);
+        let q50 = rep.risk_quantile(0.5);
+        let q100 = rep.risk_quantile(1.0);
+        assert!(q25 <= q50 && q50 <= q100);
+        assert!((q100 - rep.worst_case).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_consistency() {
+        let t = toy::hospital_table();
+        let a = auditor(&t, 0.3);
+        let rep = a.report(&t, &toy::hospital_groups(), 0.05);
+        assert!(rep.worst_case >= rep.mean);
+        assert!(rep.vulnerable <= t.len());
+        assert_eq!(rep.threshold, 0.05);
+        // Zero threshold makes every tuple with positive risk vulnerable.
+        let rep0 = a.report(&t, &toy::hospital_groups(), 0.0);
+        assert!(rep0.vulnerable >= rep.vulnerable);
+    }
+
+    #[test]
+    fn stronger_adversary_has_higher_worst_case() {
+        // Smaller b (sharper prior) must not learn less in the worst case
+        // than the blunt adversary on this correlated toy table.
+        let t = toy::hospital_table();
+        let sharp = auditor(&t, 0.15).report(&t, &toy::hospital_groups(), 0.1);
+        let blunt = auditor(&t, 0.9).report(&t, &toy::hospital_groups(), 0.1);
+        assert!(
+            sharp.worst_case >= blunt.worst_case - 1e-9,
+            "sharp {} vs blunt {}",
+            sharp.worst_case,
+            blunt.worst_case
+        );
+    }
+
+    #[test]
+    fn uncovered_rows_are_nan_and_ignored() {
+        let t = toy::hospital_table();
+        let a = auditor(&t, 0.3);
+        // Audit only the first group.
+        let rep = a.report(&t, &[vec![0, 1, 2]], 0.01);
+        assert!(rep.risks[0].is_finite());
+        assert!(rep.risks[5].is_nan());
+        assert!(rep.vulnerable <= 3);
+    }
+
+    #[test]
+    fn singleton_groups_fully_disclose() {
+        // Publishing each tuple alone: posterior = point mass; risk maximal
+        // among all groupings for this adversary/measure.
+        let t = toy::hospital_table();
+        let a = auditor(&t, 0.3);
+        let singletons: Vec<Vec<usize>> = (0..t.len()).map(|r| vec![r]).collect();
+        let alone = a.report(&t, &singletons, 0.05);
+        let grouped = a.report(&t, &toy::hospital_groups(), 0.05);
+        assert!(alone.worst_case >= grouped.worst_case);
+        assert!(alone.vulnerable >= grouped.vulnerable);
+    }
+}

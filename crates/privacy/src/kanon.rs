@@ -1,0 +1,67 @@
+//! k-anonymity: protection against identity disclosure.
+//!
+//! Each released group (equivalence class) must contain at least `k`
+//! records. The experiments enforce k-anonymity *together with* each
+//! attribute-disclosure model (§V: "we also enforce k-anonymity ... together
+//! with each of the above privacy models", with `k = ℓ`).
+
+use crate::requirement::{GroupView, PrivacyRequirement};
+
+/// The k-anonymity requirement.
+#[derive(Debug, Clone, Copy)]
+pub struct KAnonymity {
+    k: usize,
+}
+
+impl KAnonymity {
+    /// Require every group to contain at least `k ≥ 1` records.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KAnonymity { k }
+    }
+
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl PrivacyRequirement for KAnonymity {
+    fn name(&self) -> String {
+        format!("{}-anonymity", self.k)
+    }
+
+    fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
+        group.len() >= self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+
+    #[test]
+    fn threshold_behaviour() {
+        let t = toy::hospital_table();
+        let rows: Vec<usize> = (0..3).collect();
+        let mut buf = Vec::new();
+        let g = GroupView::compute(&t, &rows, &mut buf);
+        assert!(KAnonymity::new(3).is_satisfied(&g));
+        assert!(!KAnonymity::new(4).is_satisfied(&g));
+        assert!(KAnonymity::new(1).is_satisfied(&g));
+    }
+
+    #[test]
+    fn name_and_accessor() {
+        let k = KAnonymity::new(5);
+        assert_eq!(k.name(), "5-anonymity");
+        assert_eq!(k.k(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = KAnonymity::new(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The ℓ-diversity family (Machanavajjhala et al., cited as \[3\]).
+//!
+//! * **Distinct ℓ-diversity**: each group carries at least `ℓ` distinct
+//!   sensitive values.
+//! * **Probabilistic ℓ-diversity**: the most frequent sensitive value in
+//!   each group has relative frequency at most `1/ℓ` — equivalently, a
+//!   no-background-knowledge adversary's posterior confidence stays below
+//!   `1/ℓ`.
+
+use crate::requirement::{GroupView, PrivacyRequirement};
+
+/// Distinct ℓ-diversity.
+#[derive(Debug, Clone, Copy)]
+pub struct DistinctLDiversity {
+    l: usize,
+}
+
+impl DistinctLDiversity {
+    /// Require at least `ℓ ≥ 1` distinct sensitive values per group.
+    pub fn new(l: usize) -> Self {
+        assert!(l >= 1, "ℓ must be at least 1");
+        DistinctLDiversity { l }
+    }
+
+    /// The parameter `ℓ`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+}
+
+impl PrivacyRequirement for DistinctLDiversity {
+    fn name(&self) -> String {
+        format!("distinct-{}-diversity", self.l)
+    }
+
+    fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
+        group.distinct_sensitive() >= self.l
+    }
+}
+
+/// Probabilistic ℓ-diversity.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbabilisticLDiversity {
+    l: usize,
+}
+
+impl ProbabilisticLDiversity {
+    /// Require the most frequent sensitive value's relative frequency to be
+    /// at most `1/ℓ`, `ℓ ≥ 1`.
+    pub fn new(l: usize) -> Self {
+        assert!(l >= 1, "ℓ must be at least 1");
+        ProbabilisticLDiversity { l }
+    }
+
+    /// The parameter `ℓ`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+}
+
+impl PrivacyRequirement for ProbabilisticLDiversity {
+    fn name(&self) -> String {
+        format!("probabilistic-{}-diversity", self.l)
+    }
+
+    fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
+        if group.is_empty() {
+            return false;
+        }
+        // max count / |G| ≤ 1/ℓ  ⇔  max count · ℓ ≤ |G|.
+        (group.max_sensitive_count() as usize) * self.l <= group.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+
+    fn view<'a>(
+        t: &'a bgkanon_data::Table,
+        rows: &'a [usize],
+        buf: &'a mut Vec<u32>,
+    ) -> GroupView<'a> {
+        GroupView::compute(t, rows, buf)
+    }
+
+    #[test]
+    fn distinct_counts_values() {
+        let t = toy::hospital_table();
+        // Rows 0..3: Emphysema, Cancer, Flu — 3 distinct.
+        let rows = [0usize, 1, 2];
+        let mut buf = Vec::new();
+        let g = view(&t, &rows, &mut buf);
+        assert!(DistinctLDiversity::new(3).is_satisfied(&g));
+        assert!(!DistinctLDiversity::new(4).is_satisfied(&g));
+    }
+
+    #[test]
+    fn distinct_fails_on_homogeneous_group() {
+        let t = toy::hospital_table();
+        // Rows 2 and 4 both carry Flu.
+        let rows = [2usize, 4];
+        let mut buf = Vec::new();
+        let g = view(&t, &rows, &mut buf);
+        assert!(DistinctLDiversity::new(1).is_satisfied(&g));
+        assert!(!DistinctLDiversity::new(2).is_satisfied(&g));
+    }
+
+    #[test]
+    fn probabilistic_uses_frequency() {
+        let t = toy::hospital_table();
+        // Rows 2, 4, 6 all carry Flu plus row 0 (Emphysema): max freq 3/4.
+        let rows = [2usize, 4, 6, 0];
+        let mut buf = Vec::new();
+        let g = view(&t, &rows, &mut buf);
+        assert!(ProbabilisticLDiversity::new(1).is_satisfied(&g));
+        assert!(!ProbabilisticLDiversity::new(2).is_satisfied(&g));
+        // A perfectly balanced group of 4 distinct values passes ℓ = 4.
+        let rows2 = [0usize, 1, 2, 3];
+        let mut buf2 = Vec::new();
+        let g2 = view(&t, &rows2, &mut buf2);
+        assert!(ProbabilisticLDiversity::new(4).is_satisfied(&g2));
+    }
+
+    #[test]
+    fn probabilistic_implies_distinct() {
+        // Any group satisfying probabilistic ℓ also has ≥ ℓ distinct values.
+        let t = toy::hospital_table();
+        let rows: Vec<usize> = (0..9).collect();
+        let mut buf = Vec::new();
+        let g = view(&t, &rows, &mut buf);
+        for l in 1..=4 {
+            if ProbabilisticLDiversity::new(l).is_satisfied(&g) {
+                assert!(DistinctLDiversity::new(l).is_satisfied(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DistinctLDiversity::new(3).name(), "distinct-3-diversity");
+        assert_eq!(
+            ProbabilisticLDiversity::new(4).name(),
+            "probabilistic-4-diversity"
+        );
+        assert_eq!(DistinctLDiversity::new(3).l(), 3);
+        assert_eq!(ProbabilisticLDiversity::new(4).l(), 4);
+    }
+}

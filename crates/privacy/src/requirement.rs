@@ -1,0 +1,143 @@
+//! The [`PrivacyRequirement`] trait and combinators.
+
+use bgkanon_data::Table;
+
+/// A candidate group handed to a requirement check: row indices into the
+/// original table plus the group's sensitive histogram (precomputed once per
+/// candidate by the partitioner).
+#[derive(Debug, Clone, Copy)]
+pub struct GroupView<'a> {
+    /// The original microdata table.
+    pub table: &'a Table,
+    /// Rows of the candidate group.
+    pub rows: &'a [usize],
+    /// `sensitive_counts[s]` = multiplicity of sensitive value `s` among
+    /// `rows`.
+    pub sensitive_counts: &'a [u32],
+}
+
+impl<'a> GroupView<'a> {
+    /// Build a view, computing the histogram.
+    pub fn compute(table: &'a Table, rows: &'a [usize], counts_buf: &'a mut Vec<u32>) -> Self {
+        *counts_buf = table.sensitive_counts_in(rows);
+        GroupView {
+            table,
+            rows,
+            sensitive_counts: counts_buf,
+        }
+    }
+
+    /// Group size `k`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the candidate group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of distinct sensitive values in the group.
+    pub fn distinct_sensitive(&self) -> usize {
+        self.sensitive_counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Largest sensitive-value multiplicity in the group.
+    pub fn max_sensitive_count(&self) -> u32 {
+        self.sensitive_counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A predicate over candidate groups. Mondrian commits a split only when
+/// every resulting group satisfies the requirement, so any conjunction of
+/// these models can be enforced during anonymization.
+pub trait PrivacyRequirement: Send + Sync {
+    /// Human-readable name, e.g. `"(B,t)-privacy(b=0.3, t=0.25)"`.
+    fn name(&self) -> String;
+
+    /// Does `group` satisfy the requirement?
+    fn is_satisfied(&self, group: &GroupView<'_>) -> bool;
+}
+
+/// Conjunction of requirements — the experiments enforce
+/// `k-anonymity ∧ model` (§V).
+pub struct And {
+    parts: Vec<Box<dyn PrivacyRequirement>>,
+}
+
+impl And {
+    /// Conjunction of `parts`; satisfied iff all parts are.
+    pub fn new(parts: Vec<Box<dyn PrivacyRequirement>>) -> Self {
+        assert!(!parts.is_empty(), "conjunction needs at least one part");
+        And { parts }
+    }
+
+    /// Convenience for the common two-part conjunction.
+    pub fn pair(
+        a: impl PrivacyRequirement + 'static,
+        b: impl PrivacyRequirement + 'static,
+    ) -> Self {
+        And::new(vec![Box::new(a), Box::new(b)])
+    }
+}
+
+impl PrivacyRequirement for And {
+    fn name(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+
+    fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
+        self.parts.iter().all(|p| p.is_satisfied(group))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::toy;
+
+    struct MinSize(usize);
+    impl PrivacyRequirement for MinSize {
+        fn name(&self) -> String {
+            format!("min-size({})", self.0)
+        }
+        fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
+            group.len() >= self.0
+        }
+    }
+
+    #[test]
+    fn group_view_statistics() {
+        let t = toy::hospital_table();
+        let rows = [0usize, 1, 2];
+        let mut buf = Vec::new();
+        let g = GroupView::compute(&t, &rows, &mut buf);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.distinct_sensitive(), 3);
+        assert_eq!(g.max_sensitive_count(), 1);
+    }
+
+    #[test]
+    fn and_combines() {
+        let t = toy::hospital_table();
+        let rows = [0usize, 1, 2];
+        let mut buf = Vec::new();
+        let g = GroupView::compute(&t, &rows, &mut buf);
+        let both = And::pair(MinSize(2), MinSize(3));
+        assert!(both.is_satisfied(&g));
+        let strict = And::pair(MinSize(2), MinSize(4));
+        assert!(!strict.is_satisfied(&g));
+        assert_eq!(both.name(), "min-size(2) ∧ min-size(3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn empty_conjunction_rejected() {
+        let _ = And::new(vec![]);
+    }
+}

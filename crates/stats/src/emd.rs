@@ -1,0 +1,187 @@
+//! Earth Mover's Distance (EMD) between sensitive-attribute distributions.
+//!
+//! EMD is the ground-distance-aware measure used by t-closeness; the paper
+//! discusses it in §IV.B as the one existing measure with *semantic
+//! awareness* — but shows it lacks *probability scaling*. We implement the
+//! two closed forms from the t-closeness paper:
+//!
+//! * [`ordered_emd`] for numeric (totally ordered, equally spaced) domains;
+//! * [`hierarchical_emd`] for categorical domains with a generalization
+//!   hierarchy, via the tree-metric closed form: the mass that must cross
+//!   each tree edge is the net imbalance of the subtree below it.
+
+use bgkanon_data::Hierarchy;
+
+use crate::dist::Dist;
+
+/// EMD on a totally ordered domain of `m` equally spaced values with ground
+/// distance `|i − j| / (m − 1)`:
+/// `EMD = (1/(m−1)) · Σ_i |Σ_{j ≤ i} (p_j − q_j)|`.
+///
+/// For `m = 1` the distance is 0.
+pub fn ordered_emd(p: &Dist, q: &Dist) -> f64 {
+    assert_eq!(p.len(), q.len(), "dimension mismatch");
+    let m = p.len();
+    if m <= 1 {
+        return 0.0;
+    }
+    let mut cum = 0.0;
+    let mut total = 0.0;
+    for i in 0..m - 1 {
+        cum += p.get(i) - q.get(i);
+        total += cum.abs();
+    }
+    total / (m - 1) as f64
+}
+
+/// EMD under the hierarchical ground distance `d(a,b) = h(lca(a,b)) / H`.
+///
+/// The LCA-height distance is a tree metric once each edge
+/// `(v, parent(v))` is given length `(h(parent) − h(v)) / (2H)`; the minimal
+/// transportation cost on a tree has the closed form
+/// `Σ_v len(v → parent) · |net(v)|` where `net(v)` is the surplus
+/// probability mass in `v`'s subtree.
+pub fn hierarchical_emd(hierarchy: &Hierarchy, p: &Dist, q: &Dist) -> f64 {
+    assert_eq!(p.len(), q.len(), "dimension mismatch");
+    assert_eq!(
+        p.len(),
+        hierarchy.leaf_count(),
+        "distribution dimension must equal hierarchy leaf count"
+    );
+    let h_total = f64::from(hierarchy.height());
+    if h_total == 0.0 {
+        return 0.0;
+    }
+    // net(v) for every node, computed leaf-up. Children always have larger
+    // ids than parents (builder invariant), so a reverse scan accumulates
+    // child nets into parents correctly.
+    let n_nodes = hierarchy.node_count();
+    let mut net = vec![0.0f64; n_nodes];
+    for code in 0..p.len() {
+        let leaf = hierarchy.leaf_node(code as u32);
+        net[leaf] = p.get(code) - q.get(code);
+    }
+    let mut cost = 0.0;
+    for v in (0..n_nodes).rev() {
+        if let Some(parent) = hierarchy.parent(v) {
+            let edge = (f64::from(hierarchy.node_height(parent))
+                - f64::from(hierarchy.node_height(v)))
+                / (2.0 * h_total);
+            cost += edge * net[v].abs();
+            net[parent] += net[v];
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::hierarchy::HierarchyBuilder;
+
+    fn d(v: &[f64]) -> Dist {
+        Dist::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn ordered_emd_identity_and_symmetry() {
+        let p = d(&[0.2, 0.3, 0.5]);
+        let q = d(&[0.5, 0.2, 0.3]);
+        assert_eq!(ordered_emd(&p, &p), 0.0);
+        assert!((ordered_emd(&p, &q) - ordered_emd(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ordered_emd_adjacent_shift() {
+        // Moving 0.1 of mass one step in a 3-value domain costs 0.1 · (1/2).
+        let p = d(&[0.5, 0.5, 0.0]);
+        let q = d(&[0.4, 0.6, 0.0]);
+        assert!((ordered_emd(&p, &q) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordered_emd_extreme_shift_is_one() {
+        let p = d(&[1.0, 0.0, 0.0]);
+        let q = d(&[0.0, 0.0, 1.0]);
+        assert!((ordered_emd(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordered_emd_paper_counterexample_pairs() {
+        // §IV.B: EMD[(0.01,0.99),(0.11,0.89)] = EMD[(0.4,0.6),(0.5,0.5)] = 0.1
+        // — the probability-scaling failure.
+        let a = ordered_emd(&d(&[0.01, 0.99]), &d(&[0.11, 0.89]));
+        let b = ordered_emd(&d(&[0.4, 0.6]), &d(&[0.5, 0.5]));
+        assert!((a - 0.1).abs() < 1e-12);
+        assert!((b - 0.1).abs() < 1e-12);
+    }
+
+    fn occupation_like() -> Hierarchy {
+        // Height-2: root → two sectors → two leaves each.
+        let mut b = HierarchyBuilder::new("Any");
+        let x = b.internal(b.root(), "X");
+        let y = b.internal(b.root(), "Y");
+        b.leaf(x, "x1");
+        b.leaf(x, "x2");
+        b.leaf(y, "y1");
+        b.leaf(y, "y2");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hierarchical_emd_within_subtree_is_cheaper() {
+        let h = occupation_like();
+        // Move 0.2 mass between siblings (distance 0.5) vs across sectors
+        // (distance 1.0).
+        let p = d(&[0.5, 0.3, 0.1, 0.1]);
+        let within = d(&[0.3, 0.5, 0.1, 0.1]);
+        let across = d(&[0.3, 0.3, 0.3, 0.1]);
+        let c_within = hierarchical_emd(&h, &p, &within);
+        let c_across = hierarchical_emd(&h, &p, &across);
+        assert!((c_within - 0.2 * 0.5).abs() < 1e-12);
+        assert!((c_across - 0.2 * 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_emd_matches_pairwise_distance_for_point_masses() {
+        let h = occupation_like();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                let pa = Dist::point_mass(a, 4);
+                let pb = Dist::point_mass(b, 4);
+                let emd = hierarchical_emd(&h, &pa, &pb);
+                let expect = h.distance(a as u32, b as u32);
+                assert!(
+                    (emd - expect).abs() < 1e-12,
+                    "point masses {a},{b}: emd {emd} vs distance {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_emd_identity_symmetry_nonneg() {
+        let h = occupation_like();
+        let p = d(&[0.4, 0.1, 0.25, 0.25]);
+        let q = d(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(hierarchical_emd(&h, &p, &p), 0.0);
+        assert!((hierarchical_emd(&h, &p, &q) - hierarchical_emd(&h, &q, &p)).abs() < 1e-15);
+        assert!(hierarchical_emd(&h, &p, &q) > 0.0);
+    }
+
+    #[test]
+    fn flat_hierarchy_emd_is_half_l1() {
+        // With a flat hierarchy every distinct pair has distance 1, so EMD
+        // reduces to total variation = ½‖p − q‖₁.
+        let h = Hierarchy::flat("Any", &["a", "b", "c"]);
+        let p = d(&[0.5, 0.5, 0.0]);
+        let q = d(&[0.2, 0.3, 0.5]);
+        let tv = 0.5 * (0.3 + 0.2 + 0.5);
+        assert!((hierarchical_emd(&h, &p, &q) - tv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_domain_is_zero() {
+        assert_eq!(ordered_emd(&d(&[1.0]), &d(&[1.0])), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # bgkanon-stats
+//!
+//! Statistical machinery behind the paper: probability distributions over the
+//! sensitive domain, kernel functions, divergence and distance measures
+//! (including the paper's kernel-smoothed JS measure, §IV.B), and matrix
+//! permanents for exact Bayesian inference (§III.C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod desiderata;
+pub mod dist;
+pub mod divergence;
+pub mod emd;
+pub mod kernel;
+pub mod measure;
+pub mod permanent;
+
+pub use dist::Dist;
+pub use kernel::Kernel;
+pub use measure::{BeliefDistance, JsDivergence, KlDivergence, SmoothedJs};

@@ -1,0 +1,24 @@
+//! # bgkanon-utility
+//!
+//! Utility evaluation of anonymized tables (§V.E of the paper):
+//!
+//! * [`dm`] — the Discernibility Metric (Bayardo & Agrawal): `Σ_G |G|²`;
+//! * [`gcp`] — Global Certainty Penalty (Xu et al.) built on the Normalized
+//!   Certainty Penalty of each group box;
+//! * [`workload`] — aggregate query answering: random COUNT queries over a
+//!   subset of QI attributes plus a sensitive value, answered from the
+//!   anonymized groups under the uniform-spread assumption, scored by
+//!   average relative error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dm;
+pub mod gcp;
+pub mod workload;
+
+pub use dm::discernibility;
+pub use gcp::{global_certainty_penalty, ncp_of_group};
+pub use workload::{
+    answer_estimated, answer_exact, average_relative_error, generate_queries, Query, WorkloadConfig,
+};

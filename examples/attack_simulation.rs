@@ -1,0 +1,86 @@
+//! Probabilistic background-knowledge attack simulation (§V.A, Fig. 1).
+//!
+//! Publishes the same synthetic Adult slice under four privacy models and
+//! counts how many tuples each leaves vulnerable to adversaries of varying
+//! strength — demonstrating that ℓ-diversity and t-closeness crumble under
+//! background knowledge while (B,t)-privacy holds.
+//!
+//! ```sh
+//! cargo run --release --example attack_simulation
+//! ```
+
+use std::sync::Arc;
+
+use bgkanon::prelude::*;
+
+fn main() {
+    let n = 3_000;
+    let table = bgkanon::data::adult::generate(n, 42);
+    let params = bgkanon::params::PARA1; // k = ℓ = 3, t = 0.25, b = 0.3
+    println!(
+        "dataset: {n} tuples; parameters: k={} ℓ={} t={} b={}\n",
+        params.k, params.l, params.t, params.b
+    );
+
+    let releases: Vec<(&str, PublishOutcome)> = vec![
+        (
+            "distinct ℓ-diversity",
+            Publisher::new()
+                .k_anonymity(params.k)
+                .distinct_l_diversity(params.l)
+                .publish(&table)
+                .expect("satisfiable"),
+        ),
+        (
+            "probabilistic ℓ-div",
+            Publisher::new()
+                .k_anonymity(params.k)
+                .probabilistic_l_diversity(params.l)
+                .publish(&table)
+                .expect("satisfiable"),
+        ),
+        (
+            "t-closeness",
+            Publisher::new()
+                .k_anonymity(params.k)
+                .t_closeness(params.t)
+                .publish(&table)
+                .expect("satisfiable"),
+        ),
+        (
+            "(B,t)-privacy",
+            Publisher::new()
+                .k_anonymity(params.k)
+                .bt_privacy(params.b, params.t)
+                .publish(&table)
+                .expect("satisfiable"),
+        ),
+    ];
+
+    // Attack each release with adversaries of increasing bandwidth
+    // (decreasing knowledge), reusing one prior model per adversary.
+    let measure = Arc::new(SmoothedJs::paper_default(
+        table.schema().sensitive_distance(),
+    ));
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "vulnerable tuples", "b'=0.2", "b'=0.3", "b'=0.4", "b'=0.5"
+    );
+    for (name, outcome) in &releases {
+        let mut row = format!("{name:<22}");
+        for b_prime in [0.2, 0.3, 0.4, 0.5] {
+            let adversary = Arc::new(Adversary::kernel(
+                &table,
+                Bandwidth::uniform(b_prime, table.qi_count()).unwrap(),
+            ));
+            let auditor = Auditor::new(adversary, Arc::clone(&measure) as _);
+            let report = outcome.audit_with(&table, &auditor, params.t);
+            row.push_str(&format!(" {:>10}", report.vulnerable));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nThe (B,t)-private release should show far fewer vulnerable tuples\n\
+         (zero against the b' = 0.3 adversary it was built for)."
+    );
+}
