@@ -215,12 +215,12 @@ impl PriorEstimator {
         let chunk = n_points.div_ceil(threads);
 
         let mut results: Vec<Option<Dist>> = vec![None; n_points];
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
                 let points = &points;
                 let fallback = &table_distribution;
                 let this = &*self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = t * chunk;
                     for (off, slot) in out_chunk.iter_mut().enumerate() {
                         let q = points[start + off];
@@ -228,8 +228,7 @@ impl PriorEstimator {
                     }
                 });
             }
-        })
-        .expect("estimation threads do not panic");
+        });
 
         let priors = folded
             .iter()

@@ -166,7 +166,7 @@ pub fn permanent_ryser(data: &[f64], k: usize) -> f64 {
         let prod: f64 = row_sums.iter().product();
         let parity = new_gray.count_ones() as usize;
         // (−1)^{k−|S|}
-        if (k - parity) % 2 == 0 {
+        if (k - parity).is_multiple_of(2) {
             total += prod;
         } else {
             total -= prod;

@@ -50,8 +50,7 @@ fn persisted_model_drives_identical_audits() {
     let groups = outcome.anonymized.row_groups();
     let risks_fresh =
         Auditor::new(Arc::new(fresh), Arc::clone(&measure) as _).tuple_risks(&table, &groups);
-    let risks_cached =
-        Auditor::new(Arc::new(cached), measure as _).tuple_risks(&table, &groups);
+    let risks_cached = Auditor::new(Arc::new(cached), measure as _).tuple_risks(&table, &groups);
     for (a, b) in risks_fresh.iter().zip(&risks_cached) {
         assert!((a - b).abs() < 1e-12, "fresh {a} vs cached {b}");
     }
@@ -70,11 +69,8 @@ fn full_domain_release_audits_through_same_pipeline() {
     let measure = Arc::new(SmoothedJs::paper_default(
         table.schema().sensitive_distance(),
     ));
-    let report = Auditor::new(adversary, measure).report(
-        &table,
-        &outcome.anonymized.row_groups(),
-        0.25,
-    );
+    let report =
+        Auditor::new(adversary, measure).report(&table, &outcome.anonymized.row_groups(), 0.25);
     assert!(report.worst_case.is_finite());
     // Coarse global recoding yields large groups → posteriors close to the
     // local mixtures → low risk everywhere on this small sample.

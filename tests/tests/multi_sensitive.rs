@@ -28,9 +28,9 @@ fn joint_table(n: usize, seed: u64) -> Table {
         let sex = rng.gen_range(0..2u32);
         // Disease correlates with age; salary band with age too.
         let disease_code = if age > 35 {
-            [0, 1, 1, 2][rng.gen_range(0..4)]
+            [0, 1, 1, 2][rng.gen_range(0..4usize)]
         } else {
-            [0, 0, 0, 1, 2][rng.gen_range(0..5)]
+            [0, 0, 0, 1, 2][rng.gen_range(0..5usize)]
         };
         let salary_code = if age > 25 {
             rng.gen_range(1..3u32)

@@ -1,0 +1,31 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crate registry, so this shim
+//! implements the subset of proptest the `bgkanon` test suites use: range
+//! and collection strategies, the `prop_map` / `prop_filter` /
+//! `prop_filter_map` / `prop_flat_map` combinators, tuple strategies, the
+//! `proptest!` macro with `#![proptest_config(..)]`, and the `prop_assert*`
+//! macros.
+//!
+//! Unlike real proptest it does **not** shrink failing inputs — a failure
+//! panics with the assertion message and the case's RNG seed, which is
+//! deterministic per test name, so failures still reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface used by test files (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of real proptest's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
