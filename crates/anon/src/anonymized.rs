@@ -10,6 +10,14 @@ use bgkanon_data::{AttributeKind, Schema, Table};
 /// attributes the published generalization is the lowest common ancestor of
 /// the values (computed for display), while the range records the raw code
 /// span.
+///
+/// ```
+/// use bgkanon_anon::QiRange;
+///
+/// let range = QiRange { min: 2, max: 5 };
+/// assert!(range.contains(3) && !range.contains(6));
+/// assert_eq!(range.width(), 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QiRange {
     /// Smallest code in the group.
@@ -112,6 +120,19 @@ impl Group {
 /// groups. (For bucketization the QI values are published exactly; for
 /// generalization they are replaced by the group box — under the paper's
 /// threat model both reveal the same group structure.)
+///
+/// ```
+/// use bgkanon_anon::{AnonymizedTable, Group};
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let groups = bgkanon_data::toy::hospital_groups()
+///     .into_iter()
+///     .map(|rows| Group::from_rows(&table, rows))
+///     .collect();
+/// let published = AnonymizedTable::new(&table, groups);
+/// assert_eq!(published.group_count(), 3);
+/// assert_eq!(published.row_groups().concat().len(), table.len());
+/// ```
 #[derive(Debug, Clone)]
 pub struct AnonymizedTable {
     schema: Arc<Schema>,

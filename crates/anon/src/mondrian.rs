@@ -9,28 +9,90 @@
 //! "variations of Mondrian \[that\] use the original dimension selection and
 //! median split heuristics, and check if the specific privacy requirement is
 //! satisfied" (§V).
+//!
+//! Two execution engines produce the same partition:
+//!
+//! * [`Mondrian::anonymize`] — the single-threaded **reference** path: a
+//!   direct transcription of the algorithm, kept simple on purpose so the
+//!   optimized engine can be property-tested against it;
+//! * [`Mondrian::anonymize_with`] — the **parallel** engine: workers steal
+//!   regions from a shared deque under [`std::thread::scope`], split them
+//!   with a stable counting sort (QI domains are small dense codes), derive
+//!   the right half's sensitive histogram by subtraction from the parent's,
+//!   and reuse per-worker scratch buffers. Because every region is split by
+//!   the same deterministic rule and the final groups are ordered by their
+//!   first row, the output is bit-identical to the reference path regardless
+//!   of scheduling — `tests/tests/parallel.rs` proves this property.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
-use bgkanon_data::Table;
+use bgkanon_data::{Parallelism, Table};
 use bgkanon_privacy::{GroupView, PrivacyRequirement};
 
-use crate::anonymized::{AnonymizedTable, Group};
+use crate::anonymized::{AnonymizedTable, Group, QiRange};
+
+/// Children at least this large go to the shared deque for other workers to
+/// steal; smaller ones are processed on the local stack to avoid lock
+/// traffic on the long tail of tiny regions.
+const STEAL_THRESHOLD: usize = 2048;
 
 /// The Mondrian anonymizer.
 ///
 /// ```
 /// use std::sync::Arc;
 /// use bgkanon_anon::Mondrian;
+/// use bgkanon_data::Parallelism;
 /// use bgkanon_privacy::KAnonymity;
 ///
 /// let table = bgkanon_data::adult::generate(200, 42);
 /// let mondrian = Mondrian::new(Arc::new(KAnonymity::new(5)));
 /// let published = mondrian.anonymize(&table);
 /// assert!(published.groups().iter().all(|g| g.len() >= 5));
+///
+/// // The parallel engine yields the identical partition.
+/// let parallel = mondrian.anonymize_with(&table, Parallelism::threads(2));
+/// assert_eq!(published.group_count(), parallel.group_count());
 /// ```
 pub struct Mondrian {
     requirement: Arc<dyn PrivacyRequirement>,
+}
+
+/// A pending region of the partition tree: its member rows (in the order the
+/// parent split left them — this order is part of the algorithm's output),
+/// its sensitive histogram (carried along so each split only has to count
+/// one half), and the set of dimensions that can still have positive width.
+/// Normalized width is monotone under taking subsets (numeric ranges shrink;
+/// a sub-range's LCA in a hierarchy is a descendant-or-self of the range's),
+/// so a dimension observed at zero width never needs to be scanned again.
+struct Region {
+    rows: Vec<usize>,
+    counts: Vec<u32>,
+    live_dims: u64,
+}
+
+/// Per-worker scratch buffers for the optimized splitter.
+#[derive(Default)]
+struct SplitScratch {
+    /// `(dimension, normalized width)` candidates, widest first.
+    widths: Vec<(usize, f64)>,
+    /// Live dimensions of the current region, as a list.
+    live: Vec<usize>,
+    /// Per-dimension minimum code over the region.
+    lo: Vec<u32>,
+    /// Per-dimension maximum code over the region.
+    hi: Vec<u32>,
+    /// Counting-sort histogram over one QI domain.
+    value_counts: Vec<u32>,
+    /// Counting-sort placement cursors.
+    cursors: Vec<usize>,
+    /// The region's rows, re-sorted per candidate dimension.
+    sorted: Vec<usize>,
+    /// Counting-sort output buffer.
+    tmp: Vec<usize>,
+    /// Left half's sensitive histogram.
+    counts_left: Vec<u32>,
+    /// Right half's sensitive histogram (parent minus left).
+    counts_right: Vec<u32>,
 }
 
 impl Mondrian {
@@ -45,22 +107,66 @@ impl Mondrian {
         &self.requirement
     }
 
-    /// Partition `table` into the finest groups Mondrian can certify.
+    /// Partition `table` into the finest groups Mondrian can certify, on the
+    /// single-threaded reference path (equivalent to
+    /// [`anonymize_with`](Self::anonymize_with) with
+    /// [`Parallelism::Serial`]).
     ///
     /// # Panics
     ///
     /// Panics if the whole table itself does not satisfy the requirement —
     /// no anonymization can then exist under this algorithm.
     pub fn anonymize(&self, table: &Table) -> AnonymizedTable {
+        self.anonymize_with(table, Parallelism::Serial)
+    }
+
+    /// Partition `table` with an explicit execution engine.
+    ///
+    /// [`Parallelism::Serial`] runs the reference implementation; any other
+    /// knob runs the work-stealing engine with that many workers. Both
+    /// produce the identical partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole table itself does not satisfy the requirement.
+    pub fn anonymize_with(&self, table: &Table, parallelism: Parallelism) -> AnonymizedTable {
         assert!(!table.is_empty(), "cannot anonymize an empty table");
         let all_rows: Vec<usize> = (0..table.len()).collect();
-        let mut counts_buf = Vec::new();
-        let root_view = GroupView::compute(table, &all_rows, &mut counts_buf);
+        let root_counts = table.sensitive_counts_in(&all_rows);
+        let root_view = GroupView {
+            table,
+            rows: &all_rows,
+            sensitive_counts: &root_counts,
+        };
         assert!(
             self.requirement.is_satisfied(&root_view),
             "the whole table does not satisfy `{}`; no Mondrian output exists",
             self.requirement.name()
         );
+        // The optimized engine tracks live dimensions in a u64 bitmask;
+        // wider schemas (>64 QI attributes) fall back to the reference
+        // engine rather than fail.
+        let mut groups = if parallelism.is_serial() || table.qi_count() > 64 {
+            self.partition_serial(table, all_rows)
+        } else {
+            self.partition_parallel(
+                table,
+                Region {
+                    rows: all_rows,
+                    counts: root_counts,
+                    live_dims: live_mask(table.qi_count()),
+                },
+                parallelism.effective_threads(),
+            )
+        };
+        // Deterministic group order: by first row index (groups partition the
+        // rows, so first-row indices are unique).
+        groups.sort_by_key(|g| g.rows[0]);
+        AnonymizedTable::new(table, groups)
+    }
+
+    /// The reference engine: a plain explicit-stack depth-first expansion.
+    fn partition_serial(&self, table: &Table, all_rows: Vec<usize>) -> Vec<Group> {
         let mut groups = Vec::new();
         let mut stack = vec![all_rows];
         while let Some(rows) = stack.pop() {
@@ -72,13 +178,71 @@ impl Mondrian {
                 None => groups.push(Group::from_rows(table, rows)),
             }
         }
-        // Deterministic group order: by first row index.
-        groups.sort_by_key(|g| g.rows[0]);
-        AnonymizedTable::new(table, groups)
+        groups
+    }
+
+    /// The parallel engine: `workers` threads steal regions from a shared
+    /// LIFO deque; each worker keeps a local stack of small regions and its
+    /// own scratch buffers, and emits finished groups into a local vector
+    /// merged after the scope joins.
+    fn partition_parallel(&self, table: &Table, root: Region, workers: usize) -> Vec<Group> {
+        let engine = Engine {
+            state: Mutex::new(EngineState {
+                deque: vec![root],
+                active: 0,
+            }),
+            available: Condvar::new(),
+        };
+        let mut outputs: Vec<Vec<Group>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| self.worker(table, &engine)))
+                .collect();
+            for h in handles {
+                outputs.push(h.join().expect("worker panicked"));
+            }
+        });
+        outputs.into_iter().flatten().collect()
+    }
+
+    /// One worker of the parallel engine.
+    fn worker(&self, table: &Table, engine: &Engine) -> Vec<Group> {
+        let mut scratch = SplitScratch::default();
+        let mut local: Vec<Region> = Vec::new();
+        let mut leaves: Vec<Group> = Vec::new();
+        loop {
+            // Drain the local stack first; fall back to stealing.
+            let region = match local.pop() {
+                Some(r) => r,
+                None => match engine.steal() {
+                    Some(r) => r,
+                    None => return leaves,
+                },
+            };
+            match self.try_split_fast(table, &region, &mut scratch) {
+                Some((left, right)) => {
+                    // Offer large halves to other workers; keep small ones.
+                    for child in [right, left] {
+                        if child.rows.len() >= STEAL_THRESHOLD {
+                            engine.offer(child);
+                        } else {
+                            local.push(child);
+                        }
+                    }
+                }
+                // try_split_fast left the region's per-dimension min/max in
+                // the scratch, so the group's ranges come for free.
+                None => leaves.push(leaf_group(table, region, &scratch)),
+            }
+            if local.is_empty() {
+                engine.finished();
+            }
+        }
     }
 
     /// Attempt a median split of `rows`, returning both halves if some
-    /// dimension yields halves that both satisfy the requirement.
+    /// dimension yields halves that both satisfy the requirement. This is
+    /// the reference implementation the optimized splitter mirrors.
     fn try_split(&self, table: &Table, rows: &[usize]) -> Option<(Vec<usize>, Vec<usize>)> {
         if rows.len() < 2 {
             return None;
@@ -145,6 +309,247 @@ impl Mondrian {
             }
         }
         None
+    }
+
+    /// The optimized splitter: identical decisions to [`try_split`] (same
+    /// dimension order, same median rule, same tie-breaking — counting sort
+    /// is stable exactly like the reference's stable sort), but with a fused
+    /// width scan over live dimensions only, O(|rows| + domain) sorting,
+    /// smaller-half histograms with integer subtraction (exact, so
+    /// bit-identity is unaffected) and zero per-call allocation on the
+    /// failure paths.
+    ///
+    /// On return — `Some` or `None` — `scratch.lo`/`scratch.hi` hold the
+    /// region's per-dimension min/max, which [`leaf_group`] turns into the
+    /// published ranges without rescanning.
+    fn try_split_fast(
+        &self,
+        table: &Table,
+        region: &Region,
+        scratch: &mut SplitScratch,
+    ) -> Option<(Region, Region)> {
+        let rows = &region.rows;
+        let d = table.qi_count();
+        let schema = table.schema();
+
+        // Dead dimensions are constant: their range is the first row's value.
+        scratch.lo.clear();
+        scratch.hi.clear();
+        let first = table.qi(rows[0]);
+        scratch.lo.extend_from_slice(first);
+        scratch.hi.extend_from_slice(first);
+        if rows.len() < 2 {
+            return None;
+        }
+
+        // Fused min/max scan over the live dimensions.
+        scratch.live.clear();
+        scratch
+            .live
+            .extend((0..d).filter(|i| region.live_dims & (1 << i) != 0));
+        for &r in rows.iter() {
+            let q = table.qi(r);
+            for &i in &scratch.live {
+                let v = q[i];
+                scratch.lo[i] = scratch.lo[i].min(v);
+                scratch.hi[i] = scratch.hi[i].max(v);
+            }
+        }
+        scratch.widths.clear();
+        let mut child_live = 0u64;
+        for &i in &scratch.live {
+            let (lo, hi) = (scratch.lo[i], scratch.hi[i]);
+            if hi > lo {
+                let w = schema.qi_distance(i).get(lo, hi);
+                if w > 0.0 {
+                    scratch.widths.push((i, w));
+                    child_live |= 1 << i;
+                }
+            }
+        }
+        // Widest first; ties broken by attribute index — the reference's
+        // comparator restricted to the positive-width dimensions it would
+        // have visited before breaking on the first zero width.
+        scratch
+            .widths
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        scratch.sorted.clear();
+        scratch.sorted.extend_from_slice(rows);
+        let n = rows.len();
+        for wi in 0..scratch.widths.len() {
+            let (dim, _) = scratch.widths[wi];
+            // Stable counting sort of `sorted` by the dimension's code.
+            let dom = schema.qi_attribute(dim).domain_size() as usize;
+            scratch.value_counts.clear();
+            scratch.value_counts.resize(dom, 0);
+            for &r in &scratch.sorted {
+                scratch.value_counts[table.qi_value(r, dim) as usize] += 1;
+            }
+            scratch.cursors.clear();
+            scratch.cursors.resize(dom, 0);
+            let mut acc = 0usize;
+            for v in 0..dom {
+                scratch.cursors[v] = acc;
+                acc += scratch.value_counts[v] as usize;
+            }
+            scratch.tmp.resize(n, 0);
+            for &r in &scratch.sorted {
+                let v = table.qi_value(r, dim) as usize;
+                scratch.tmp[scratch.cursors[v]] = r;
+                scratch.cursors[v] += 1;
+            }
+            std::mem::swap(&mut scratch.sorted, &mut scratch.tmp);
+
+            // Median rule, answered from the histogram: `lt` rows sort
+            // strictly below the median value, `le` at or below it.
+            let median_value = table.qi_value(scratch.sorted[n / 2], dim) as usize;
+            let lt: usize = scratch.value_counts[..median_value]
+                .iter()
+                .map(|&c| c as usize)
+                .sum();
+            let le = lt + scratch.value_counts[median_value] as usize;
+            let split_at = if lt > 0 {
+                lt
+            } else if le < n {
+                le
+            } else {
+                continue; // All values equal — cannot split here.
+            };
+
+            // Count the smaller half; the other histogram is the exact
+            // integer difference from the parent's — u32 arithmetic, so
+            // bit-identity is unaffected.
+            let (left, right) = scratch.sorted.split_at(split_at);
+            let (scan, scanned_is_left) = if split_at * 2 <= n {
+                (left, true)
+            } else {
+                (right, false)
+            };
+            table.sensitive_counts_into(scan, &mut scratch.counts_left);
+            scratch.counts_right.clear();
+            scratch.counts_right.extend(
+                region
+                    .counts
+                    .iter()
+                    .zip(&scratch.counts_left)
+                    .map(|(&p, &s)| p - s),
+            );
+            let (counts_l, counts_r) = if scanned_is_left {
+                (&scratch.counts_left, &scratch.counts_right)
+            } else {
+                (&scratch.counts_right, &scratch.counts_left)
+            };
+            let lv = GroupView {
+                table,
+                rows: left,
+                sensitive_counts: counts_l,
+            };
+            let rv = GroupView {
+                table,
+                rows: right,
+                sensitive_counts: counts_r,
+            };
+            if self.requirement.is_satisfied(&lv) && self.requirement.is_satisfied(&rv) {
+                return Some((
+                    Region {
+                        rows: left.to_vec(),
+                        counts: counts_l.clone(),
+                        live_dims: child_live,
+                    },
+                    Region {
+                        rows: right.to_vec(),
+                        counts: counts_r.clone(),
+                        live_dims: child_live,
+                    },
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Bitmask with the lowest `d` bits set — all dimensions live.
+fn live_mask(d: usize) -> u64 {
+    assert!(d <= 64, "at most 64 QI dimensions supported");
+    if d == 64 {
+        u64::MAX
+    } else {
+        (1u64 << d) - 1
+    }
+}
+
+/// Materialize a finished region as a published group, reusing its histogram
+/// and the min/max scan the failed split attempt just performed.
+fn leaf_group(table: &Table, region: Region, scratch: &SplitScratch) -> Group {
+    let d = table.qi_count();
+    let ranges = (0..d)
+        .map(|i| QiRange {
+            min: scratch.lo[i],
+            max: scratch.hi[i],
+        })
+        .collect();
+    Group {
+        rows: region.rows,
+        ranges,
+        sensitive_counts: region.counts,
+    }
+}
+
+/// Shared state of the work-stealing engine.
+struct Engine {
+    state: Mutex<EngineState>,
+    available: Condvar,
+}
+
+struct EngineState {
+    /// Pending regions available for stealing (LIFO: deepest first, which
+    /// bounds the deque size by the tree depth times the worker count).
+    deque: Vec<Region>,
+    /// Number of workers currently holding work (processing a region or
+    /// draining a non-empty local stack). New deque entries can only appear
+    /// while some worker is active, so `deque.is_empty() && active == 0`
+    /// means the partition is complete.
+    active: usize,
+}
+
+impl Engine {
+    /// Block until a region can be stolen; `None` once the partition is
+    /// complete. Stealing marks the calling worker active.
+    fn steal(&self) -> Option<Region> {
+        let mut st = self.state.lock().expect("engine lock");
+        loop {
+            if let Some(region) = st.deque.pop() {
+                st.active += 1;
+                return Some(region);
+            }
+            if st.active == 0 {
+                // Wake everyone else blocked here so they can observe
+                // completion too.
+                self.available.notify_all();
+                return None;
+            }
+            st = self.available.wait(st).expect("engine lock");
+        }
+    }
+
+    /// Publish a region for other workers.
+    fn offer(&self, region: Region) {
+        let mut st = self.state.lock().expect("engine lock");
+        st.deque.push(region);
+        drop(st);
+        self.available.notify_one();
+    }
+
+    /// The calling worker's local stack drained; it no longer holds work.
+    fn finished(&self) {
+        let mut st = self.state.lock().expect("engine lock");
+        st.active -= 1;
+        let done = st.active == 0 && st.deque.is_empty();
+        drop(st);
+        if done {
+            self.available.notify_all();
+        }
     }
 }
 
@@ -213,6 +618,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_engine_matches_reference_bitwise() {
+        let t = adult::generate(1200, 9);
+        let m = mondrian_k(6);
+        let serial = m.anonymize_with(&t, Parallelism::Serial);
+        for workers in [1usize, 2, 4] {
+            let parallel = m.anonymize_with(&t, Parallelism::threads(workers));
+            assert_eq!(serial.group_count(), parallel.group_count());
+            for (ga, gb) in serial.groups().iter().zip(parallel.groups()) {
+                assert_eq!(ga.rows, gb.rows, "row sets diverge at {workers} workers");
+                assert_eq!(ga.ranges, gb.ranges);
+                assert_eq!(ga.sensitive_counts, gb.sensitive_counts);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_composite_requirements() {
+        let t = adult::generate(700, 11);
+        let req = And::pair(KAnonymity::new(4), DistinctLDiversity::new(3));
+        let m = Mondrian::new(Arc::new(req));
+        let serial = m.anonymize_with(&t, Parallelism::Serial);
+        let parallel = m.anonymize_with(&t, Parallelism::threads(3));
+        assert_eq!(serial.group_count(), parallel.group_count());
+        for (ga, gb) in serial.groups().iter().zip(parallel.groups()) {
+            assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
     fn composite_requirement_enforced() {
         let t = adult::generate(600, 7);
         let req = And::pair(KAnonymity::new(3), DistinctLDiversity::new(3));
@@ -243,11 +677,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_k1_matches_reference_on_toy_table() {
+        let t = toy::hospital_table();
+        let serial = mondrian_k(1).anonymize_with(&t, Parallelism::Serial);
+        let parallel = mondrian_k(1).anonymize_with(&t, Parallelism::threads(2));
+        assert_eq!(serial.group_count(), parallel.group_count());
+        for (ga, gb) in serial.groups().iter().zip(parallel.groups()) {
+            assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "does not satisfy")]
     fn impossible_requirement_panics() {
         let t = toy::hospital_table();
         let m = mondrian_k(100);
         let _ = m.anonymize(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not satisfy")]
+    fn impossible_requirement_panics_in_parallel_mode_too() {
+        let t = toy::hospital_table();
+        let m = mondrian_k(100);
+        let _ = m.anonymize_with(&t, Parallelism::threads(2));
     }
 
     #[test]

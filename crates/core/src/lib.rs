@@ -52,12 +52,13 @@ pub use bgkanon_utility as utility;
 pub mod params;
 pub mod publisher;
 
+pub use data::Parallelism;
 pub use publisher::{PublishError, PublishOutcome, Publisher};
 
 /// Convenient glob-import surface: the types most programs need.
 pub mod prelude {
     pub use crate::anon::{AnonymizedTable, Mondrian};
-    pub use crate::data::{Attribute, Schema, Table, TableBuilder};
+    pub use crate::data::{Attribute, Parallelism, Schema, Table, TableBuilder};
     pub use crate::inference::{exact_posteriors, omega_posteriors, GroupPriors};
     pub use crate::knowledge::{Adversary, Bandwidth};
     pub use crate::params::PaperParams;

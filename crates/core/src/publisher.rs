@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bgkanon_anon::{AnonymizedTable, Mondrian};
-use bgkanon_data::Table;
+use bgkanon_data::{Parallelism, Table};
 use bgkanon_knowledge::{Adversary, Bandwidth};
 use bgkanon_privacy::{
     And, AuditReport, Auditor, BTPrivacy, DistinctLDiversity, GroupView, KAnonymity,
@@ -76,15 +76,38 @@ impl fmt::Display for PublishError {
 impl std::error::Error for PublishError {}
 
 /// Builder for a publishing run.
+///
+/// ```
+/// use bgkanon::{Publisher, Parallelism};
+///
+/// let table = bgkanon::data::adult::generate(300, 7);
+/// let outcome = Publisher::new()
+///     .k_anonymity(5)
+///     .parallelism(Parallelism::threads(2))
+///     .publish(&table)?;
+/// assert!(outcome.anonymized.groups().iter().all(|g| g.len() >= 5));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Publisher {
     specs: Vec<Spec>,
+    parallelism: Parallelism,
 }
 
 impl Publisher {
-    /// Start an empty publisher.
+    /// Start an empty publisher (with [`Parallelism::Auto`]).
     pub fn new() -> Self {
         Publisher::default()
+    }
+
+    /// Select the execution engine for anonymization and the audits run off
+    /// this publisher's outcome. [`Parallelism::Serial`] selects the
+    /// single-threaded reference paths; the default [`Parallelism::Auto`]
+    /// runs the batched engines with one worker per core. Output is
+    /// bit-identical either way.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Enforce k-anonymity.
@@ -189,12 +212,14 @@ impl Publisher {
         }
 
         let started = Instant::now();
-        let anonymized = Mondrian::new(Arc::clone(&requirement)).anonymize(table);
+        let anonymized =
+            Mondrian::new(Arc::clone(&requirement)).anonymize_with(table, self.parallelism);
         let elapsed = started.elapsed();
         Ok(PublishOutcome {
             anonymized,
             requirement_name: requirement.name(),
             elapsed,
+            parallelism: self.parallelism,
         })
     }
 }
@@ -210,6 +235,9 @@ pub struct PublishOutcome {
     /// inside requirement construction, matching the paper's Fig. 4(a)
     /// accounting).
     pub elapsed: Duration,
+    /// The execution engine the publisher ran with; audits launched from
+    /// this outcome reuse it.
+    pub parallelism: Parallelism,
 }
 
 impl PublishOutcome {
@@ -224,13 +252,18 @@ impl PublishOutcome {
         let measure = Arc::new(SmoothedJs::paper_default(
             table.schema().sensitive_distance(),
         ));
-        Auditor::new(adversary, measure).report(table, &self.anonymized.row_groups(), t)
+        Auditor::new(adversary, measure).report_with(
+            table,
+            &self.anonymized.row_groups(),
+            t,
+            self.parallelism,
+        )
     }
 
     /// Audit with a prebuilt auditor (reuse the adversary's prior model
     /// across several releases — the Fig. 1 experiments do this).
     pub fn audit_with(&self, table: &Table, auditor: &Auditor, t: f64) -> AuditReport {
-        auditor.report(table, &self.anonymized.row_groups(), t)
+        auditor.report_with(table, &self.anonymized.row_groups(), t, self.parallelism)
     }
 }
 
@@ -326,6 +359,40 @@ mod tests {
         let t = adult::generate(200, 52);
         let outcome = Publisher::new().k_anonymity(5).publish(&t).unwrap();
         assert!(outcome.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn publish_error_is_a_std_error() {
+        // Callers can use `?` with `Box<dyn Error>`, as the examples do.
+        fn pipeline(t: &Table) -> Result<usize, Box<dyn std::error::Error>> {
+            let outcome = Publisher::new().publish(t)?;
+            Ok(outcome.anonymized.group_count())
+        }
+        let err = pipeline(&toy::hospital_table()).unwrap_err();
+        assert!(err.to_string().contains("no privacy"));
+        let boxed: Box<dyn std::error::Error> = Box::new(PublishError::NoRequirements);
+        assert!(boxed.source().is_none());
+    }
+
+    #[test]
+    fn outcome_records_parallelism() {
+        let t = adult::generate(200, 53);
+        let outcome = Publisher::new()
+            .k_anonymity(5)
+            .parallelism(Parallelism::Serial)
+            .publish(&t)
+            .unwrap();
+        assert_eq!(outcome.parallelism, Parallelism::Serial);
+        let auto = Publisher::new().k_anonymity(5).publish(&t).unwrap();
+        assert_eq!(auto.parallelism, Parallelism::Auto);
+        for (a, b) in outcome
+            .anonymized
+            .groups()
+            .iter()
+            .zip(auto.anonymized.groups())
+        {
+            assert_eq!(a.rows, b.rows);
+        }
     }
 
     #[test]

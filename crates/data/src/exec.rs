@@ -1,0 +1,96 @@
+//! The workspace-wide execution knob: how many worker threads a
+//! parallelizable stage (Mondrian partitioning, the Ω-audit, kernel prior
+//! estimation) may use.
+//!
+//! The knob lives in `bgkanon-data` because every compute crate already
+//! depends on it; it carries no policy beyond "how many threads", so the
+//! consuming engines stay free to pick their own work-distribution strategy
+//! (work-stealing deque for Mondrian, group batches for the auditor).
+
+use std::num::NonZeroUsize;
+
+/// Degree of parallelism for a publishing or auditing run.
+///
+/// `Serial` always selects the single-threaded *reference* implementation of
+/// a stage — the simple, auditable code path the optimized engines are
+/// property-tested against. `Auto` and `Threads` select the batched engine;
+/// both are guaranteed to produce output bit-identical to `Serial`.
+///
+/// ```
+/// use bgkanon_data::Parallelism;
+///
+/// assert_eq!(Parallelism::Serial.effective_threads(), 1);
+/// assert_eq!(Parallelism::threads(4).effective_threads(), 4);
+/// // Auto resolves to the number of available cores, never zero.
+/// assert!(Parallelism::Auto.effective_threads() >= 1);
+/// assert_eq!(Parallelism::default(), Parallelism::Auto);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded reference path.
+    Serial,
+    /// The batched engine with one worker per available core.
+    #[default]
+    Auto,
+    /// The batched engine with an explicit worker count.
+    Threads(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// Convenience constructor for [`Parallelism::Threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`; use [`Parallelism::Serial`] for a
+    /// single-threaded run.
+    pub fn threads(n: usize) -> Self {
+        Parallelism::Threads(NonZeroUsize::new(n).expect("thread count must be non-zero"))
+    }
+
+    /// The number of worker threads this knob resolves to on the current
+    /// machine (`Auto` queries [`std::thread::available_parallelism`]).
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.get(),
+        }
+    }
+
+    /// True when this knob selects the single-threaded reference path.
+    pub fn is_serial(self) -> bool {
+        matches!(self, Parallelism::Serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_one_thread() {
+        assert_eq!(Parallelism::Serial.effective_threads(), 1);
+        assert!(Parallelism::Serial.is_serial());
+    }
+
+    #[test]
+    fn explicit_thread_count_is_respected() {
+        assert_eq!(Parallelism::threads(3).effective_threads(), 3);
+        assert!(!Parallelism::threads(3).is_serial());
+    }
+
+    #[test]
+    fn auto_is_positive_and_default() {
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+        assert!(!Parallelism::Auto.is_serial());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_threads_rejected() {
+        let _ = Parallelism::threads(0);
+    }
+}

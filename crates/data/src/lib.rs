@@ -22,6 +22,7 @@ pub mod attribute;
 pub mod csv;
 pub mod distance;
 pub mod error;
+pub mod exec;
 pub mod hierarchy;
 pub mod joint;
 pub mod schema;
@@ -31,6 +32,7 @@ pub mod toy;
 pub use attribute::{Attribute, AttributeKind};
 pub use distance::DistanceMatrix;
 pub use error::DataError;
+pub use exec::Parallelism;
 pub use hierarchy::Hierarchy;
 pub use schema::Schema;
 pub use table::{Table, TableBuilder, TupleRef};

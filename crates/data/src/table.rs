@@ -119,10 +119,20 @@ impl Table {
     /// Counts of each sensitive value restricted to `rows`.
     pub fn sensitive_counts_in(&self, rows: &[usize]) -> Vec<u32> {
         let mut counts = vec![0u32; self.schema.sensitive_domain_size()];
+        self.sensitive_counts_into(rows, &mut counts);
+        counts
+    }
+
+    /// Fill `counts` with the sensitive histogram of `rows`, reusing the
+    /// buffer's allocation (the hot-path variant of
+    /// [`sensitive_counts_in`](Self::sensitive_counts_in); the parallel
+    /// Mondrian engine calls this once per candidate split).
+    pub fn sensitive_counts_into(&self, rows: &[usize], counts: &mut Vec<u32>) {
+        counts.clear();
+        counts.resize(self.schema.sensitive_domain_size(), 0);
         for &r in rows {
             counts[self.sensitive[r] as usize] += 1;
         }
-        counts
     }
 
     /// Group rows by identical QI combinations. Returns a map from the QI

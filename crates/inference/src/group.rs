@@ -7,6 +7,15 @@ use bgkanon_stats::Dist;
 /// The adversary's view of one anonymized group `E` with sensitive multiset
 /// `S` (§III.C): `priors[j]` is her prior belief about tuple `t_j`, and
 /// `counts[s]` is the multiplicity `n_s` of sensitive value `s` in `S`.
+///
+/// ```
+/// use bgkanon_inference::GroupPriors;
+/// use bgkanon_stats::Dist;
+///
+/// let group = GroupPriors::new(vec![Dist::uniform(2); 3], &[0, 1, 1]);
+/// assert_eq!(group.counts(), &[1, 2]);
+/// assert!((group.bucket_distribution().get(1) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct GroupPriors {
     priors: Vec<Dist>,

@@ -29,5 +29,5 @@ pub mod relational;
 
 pub use exact::exact_posteriors;
 pub use group::GroupPriors;
-pub use omega::omega_posteriors;
+pub use omega::{omega_column_sums, omega_posterior_into, omega_posteriors};
 pub use relational::{relational_posteriors, RelationalKnowledge};

@@ -48,38 +48,66 @@ pub fn omega_posteriors(group: &GroupPriors) -> Vec<Dist> {
     let m = group.domain_size();
     let counts = group.counts();
 
-    // Column sums Σ_j' P(s_i | t_j').
     let mut col_sums = vec![0.0f64; m];
-    for j in 0..k {
-        let p = group.prior(j);
-        for (s, cs) in col_sums.iter_mut().enumerate() {
-            *cs += p.get(s);
-        }
-    }
+    omega_column_sums((0..k).map(|j| group.prior(j)), &mut col_sums);
 
     let bucket = group.bucket_distribution();
     let mut out = Vec::with_capacity(k);
     for j in 0..k {
-        let p = group.prior(j);
         let mut w = vec![0.0f64; m];
-        let mut total = 0.0f64;
-        for s in 0..m {
-            if counts[s] > 0 && col_sums[s] > 0.0 {
-                let term = f64::from(counts[s]) * p.get(s) / col_sums[s];
-                w[s] = term;
-                total += term;
-            }
-        }
-        if total > 0.0 {
-            for x in w.iter_mut() {
-                *x /= total;
-            }
+        if omega_posterior_into(group.prior(j), counts, &col_sums, &mut w) {
             out.push(Dist::new(w).expect("normalized"));
         } else {
             out.push(bucket.clone());
         }
     }
     out
+}
+
+/// Accumulate the column sums `Σ_j' P(s_i | t_j')` over the group's priors
+/// into `col_sums` (which must already be sized to the sensitive domain and
+/// zeroed). Exposed so batch auditors can drive the Ω-estimate without
+/// materializing a [`GroupPriors`].
+pub fn omega_column_sums<'a>(priors: impl Iterator<Item = &'a Dist>, col_sums: &mut [f64]) {
+    for p in priors {
+        for (s, cs) in col_sums.iter_mut().enumerate() {
+            *cs += p.get(s);
+        }
+    }
+}
+
+/// Write one tuple's Ω-posterior into `out` (sized to the sensitive domain),
+/// given its prior, the group multiset `counts` and the precomputed
+/// [`omega_column_sums`]. Returns `false` when every term vanishes — the
+/// caller must then fall back to the bucket distribution `n_s / k`, exactly
+/// as [`omega_posteriors`] does.
+///
+/// The arithmetic (term order, normalization) is identical to
+/// [`omega_posteriors`], so results agree bit-for-bit.
+pub fn omega_posterior_into(
+    prior: &Dist,
+    counts: &[u32],
+    col_sums: &[f64],
+    out: &mut [f64],
+) -> bool {
+    let mut total = 0.0f64;
+    for (s, slot) in out.iter_mut().enumerate() {
+        if counts[s] > 0 && col_sums[s] > 0.0 {
+            let term = f64::from(counts[s]) * prior.get(s) / col_sums[s];
+            *slot = term;
+            total += term;
+        } else {
+            *slot = 0.0;
+        }
+    }
+    if total > 0.0 {
+        for x in out.iter_mut() {
+            *x /= total;
+        }
+        true
+    } else {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -6,15 +6,55 @@
 //! `D[Ppri, Ppos]` and reports the worst case plus the number of
 //! **vulnerable tuples** (risk above the threshold `t`) — the quantity
 //! plotted in Fig. 1.
+//!
+//! Two execution engines compute the same risks:
+//!
+//! * [`Auditor::tuple_risks`] / [`Auditor::report`] — the per-group
+//!   **reference** path, a direct transcription of §V.A;
+//! * [`Auditor::tuple_risks_with`] / [`Auditor::report_with`] — the
+//!   **batched** engine: groups are distributed over scoped worker threads
+//!   that share the one `Arc<Adversary>` prior model, posterior/permanent
+//!   evaluations are memoized under a *group signature* (the sequence of
+//!   prior identities plus the sensitive histogram — two groups with the
+//!   same signature provably have the same risks), and the Ω-estimate runs
+//!   through the allocation-free kernels of `bgkanon_inference::omega` with
+//!   per-worker scratch buffers. Risks are bit-identical to the reference
+//!   path; `tests/tests/parallel.rs` asserts this.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use bgkanon_data::Table;
-use bgkanon_inference::{exact_posteriors, omega_posteriors, GroupPriors};
+use bgkanon_data::{Parallelism, Table};
+use bgkanon_inference::{
+    exact_posteriors, omega_column_sums, omega_posterior_into, omega_posteriors, GroupPriors,
+};
 use bgkanon_knowledge::Adversary;
 use bgkanon_stats::measure::BeliefDistance;
+use bgkanon_stats::Dist;
+
+/// How many groups a batch worker claims per scheduling step: large enough
+/// to amortize the atomic increment, small enough to balance uneven group
+/// sizes.
+const GROUP_BATCH: usize = 64;
 
 /// Result of auditing one published table against one adversary.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_knowledge::Adversary;
+/// use bgkanon_privacy::Auditor;
+/// use bgkanon_stats::SmoothedJs;
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let auditor = Auditor::new(
+///     Arc::new(Adversary::t_closeness(&table)),
+///     Arc::new(SmoothedJs::paper_default(table.schema().sensitive_distance())),
+/// );
+/// let report = auditor.report(&table, &bgkanon_data::toy::hospital_groups(), 0.1);
+/// assert!(report.worst_case >= report.mean);
+/// assert!(report.risk_quantile(1.0) >= report.risk_quantile(0.5));
+/// ```
 #[derive(Debug, Clone)]
 pub struct AuditReport {
     /// Per-row disclosure risk, indexed like the original table.
@@ -47,6 +87,28 @@ impl AuditReport {
 /// Replays the attack: prior from the adversary, posterior via the
 /// Ω-estimate over each published group (optionally exact Bayesian
 /// inference for small groups).
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_data::Parallelism;
+/// use bgkanon_knowledge::{Adversary, Bandwidth};
+/// use bgkanon_privacy::Auditor;
+/// use bgkanon_stats::SmoothedJs;
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let adversary = Arc::new(Adversary::kernel(
+///     &table,
+///     Bandwidth::uniform(0.3, 2).unwrap(),
+/// ));
+/// let measure = Arc::new(SmoothedJs::paper_default(table.schema().sensitive_distance()));
+/// let auditor = Auditor::new(adversary, measure);
+/// let groups = bgkanon_data::toy::hospital_groups();
+/// // The batched engine returns the same risks as the reference path,
+/// // bit for bit.
+/// let reference = auditor.report(&table, &groups, 0.25);
+/// let batched = auditor.report_with(&table, &groups, 0.25, Parallelism::Auto);
+/// assert_eq!(reference.worst_case.to_bits(), batched.worst_case.to_bits());
+/// ```
 #[derive(Clone)]
 pub struct Auditor {
     adversary: Arc<Adversary>,
@@ -104,7 +166,41 @@ impl Auditor {
 
     /// Full audit with vulnerability threshold `t`.
     pub fn report(&self, table: &Table, groups: &[Vec<usize>], t: f64) -> AuditReport {
-        let risks = self.tuple_risks(table, groups);
+        self.assemble_report(self.tuple_risks(table, groups), t)
+    }
+
+    /// Disclosure risks with an explicit execution engine.
+    ///
+    /// [`Parallelism::Serial`] runs the reference path; any other knob runs
+    /// the batched engine with that many workers, sharing this auditor's
+    /// `Arc<Adversary>` across them and memoizing posterior computations by
+    /// group signature. Both produce bit-identical risks.
+    pub fn tuple_risks_with(
+        &self,
+        table: &Table,
+        groups: &[Vec<usize>],
+        parallelism: Parallelism,
+    ) -> Vec<f64> {
+        if parallelism.is_serial() {
+            self.tuple_risks(table, groups)
+        } else {
+            self.tuple_risks_batched(table, groups, parallelism.effective_threads())
+        }
+    }
+
+    /// Full audit with an explicit execution engine (see
+    /// [`tuple_risks_with`](Self::tuple_risks_with)).
+    pub fn report_with(
+        &self,
+        table: &Table,
+        groups: &[Vec<usize>],
+        t: f64,
+        parallelism: Parallelism,
+    ) -> AuditReport {
+        self.assemble_report(self.tuple_risks_with(table, groups, parallelism), t)
+    }
+
+    fn assemble_report(&self, risks: Vec<f64>, t: f64) -> AuditReport {
         let covered: Vec<f64> = risks.iter().copied().filter(|r| !r.is_nan()).collect();
         let worst_case = covered.iter().copied().fold(0.0, f64::max);
         let mean = if covered.is_empty() {
@@ -121,6 +217,228 @@ impl Auditor {
             threshold: t,
         }
     }
+
+    /// The batched engine. Workers claim batches of groups from an atomic
+    /// cursor; each group's risks are either replayed from the signature
+    /// memo or computed once and published to it.
+    fn tuple_risks_batched(
+        &self,
+        table: &Table,
+        groups: &[Vec<usize>],
+        workers: usize,
+    ) -> Vec<f64> {
+        let cursor = AtomicUsize::new(0);
+        // Signature → per-prior-identity risks. Two groups share a signature
+        // exactly when they have the same multiset of priors and the same
+        // sensitive histogram, which determines every member's posterior and
+        // therefore its risk.
+        let memo: Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>> = Mutex::new(HashMap::new());
+        let mut risks = vec![f64::NAN; table.len()];
+        let outputs: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| self.audit_worker(table, groups, &cursor, &memo)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("audit worker panicked"))
+                .collect()
+        });
+        for (row, risk) in outputs.into_iter().flatten() {
+            risks[row] = risk;
+        }
+        risks
+    }
+
+    /// One worker of the batched engine: claims group batches and returns
+    /// `(row, risk)` pairs for the rows it audited.
+    fn audit_worker(
+        &self,
+        table: &Table,
+        groups: &[Vec<usize>],
+        cursor: &AtomicUsize,
+        memo: &Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>>,
+    ) -> Vec<(usize, f64)> {
+        let m = table.schema().sensitive_domain_size();
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        let mut scratch = AuditScratch::default();
+        loop {
+            let start = cursor.fetch_add(GROUP_BATCH, Ordering::Relaxed);
+            if start >= groups.len() {
+                return out;
+            }
+            for rows in &groups[start..groups.len().min(start + GROUP_BATCH)] {
+                if rows.is_empty() {
+                    continue;
+                }
+                self.audit_group(table, rows, m, memo, &mut scratch, &mut out);
+            }
+        }
+    }
+
+    /// Audit one group, replaying the memo when its signature was already
+    /// solved.
+    fn audit_group<'a>(
+        &'a self,
+        table: &Table,
+        rows: &[usize],
+        m: usize,
+        memo: &Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>>,
+        scratch: &mut AuditScratch<'a>,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        // Resolve each member's prior once, against the shared model. The
+        // model is immutable for the duration of the audit, so a prior's
+        // address identifies it: equal addresses ⇒ the very same `Dist`.
+        scratch.priors.clear();
+        scratch.prior_ids.clear();
+        for &r in rows {
+            let p = self.adversary.prior(table.qi(r));
+            scratch.priors.push(p);
+            scratch.prior_ids.push(std::ptr::from_ref(p) as u64);
+        }
+        table.sensitive_counts_into(rows, &mut scratch.counts);
+
+        // Group signature: the *sequence* of prior identities plus the
+        // sensitive histogram. The sequence (not just the multiset) matters
+        // because the reference path accumulates column sums — and the exact
+        // path its permanent DP — in row order, so only an order-preserving
+        // replay is guaranteed bit-identical.
+        scratch.signature.clear();
+        scratch.signature.extend_from_slice(&scratch.prior_ids);
+        scratch
+            .signature
+            .extend(scratch.counts.iter().map(|&c| u64::from(c)));
+
+        let cached = memo
+            .lock()
+            .expect("audit memo lock")
+            .get(&scratch.signature)
+            .cloned();
+        let solved = match cached {
+            Some(solved) => solved,
+            None => {
+                let solved = Arc::new(self.solve_group(rows, m, scratch));
+                memo.lock()
+                    .expect("audit memo lock")
+                    .insert(scratch.signature.clone(), Arc::clone(&solved));
+                solved
+            }
+        };
+        for (&row, &risk) in rows.iter().zip(solved.iter()) {
+            out.push((row, risk));
+        }
+    }
+
+    /// Compute one group's risks, positionally aligned with its rows — the
+    /// value the memo caches. Arithmetic mirrors the reference path exactly.
+    fn solve_group(&self, rows: &[usize], m: usize, scratch: &mut AuditScratch<'_>) -> Vec<f64> {
+        if rows.len() <= self.exact_below {
+            // Exact inference (with its §III.C permanent evaluations) is
+            // priced per group; memoization is what saves it from being
+            // recomputed for repeated signatures.
+            let priors: Vec<Dist> = scratch.priors.iter().map(|&p| (*p).clone()).collect();
+            let group = GroupPriors::from_counts(priors, scratch.counts.clone());
+            let posteriors = exact_posteriors(&group);
+            return (0..rows.len())
+                .map(|j| {
+                    self.prior_distance(
+                        scratch.prior_ids[j],
+                        group.prior(j),
+                        &posteriors[j],
+                        &mut scratch.prepared,
+                    )
+                })
+                .collect();
+        }
+        // Ω-estimate through the allocation-free kernels, evaluated once per
+        // distinct prior in the group (identical inputs give identical
+        // floats, so skipping the re-evaluation preserves bit-identity).
+        // Small groups dedup with a linear scan (cheaper than hashing);
+        // large ones use a map so a degenerate giant group stays O(k).
+        scratch.col_sums.clear();
+        scratch.col_sums.resize(m, 0.0);
+        omega_column_sums(scratch.priors.iter().copied(), &mut scratch.col_sums);
+        const LINEAR_DEDUP_MAX: usize = 64;
+        let by_scan = rows.len() <= LINEAR_DEDUP_MAX;
+        let mut bucket: Option<Dist> = None;
+        let mut distinct: Vec<(u64, f64)> = Vec::new();
+        let mut distinct_map: HashMap<u64, f64> = HashMap::new();
+        let mut solved = Vec::with_capacity(rows.len());
+        for (j, &id) in scratch.prior_ids.iter().enumerate() {
+            let cached = if by_scan {
+                distinct
+                    .iter()
+                    .find(|&&(did, _)| did == id)
+                    .map(|&(_, risk)| risk)
+            } else {
+                distinct_map.get(&id).copied()
+            };
+            if let Some(risk) = cached {
+                solved.push(risk);
+                continue;
+            }
+            let prior = scratch.priors[j];
+            let mut w = vec![0.0f64; m];
+            let posterior =
+                if omega_posterior_into(prior, &scratch.counts, &scratch.col_sums, &mut w) {
+                    Dist::new(w).expect("normalized")
+                } else {
+                    bucket
+                        .get_or_insert_with(|| {
+                            Dist::from_counts(&scratch.counts).expect("group is non-empty")
+                        })
+                        .clone()
+                };
+            let risk = self.prior_distance(id, prior, &posterior, &mut scratch.prepared);
+            if by_scan {
+                distinct.push((id, risk));
+            } else {
+                distinct_map.insert(id, risk);
+            }
+            solved.push(risk);
+        }
+        solved
+    }
+
+    /// Distance from a prior (identified by `id`) to `posterior`, routing
+    /// through the measure's prepared-prior fast path when it has one. The
+    /// prepared value is cached per prior identity for the worker's
+    /// lifetime; [`BeliefDistance::prepare_prior`]'s contract guarantees the
+    /// result is bit-identical to a plain `distance` call.
+    fn prior_distance(
+        &self,
+        id: u64,
+        prior: &Dist,
+        posterior: &Dist,
+        prepared_cache: &mut HashMap<u64, Option<Dist>>,
+    ) -> f64 {
+        let prepared = prepared_cache
+            .entry(id)
+            .or_insert_with(|| self.measure.prepare_prior(prior));
+        match prepared {
+            Some(prep) => self.measure.prepared_distance(prep, posterior),
+            None => self.measure.distance(prior, posterior),
+        }
+    }
+}
+
+/// Per-worker scratch buffers of the batched audit engine, borrowing priors
+/// from the shared adversary model for the duration of one audit.
+#[derive(Default)]
+struct AuditScratch<'a> {
+    /// Borrowed priors of the current group, in row order.
+    priors: Vec<&'a Dist>,
+    /// Address identity of each prior.
+    prior_ids: Vec<u64>,
+    /// Sensitive histogram of the current group.
+    counts: Vec<u32>,
+    /// Memo key under construction.
+    signature: Vec<u64>,
+    /// Ω column sums.
+    col_sums: Vec<f64>,
+    /// Prepared-prior cache of the measure's fast path, keyed by prior
+    /// identity and kept for the worker's lifetime.
+    prepared: HashMap<u64, Option<Dist>>,
 }
 
 impl std::fmt::Debug for Auditor {
@@ -227,6 +545,53 @@ mod tests {
         assert!(rep.risks[0].is_finite());
         assert!(rep.risks[5].is_nan());
         assert!(rep.vulnerable <= 3);
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_reference() {
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        for auditor in [auditor(&t, 0.3), auditor(&t, 0.3).use_exact_below(16)] {
+            let serial = auditor.tuple_risks_with(&t, &groups, Parallelism::Serial);
+            for workers in [1usize, 2, 4] {
+                let batched = auditor.tuple_risks_with(&t, &groups, Parallelism::threads(workers));
+                assert_eq!(serial.len(), batched.len());
+                for (row, (s, b)) in serial.iter().zip(&batched).enumerate() {
+                    assert!(
+                        s.to_bits() == b.to_bits(),
+                        "row {row} diverges at {workers} workers: {s} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_engine_handles_constant_prior_adversaries() {
+        // A constant-prior adversary makes every group share one prior
+        // object — the memo's best case; results must still match.
+        let t = toy::hospital_table();
+        let adv = Arc::new(Adversary::t_closeness(&t));
+        let measure = Arc::new(SmoothedJs::paper_default(t.schema().sensitive_distance()));
+        let a = Auditor::new(adv, measure);
+        let groups = toy::hospital_groups();
+        let serial = a.tuple_risks_with(&t, &groups, Parallelism::Serial);
+        let batched = a.tuple_risks_with(&t, &groups, Parallelism::threads(2));
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!(s.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn report_with_matches_report() {
+        let t = toy::hospital_table();
+        let a = auditor(&t, 0.3);
+        let groups = toy::hospital_groups();
+        let serial = a.report(&t, &groups, 0.1);
+        let batched = a.report_with(&t, &groups, 0.1, Parallelism::Auto);
+        assert_eq!(serial.worst_case.to_bits(), batched.worst_case.to_bits());
+        assert_eq!(serial.mean.to_bits(), batched.mean.to_bits());
+        assert_eq!(serial.vulnerable, batched.vulnerable);
     }
 
     #[test]

@@ -32,6 +32,27 @@ pub trait BeliefDistance: Send + Sync {
 
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// Fold the prior-dependent half of the computation into a reusable
+    /// value, such that
+    /// `prepared_distance(&prepare_prior(p).unwrap(), q)` equals
+    /// `distance(p, q)` **bit-for-bit**. Batch auditors cache the prepared
+    /// value per distinct prior, which pays off when many tuples share a
+    /// prior. Measures without a separable prior stage return `None` (the
+    /// default) and are always evaluated through [`distance`](Self::distance).
+    fn prepare_prior(&self, p: &Dist) -> Option<Dist> {
+        let _ = p;
+        None
+    }
+
+    /// Distance from a prior prepared by
+    /// [`prepare_prior`](Self::prepare_prior) to posterior `q`. Measures
+    /// returning `Some` from `prepare_prior` must override this; the
+    /// default is unreachable for measures that keep the `None` default.
+    fn prepared_distance(&self, prepared: &Dist, q: &Dist) -> f64 {
+        let _ = (prepared, q);
+        unreachable!("prepared_distance requires an override when prepare_prior returns Some")
+    }
 }
 
 /// Kullback–Leibler divergence. Fails the *zero-probability definability*
@@ -213,6 +234,14 @@ impl BeliefDistance for SmoothedJs {
 
     fn name(&self) -> &'static str {
         "smoothed-JS"
+    }
+
+    fn prepare_prior(&self, p: &Dist) -> Option<Dist> {
+        Some(self.smoother.smooth(p))
+    }
+
+    fn prepared_distance(&self, prepared: &Dist, q: &Dist) -> f64 {
+        js_divergence(prepared, &self.smoother.smooth(q))
     }
 }
 
