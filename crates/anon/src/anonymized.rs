@@ -136,7 +136,9 @@ impl Group {
 #[derive(Debug, Clone)]
 pub struct AnonymizedTable {
     schema: Arc<Schema>,
-    groups: Vec<Group>,
+    /// Shared so cloning a publication (sessions hand out snapshots of
+    /// every release) is O(1) instead of a deep copy of all groups.
+    groups: Arc<Vec<Group>>,
     n_rows: usize,
 }
 
@@ -158,8 +160,20 @@ impl AnonymizedTable {
         );
         AnonymizedTable {
             schema: Arc::clone(table.schema()),
-            groups,
+            groups: Arc::new(groups),
             n_rows: table.len(),
+        }
+    }
+
+    /// Assemble from parts whose partition validity the caller guarantees
+    /// (the partition tree's snapshot path — its structural invariants
+    /// already imply a valid partition, and debug builds re-validate).
+    #[cfg_attr(debug_assertions, allow(dead_code))]
+    pub(crate) fn trusted(schema: Arc<Schema>, groups: Vec<Group>, n_rows: usize) -> Self {
+        AnonymizedTable {
+            schema,
+            groups: Arc::new(groups),
+            n_rows,
         }
     }
 

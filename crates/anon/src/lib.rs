@@ -25,8 +25,10 @@ pub mod anonymized;
 pub mod bucketize;
 pub mod fulldomain;
 pub mod mondrian;
+pub mod tree;
 
 pub use anonymized::{AnonymizedTable, Group, QiRange};
 pub use bucketize::bucketize;
 pub use fulldomain::{FullDomain, FullDomainOutcome};
-pub use mondrian::Mondrian;
+pub use mondrian::{Mondrian, SplitDecision};
+pub use tree::PartitionTree;

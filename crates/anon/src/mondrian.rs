@@ -24,12 +24,14 @@
 //!   first row, the output is bit-identical to the reference path regardless
 //!   of scheduling — `tests/tests/parallel.rs` proves this property.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use bgkanon_data::{Parallelism, Table};
 use bgkanon_privacy::{GroupView, PrivacyRequirement};
 
-use crate::anonymized::{AnonymizedTable, Group, QiRange};
+use crate::anonymized::AnonymizedTable;
+use crate::tree::{NodeRec, PartitionTree};
 
 /// Children at least this large go to the shared deque for other workers to
 /// steal; smaller ones are processed on the local stack to avoid lock
@@ -57,22 +59,72 @@ pub struct Mondrian {
     requirement: Arc<dyn PrivacyRequirement>,
 }
 
+/// The decision one committed Mondrian split is made of: the sequence of
+/// dimensions the splitter *tried* (each attempt stably re-sorts the
+/// region's rows, so the sequence — not just the winner — determines the
+/// row order handed to the children), the winning dimension, and the median
+/// threshold. Rows with `value < median` go left, or `value ≤ median` when
+/// `le_mode` is set (the case where the median equals the region minimum).
+///
+/// Retaining the decision is what makes incremental republication possible:
+/// a delta-refresh replays the decision procedure on a node's updated rows
+/// and keeps the subtree exactly when the replay reproduces this record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitDecision {
+    /// Dimensions tried, in order, up to and including the winning one.
+    pub attempts: Vec<usize>,
+    /// The winning dimension.
+    pub dim: usize,
+    /// The median code on `dim`.
+    pub median: u32,
+    /// `false`: left half is `value < median`; `true`: `value ≤ median`.
+    pub le_mode: bool,
+}
+
+impl SplitDecision {
+    /// Does a row with code `value` on the split dimension go to the left
+    /// child?
+    pub fn goes_left(&self, value: u32) -> bool {
+        if self.le_mode {
+            value <= self.median
+        } else {
+            value < self.median
+        }
+    }
+}
+
 /// A pending region of the partition tree: its member rows (in the order the
 /// parent split left them — this order is part of the algorithm's output),
 /// its sensitive histogram (carried along so each split only has to count
-/// one half), and the set of dimensions that can still have positive width.
+/// one half), the set of dimensions that can still have positive width, and
+/// the tree slot the region's node will occupy.
 /// Normalized width is monotone under taking subsets (numeric ranges shrink;
 /// a sub-range's LCA in a hierarchy is a descendant-or-self of the range's),
 /// so a dimension observed at zero width never needs to be scanned again.
-struct Region {
-    rows: Vec<usize>,
-    counts: Vec<u32>,
-    live_dims: u64,
+pub(crate) struct Region {
+    pub(crate) slot: usize,
+    pub(crate) rows: Vec<usize>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) live_dims: u64,
+}
+
+/// Reusable buffers for [`Mondrian::decide_only_counts`].
+#[derive(Default)]
+pub(crate) struct DecideScratch {
+    /// Row indices of the node under replay (translated from ids).
+    pub(crate) rows: Vec<usize>,
+    widths: Vec<(usize, f64)>,
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    value_counts: Vec<u32>,
+    counts_total: Vec<u32>,
+    counts_left: Vec<u32>,
+    counts_right: Vec<u32>,
 }
 
 /// Per-worker scratch buffers for the optimized splitter.
 #[derive(Default)]
-struct SplitScratch {
+pub(crate) struct SplitScratch {
     /// `(dimension, normalized width)` candidates, widest first.
     widths: Vec<(usize, f64)>,
     /// Live dimensions of the current region, as a list.
@@ -93,6 +145,14 @@ struct SplitScratch {
     counts_left: Vec<u32>,
     /// Right half's sensitive histogram (parent minus left).
     counts_right: Vec<u32>,
+}
+
+impl SplitScratch {
+    /// The per-dimension min/max the last [`Mondrian::try_split_fast`] call
+    /// left behind — the finished region's published ranges.
+    pub(crate) fn ranges(&self) -> (Vec<u32>, Vec<u32>) {
+        (self.lo.clone(), self.hi.clone())
+    }
 }
 
 impl Mondrian {
@@ -124,12 +184,37 @@ impl Mondrian {
     ///
     /// [`Parallelism::Serial`] runs the reference implementation; any other
     /// knob runs the work-stealing engine with that many workers. Both
-    /// produce the identical partition.
+    /// produce the identical partition. The output is derived as a view of
+    /// the [`PartitionTree`] built by [`plant_with`](Self::plant_with).
     ///
     /// # Panics
     ///
     /// Panics if the whole table itself does not satisfy the requirement.
     pub fn anonymize_with(&self, table: &Table, parallelism: Parallelism) -> AnonymizedTable {
+        self.plant_with(table, parallelism).to_anonymized(table)
+    }
+
+    /// Partition `table` into a persistent [`PartitionTree`] on the
+    /// single-threaded reference path (equivalent to
+    /// [`plant_with`](Self::plant_with) with [`Parallelism::Serial`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole table itself does not satisfy the requirement.
+    pub fn plant(&self, table: &Table) -> PartitionTree {
+        self.plant_with(table, Parallelism::Serial)
+    }
+
+    /// Partition `table` into a persistent [`PartitionTree`] — the
+    /// retained-state form of the partition, recording every committed
+    /// split's [`SplitDecision`] so later deltas can be routed through it
+    /// by [`Mondrian::refresh`](Self::refresh). Both engines produce the
+    /// identical tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole table itself does not satisfy the requirement.
+    pub fn plant_with(&self, table: &Table, parallelism: Parallelism) -> PartitionTree {
         assert!(!table.is_empty(), "cannot anonymize an empty table");
         let all_rows: Vec<usize> = (0..table.len()).collect();
         let root_counts = table.sensitive_counts_in(&all_rows);
@@ -146,12 +231,13 @@ impl Mondrian {
         // The optimized engine tracks live dimensions in a u64 bitmask;
         // wider schemas (>64 QI attributes) fall back to the reference
         // engine rather than fail.
-        let mut groups = if parallelism.is_serial() || table.qi_count() > 64 {
-            self.partition_serial(table, all_rows)
+        let (slots, records) = if parallelism.is_serial() || table.qi_count() > 64 {
+            self.records_serial(table, all_rows)
         } else {
-            self.partition_parallel(
+            self.records_parallel(
                 table,
                 Region {
+                    slot: 0,
                     rows: all_rows,
                     counts: root_counts,
                     live_dims: live_mask(table.qi_count()),
@@ -159,41 +245,55 @@ impl Mondrian {
                 parallelism.effective_threads(),
             )
         };
-        // Deterministic group order: by first row index (groups partition the
-        // rows, so first-row indices are unique).
-        groups.sort_by_key(|g| g.rows[0]);
-        AnonymizedTable::new(table, groups)
+        PartitionTree::from_records(table, slots, records)
     }
 
-    /// The reference engine: a plain explicit-stack depth-first expansion.
-    fn partition_serial(&self, table: &Table, all_rows: Vec<usize>) -> Vec<Group> {
-        let mut groups = Vec::new();
-        let mut stack = vec![all_rows];
-        while let Some(rows) = stack.pop() {
-            match self.try_split(table, &rows) {
-                Some((left, right)) => {
-                    stack.push(left);
-                    stack.push(right);
+    /// The reference engine: a plain explicit-stack depth-first expansion
+    /// emitting one node record per region.
+    fn records_serial(
+        &self,
+        table: &Table,
+        all_rows: Vec<usize>,
+    ) -> (usize, Vec<(usize, NodeRec)>) {
+        let mut records = Vec::new();
+        let mut slots = 1usize;
+        let mut stack = vec![(0usize, all_rows)];
+        while let Some((slot, rows)) = stack.pop() {
+            match self.decide_split(table, &rows) {
+                Some((decision, left, right)) => {
+                    let (l, r) = (slots, slots + 1);
+                    slots += 2;
+                    records.push((slot, NodeRec::internal(decision, l, r, rows.len())));
+                    stack.push((l, left));
+                    stack.push((r, right));
                 }
-                None => groups.push(Group::from_rows(table, rows)),
+                None => records.push((slot, NodeRec::leaf_from_rows(table, rows))),
             }
         }
-        groups
+        (slots, records)
     }
 
     /// The parallel engine: `workers` threads steal regions from a shared
     /// LIFO deque; each worker keeps a local stack of small regions and its
-    /// own scratch buffers, and emits finished groups into a local vector
-    /// merged after the scope joins.
-    fn partition_parallel(&self, table: &Table, root: Region, workers: usize) -> Vec<Group> {
+    /// own scratch buffers, and emits node records into a local vector
+    /// merged after the scope joins. Tree slots are handed out by an atomic
+    /// counter, so slot *numbers* depend on scheduling while the tree
+    /// *content* does not.
+    fn records_parallel(
+        &self,
+        table: &Table,
+        root: Region,
+        workers: usize,
+    ) -> (usize, Vec<(usize, NodeRec)>) {
         let engine = Engine {
             state: Mutex::new(EngineState {
                 deque: vec![root],
                 active: 0,
             }),
             available: Condvar::new(),
+            slots: AtomicUsize::new(1),
         };
-        let mut outputs: Vec<Vec<Group>> = Vec::with_capacity(workers);
+        let mut outputs: Vec<Vec<(usize, NodeRec)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| scope.spawn(|| self.worker(table, &engine)))
@@ -202,25 +302,35 @@ impl Mondrian {
                 outputs.push(h.join().expect("worker panicked"));
             }
         });
-        outputs.into_iter().flatten().collect()
+        (
+            engine.slots.load(Ordering::Relaxed),
+            outputs.into_iter().flatten().collect(),
+        )
     }
 
     /// One worker of the parallel engine.
-    fn worker(&self, table: &Table, engine: &Engine) -> Vec<Group> {
+    fn worker(&self, table: &Table, engine: &Engine) -> Vec<(usize, NodeRec)> {
         let mut scratch = SplitScratch::default();
         let mut local: Vec<Region> = Vec::new();
-        let mut leaves: Vec<Group> = Vec::new();
+        let mut records: Vec<(usize, NodeRec)> = Vec::new();
         loop {
             // Drain the local stack first; fall back to stealing.
             let region = match local.pop() {
                 Some(r) => r,
                 None => match engine.steal() {
                     Some(r) => r,
-                    None => return leaves,
+                    None => return records,
                 },
             };
             match self.try_split_fast(table, &region, &mut scratch) {
-                Some((left, right)) => {
+                Some((decision, mut left, mut right)) => {
+                    let l = engine.slots.fetch_add(2, Ordering::Relaxed);
+                    left.slot = l;
+                    right.slot = l + 1;
+                    records.push((
+                        region.slot,
+                        NodeRec::internal(decision, l, l + 1, region.rows.len()),
+                    ));
                     // Offer large halves to other workers; keep small ones.
                     for child in [right, left] {
                         if child.rows.len() >= STEAL_THRESHOLD {
@@ -231,8 +341,16 @@ impl Mondrian {
                     }
                 }
                 // try_split_fast left the region's per-dimension min/max in
-                // the scratch, so the group's ranges come for free.
-                None => leaves.push(leaf_group(table, region, &scratch)),
+                // the scratch, so the leaf's ranges come for free.
+                None => records.push((
+                    region.slot,
+                    NodeRec::leaf_from_parts(
+                        region.rows,
+                        scratch.lo.clone(),
+                        scratch.hi.clone(),
+                        region.counts,
+                    ),
+                )),
             }
             if local.is_empty() {
                 engine.finished();
@@ -240,10 +358,17 @@ impl Mondrian {
         }
     }
 
-    /// Attempt a median split of `rows`, returning both halves if some
-    /// dimension yields halves that both satisfy the requirement. This is
-    /// the reference implementation the optimized splitter mirrors.
-    fn try_split(&self, table: &Table, rows: &[usize]) -> Option<(Vec<usize>, Vec<usize>)> {
+    /// Attempt a median split of `rows`, returning the committed decision
+    /// and both halves if some dimension yields halves that both satisfy
+    /// the requirement. This is the reference implementation the optimized
+    /// splitter mirrors — and the replay oracle the incremental refresh
+    /// uses to decide whether a retained split is still exactly what a
+    /// from-scratch run would do.
+    pub(crate) fn decide_split(
+        &self,
+        table: &Table,
+        rows: &[usize],
+    ) -> Option<(SplitDecision, Vec<usize>, Vec<usize>)> {
         if rows.len() < 2 {
             return None;
         }
@@ -269,10 +394,12 @@ impl Mondrian {
         widths.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
 
         let mut sorted = rows.to_vec();
+        let mut attempts = Vec::new();
         for &(dim, width) in &widths {
             if width <= 0.0 {
                 break; // Every remaining dimension is constant.
             }
+            attempts.push(dim);
             sorted.sort_by_key(|&r| table.qi_value(r, dim));
             // Median split value: the value of the middle row. Rows with
             // value ≤ split go left; ties stay together (strict Mondrian on
@@ -281,19 +408,19 @@ impl Mondrian {
             // Choose the split threshold so both sides are non-empty: prefer
             // `v < median_value` vs rest; if the left side is empty (median
             // equals minimum), use `v ≤ median_value` vs rest.
-            let split_at = {
+            let (split_at, le_mode) = {
                 let lt = sorted
                     .iter()
                     .position(|&r| table.qi_value(r, dim) >= median_value)
                     .unwrap_or(0);
                 if lt > 0 {
-                    lt
+                    (lt, false)
                 } else {
                     match sorted
                         .iter()
                         .position(|&r| table.qi_value(r, dim) > median_value)
                     {
-                        Some(le) if le < sorted.len() => le,
+                        Some(le) if le < sorted.len() => (le, true),
                         _ => continue, // All values equal — cannot split here.
                     }
                 }
@@ -305,7 +432,124 @@ impl Mondrian {
             let lv = GroupView::compute(table, &left, &mut buf_l);
             let rv = GroupView::compute(table, &right, &mut buf_r);
             if self.requirement.is_satisfied(&lv) && self.requirement.is_satisfied(&rv) {
-                return Some((left, right));
+                let decision = SplitDecision {
+                    attempts,
+                    dim,
+                    median: median_value,
+                    le_mode,
+                };
+                return Some((decision, left, right));
+            }
+        }
+        None
+    }
+
+    /// Decision-only replay of the reference procedure for
+    /// counts-decidable requirements: same widths, same candidate order,
+    /// same medians, same requirement booleans — but since neither the
+    /// decision nor a counts-decidable check depends on row order, no
+    /// sorting, no half materialization and no allocation beyond the
+    /// reusable `scratch`. The incremental refresh calls this once per
+    /// dirty node, so the constant matters.
+    pub(crate) fn decide_only_counts(
+        &self,
+        table: &Table,
+        rows: &[usize],
+        scratch: &mut DecideScratch,
+    ) -> Option<SplitDecision> {
+        if rows.len() < 2 {
+            return None;
+        }
+        let n = rows.len();
+        let d = table.qi_count();
+        let schema = table.schema();
+        let m = schema.sensitive_domain_size();
+        scratch.lo.clear();
+        scratch.hi.clear();
+        let first = table.qi(rows[0]);
+        scratch.lo.extend_from_slice(first);
+        scratch.hi.extend_from_slice(first);
+        for &r in &rows[1..] {
+            let q = table.qi(r);
+            for (i, &v) in q.iter().enumerate() {
+                scratch.lo[i] = scratch.lo[i].min(v);
+                scratch.hi[i] = scratch.hi[i].max(v);
+            }
+        }
+        scratch.widths.clear();
+        for i in 0..d {
+            if scratch.hi[i] > scratch.lo[i] {
+                let w = schema.qi_distance(i).get(scratch.lo[i], scratch.hi[i]);
+                if w > 0.0 {
+                    scratch.widths.push((i, w));
+                }
+            }
+        }
+        scratch
+            .widths
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        table.sensitive_counts_into(rows, &mut scratch.counts_total);
+        let mut attempts = Vec::new();
+        for wi in 0..scratch.widths.len() {
+            let (dim, _) = scratch.widths[wi];
+            attempts.push(dim);
+            let dom = schema.qi_attribute(dim).domain_size() as usize;
+            scratch.value_counts.clear();
+            scratch.value_counts.resize(dom, 0);
+            for &r in rows {
+                scratch.value_counts[table.qi_value(r, dim) as usize] += 1;
+            }
+            // The value at sorted position n/2 — the reference's median row.
+            let target = n / 2;
+            let mut acc = 0usize;
+            let mut median = 0usize;
+            for (v, &c) in scratch.value_counts.iter().enumerate() {
+                let next = acc + c as usize;
+                if target < next {
+                    median = v;
+                    break;
+                }
+                acc = next;
+            }
+            let lt = acc;
+            let le = lt + scratch.value_counts[median] as usize;
+            let (split_at, le_mode) = if lt > 0 {
+                (lt, false)
+            } else if le < n {
+                (le, true)
+            } else {
+                continue; // All values equal — cannot split here.
+            };
+            let bound = if le_mode {
+                median as u32 + 1
+            } else {
+                median as u32
+            };
+            scratch.counts_left.clear();
+            scratch.counts_left.resize(m, 0);
+            for &r in rows {
+                if table.qi_value(r, dim) < bound {
+                    scratch.counts_left[table.sensitive_value(r) as usize] += 1;
+                }
+            }
+            scratch.counts_right.clear();
+            scratch.counts_right.extend(
+                scratch
+                    .counts_total
+                    .iter()
+                    .zip(&scratch.counts_left)
+                    .map(|(&t, &l)| t - l),
+            );
+            let requirement = &self.requirement;
+            if requirement.is_satisfied_by_counts(split_at, &scratch.counts_left)
+                && requirement.is_satisfied_by_counts(n - split_at, &scratch.counts_right)
+            {
+                return Some(SplitDecision {
+                    attempts,
+                    dim,
+                    median: median as u32,
+                    le_mode,
+                });
             }
         }
         None
@@ -322,12 +566,12 @@ impl Mondrian {
     /// On return — `Some` or `None` — `scratch.lo`/`scratch.hi` hold the
     /// region's per-dimension min/max, which [`leaf_group`] turns into the
     /// published ranges without rescanning.
-    fn try_split_fast(
+    pub(crate) fn try_split_fast(
         &self,
         table: &Table,
         region: &Region,
         scratch: &mut SplitScratch,
-    ) -> Option<(Region, Region)> {
+    ) -> Option<(SplitDecision, Region, Region)> {
         let rows = &region.rows;
         let d = table.qi_count();
         let schema = table.schema();
@@ -377,8 +621,10 @@ impl Mondrian {
         scratch.sorted.clear();
         scratch.sorted.extend_from_slice(rows);
         let n = rows.len();
+        let mut attempts = Vec::new();
         for wi in 0..scratch.widths.len() {
             let (dim, _) = scratch.widths[wi];
+            attempts.push(dim);
             // Stable counting sort of `sorted` by the dimension's code.
             let dom = schema.qi_attribute(dim).domain_size() as usize;
             scratch.value_counts.clear();
@@ -409,10 +655,10 @@ impl Mondrian {
                 .map(|&c| c as usize)
                 .sum();
             let le = lt + scratch.value_counts[median_value] as usize;
-            let split_at = if lt > 0 {
-                lt
+            let (split_at, le_mode) = if lt > 0 {
+                (lt, false)
             } else if le < n {
-                le
+                (le, true)
             } else {
                 continue; // All values equal — cannot split here.
             };
@@ -451,13 +697,22 @@ impl Mondrian {
                 sensitive_counts: counts_r,
             };
             if self.requirement.is_satisfied(&lv) && self.requirement.is_satisfied(&rv) {
+                let decision = SplitDecision {
+                    attempts,
+                    dim,
+                    median: median_value as u32,
+                    le_mode,
+                };
                 return Some((
+                    decision,
                     Region {
+                        slot: 0, // assigned by the caller
                         rows: left.to_vec(),
                         counts: counts_l.clone(),
                         live_dims: child_live,
                     },
                     Region {
+                        slot: 0, // assigned by the caller
                         rows: right.to_vec(),
                         counts: counts_r.clone(),
                         live_dims: child_live,
@@ -470,7 +725,7 @@ impl Mondrian {
 }
 
 /// Bitmask with the lowest `d` bits set — all dimensions live.
-fn live_mask(d: usize) -> u64 {
+pub(crate) fn live_mask(d: usize) -> u64 {
     assert!(d <= 64, "at most 64 QI dimensions supported");
     if d == 64 {
         u64::MAX
@@ -479,27 +734,12 @@ fn live_mask(d: usize) -> u64 {
     }
 }
 
-/// Materialize a finished region as a published group, reusing its histogram
-/// and the min/max scan the failed split attempt just performed.
-fn leaf_group(table: &Table, region: Region, scratch: &SplitScratch) -> Group {
-    let d = table.qi_count();
-    let ranges = (0..d)
-        .map(|i| QiRange {
-            min: scratch.lo[i],
-            max: scratch.hi[i],
-        })
-        .collect();
-    Group {
-        rows: region.rows,
-        ranges,
-        sensitive_counts: region.counts,
-    }
-}
-
 /// Shared state of the work-stealing engine.
 struct Engine {
     state: Mutex<EngineState>,
     available: Condvar,
+    /// Next free tree slot (slot 0 is the root).
+    slots: AtomicUsize,
 }
 
 struct EngineState {

@@ -7,6 +7,18 @@
 //! cargo run --release -p bgkanon-bench --bin baseline -- --smoke # 1k rows (CI)
 //! ```
 //!
+//! `--incremental` switches to the **incremental republication** benchmark,
+//! written to `BENCH_incremental.json`: a [`PublishSession`](bgkanon::PublishSession) absorbs
+//! repeated 1% deltas (½% deletes + ½% inserts) and each `session.apply` +
+//! cached re-audit is timed against a from-scratch publish + audit of the
+//! identical final table, with both sides verified bit-identical before
+//! any number is recorded.
+//!
+//! ```text
+//! cargo run --release -p bgkanon-bench --bin baseline -- --incremental
+//! cargo run --release -p bgkanon-bench --bin baseline -- --incremental --smoke
+//! ```
+//!
 //! Methodology:
 //!
 //! * **publish** — Mondrian under 10-anonymity (the partitioning cost the
@@ -29,12 +41,13 @@ use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bgkanon::data::{adult, Parallelism, Table};
+use bgkanon::data::{adult, DeltaBuilder, Parallelism, Table};
 use bgkanon::knowledge::{Adversary, Bandwidth};
 use bgkanon::privacy::Auditor;
 use bgkanon::stats::SmoothedJs;
 use bgkanon::Publisher;
 use bgkanon_bench::report::Report;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 /// k of the published k-anonymity requirement.
 const K: usize = 10;
@@ -219,25 +232,345 @@ fn json(results: &[SizeResult], threads: usize, smoke: bool, reps: usize) -> Str
     out
 }
 
+/// One measured delta step of the incremental benchmark.
+struct DeltaStep {
+    apply_ms: f64,
+    inc_audit_ms: f64,
+    full_publish_ms: f64,
+    full_audit_ms: f64,
+}
+
+impl DeltaStep {
+    fn speedup(&self) -> f64 {
+        (self.full_publish_ms + self.full_audit_ms) / (self.apply_ms + self.inc_audit_ms)
+    }
+}
+
+/// How a delta's rows are distributed over the QI space.
+///
+/// * `Scattered` — uniform random churn, the worst case for a retained
+///   tree: every delta row dirties its own root-to-leaf path;
+/// * `Clustered` — a cohort update localized in a narrow age band (bulk
+///   arrivals/departures share demographics), the case incremental
+///   republication is built for: the delta descends through a handful of
+///   subtrees and the rest of the tree is untouched.
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Scattered,
+    Clustered,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Scattered => "scattered",
+            Workload::Clustered => "clustered",
+        }
+    }
+}
+
+/// Incremental results for one table size and workload.
+struct IncrementalResult {
+    rows: usize,
+    workload: Workload,
+    /// Mean rows actually churned per delta (deletes + inserts); the
+    /// clustered workload can fall short of the nominal 1% when the chosen
+    /// band is sparsely populated.
+    delta_rows: usize,
+    groups: usize,
+    open_ms: f64,
+    estimate_ms: f64,
+    first_audit_ms: f64,
+    steps: Vec<DeltaStep>,
+}
+
+impl IncrementalResult {
+    fn mean(&self, f: impl Fn(&DeltaStep) -> f64) -> f64 {
+        self.steps.iter().map(f).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Speedup of the mean incremental step over the mean full republish.
+    fn speedup_mean(&self) -> f64 {
+        (self.mean(|s| s.full_publish_ms) + self.mean(|s| s.full_audit_ms))
+            / (self.mean(|s| s.apply_ms) + self.mean(|s| s.inc_audit_ms))
+    }
+
+    fn speedup_best(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(DeltaStep::speedup)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run the incremental republication benchmark at one size and workload:
+/// `reps` successive 1% deltas through one session, each checked
+/// bit-identical against a from-scratch publish + audit of the same final
+/// table.
+fn run_incremental(rows: usize, reps: usize, workload: Workload) -> IncrementalResult {
+    let table = adult::generate(rows, SEED);
+    let publisher = Publisher::new()
+        .k_anonymity(K)
+        .parallelism(Parallelism::Auto);
+    let measure: Arc<dyn bgkanon::stats::BeliefDistance> = Arc::new(SmoothedJs::paper_default(
+        table.schema().sensitive_distance(),
+    ));
+    // One kernel adversary, estimated once from the base table and reused
+    // across every release on both sides (the paper's Fig. 1 accounting).
+    let (auditor, estimate_ms) = time_ms(|| {
+        Auditor::new(
+            Arc::new(Adversary::kernel(
+                &table,
+                Bandwidth::uniform(B_PRIME, table.qi_count()).expect("positive bandwidth"),
+            )),
+            measure,
+        )
+    });
+    let (mut session, open_ms) = time_ms(|| publisher.open(&table).expect("satisfiable"));
+    let (_, first_audit_ms) = time_ms(|| session.audit_with(&auditor, THRESHOLD));
+
+    // 1% churn per delta: exactly 0.5% deletes + an equal number of
+    // inserts, so the table size — and with it the median positions the
+    // retained splits hinge on — stays stable, as in a steady-state
+    // replacement workload.
+    let delta_half = (rows / 200).max(1);
+    // Width (in age codes, domain 0..74) of the clustered cohort band.
+    const BAND: u32 = 2;
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0xdead_beef);
+    let mut steps = Vec::with_capacity(reps);
+    let mut churned = 0usize;
+    for rep in 0..reps {
+        let n = session.len();
+        let age_domain = session.table().schema().qi_attribute(0).domain_size();
+        let mut builder = DeltaBuilder::new(Arc::clone(session.table().schema()));
+        let donors = adult::generate(delta_half, SEED + 1000 + rep as u64);
+        match workload {
+            Workload::Scattered => {
+                let mut chosen = std::collections::HashSet::with_capacity(delta_half);
+                while chosen.len() < delta_half {
+                    chosen.insert(rng.gen_range(0..n));
+                }
+                for &row in &chosen {
+                    builder.delete(row);
+                }
+                for r in 0..delta_half {
+                    builder
+                        .insert_codes(donors.qi(r), donors.sensitive_value(r))
+                        .expect("donors share the schema");
+                }
+            }
+            Workload::Clustered => {
+                // One replacement cohort: retire records inside a narrow
+                // age band and admit newcomers with the same ages but fresh
+                // remaining attributes (a periodic cohort refresh). Age
+                // marginals are preserved exactly, so churn stays local to
+                // the band's subtrees. Bands the sampling leaves empty are
+                // re-drawn — a no-op delta must never count as a measured
+                // republication step.
+                let table = session.table();
+                let mut ages = Vec::with_capacity(delta_half);
+                let mut rows_in_band = Vec::new();
+                for _attempt in 0..64 {
+                    let band_lo = rng.gen_range(0..age_domain.saturating_sub(BAND).max(1));
+                    for row in 0..n {
+                        if ages.len() == delta_half {
+                            break;
+                        }
+                        let age = table.qi_value(row, 0);
+                        if age >= band_lo && age < band_lo + BAND && rng.gen_bool(0.5) {
+                            rows_in_band.push(row);
+                            ages.push(age);
+                        }
+                    }
+                    if !ages.is_empty() {
+                        break;
+                    }
+                }
+                assert!(!ages.is_empty(), "no populated age band found in 64 draws");
+                for &row in &rows_in_band {
+                    builder.delete(row);
+                }
+                for (r, &age) in ages.iter().enumerate() {
+                    let mut qi = donors.qi(r).to_vec();
+                    qi[0] = age;
+                    builder
+                        .insert_codes(&qi, donors.sensitive_value(r))
+                        .expect("donors share the schema");
+                }
+            }
+        }
+        let delta = builder.build();
+        churned += delta.len();
+
+        let (outcome, apply_ms) = time_ms(|| session.apply(&delta).expect("satisfiable delta"));
+        let (inc_report, inc_audit_ms) = time_ms(|| session.audit_with(&auditor, THRESHOLD));
+
+        let (full_outcome, full_publish_ms) =
+            time_ms(|| publisher.publish(session.table()).expect("satisfiable"));
+        let (full_report, full_audit_ms) =
+            time_ms(|| full_outcome.audit_with(session.table(), &auditor, THRESHOLD));
+
+        // The recorded speedup must never be bought with drift.
+        let inc_groups = outcome.anonymized.groups();
+        let full_groups = full_outcome.anonymized.groups();
+        assert_eq!(inc_groups.len(), full_groups.len(), "group count drift");
+        for (a, b) in inc_groups.iter().zip(full_groups) {
+            assert_eq!(a.rows, b.rows, "group membership drift");
+            assert_eq!(a.ranges, b.ranges, "range drift");
+        }
+        for (row, (a, b)) in inc_report.risks.iter().zip(&full_report.risks).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "risk drift at row {row}");
+        }
+
+        steps.push(DeltaStep {
+            apply_ms,
+            inc_audit_ms,
+            full_publish_ms,
+            full_audit_ms,
+        });
+    }
+    IncrementalResult {
+        rows,
+        workload,
+        delta_rows: churned / reps,
+        groups: session.group_count(),
+        open_ms,
+        estimate_ms,
+        first_audit_ms,
+        steps,
+    }
+}
+
+fn incremental_json(
+    results: &[IncrementalResult],
+    threads: usize,
+    smoke: bool,
+    reps: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"incremental\",\n");
+    out.push_str(&format!("  \"requirement\": \"{K}-anonymity\",\n"));
+    out.push_str(&format!("  \"adversary_bandwidth\": {B_PRIME},\n"));
+    out.push_str(&format!("  \"audit_threshold\": {THRESHOLD},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"workload\": \"{}\", \"delta_rows\": {}, \"groups\": {}, \
+             \"open_ms\": {:.3}, \"estimate_ms\": {:.3}, \"first_audit_ms\": {:.3}, \
+             \"apply_ms_mean\": {:.3}, \"inc_audit_ms_mean\": {:.3}, \
+             \"full_publish_ms_mean\": {:.3}, \"full_audit_ms_mean\": {:.3}, \
+             \"incremental_total_ms_mean\": {:.3}, \"full_total_ms_mean\": {:.3}, \
+             \"speedup_mean\": {:.3}, \"speedup_best\": {:.3}, \
+             \"identical_output\": true}}{}\n",
+            r.rows,
+            r.workload.name(),
+            r.delta_rows,
+            r.groups,
+            r.open_ms,
+            r.estimate_ms,
+            r.first_audit_ms,
+            r.mean(|s| s.apply_ms),
+            r.mean(|s| s.inc_audit_ms),
+            r.mean(|s| s.full_publish_ms),
+            r.mean(|s| s.full_audit_ms),
+            r.mean(|s| s.apply_ms + s.inc_audit_ms),
+            r.mean(|s| s.full_publish_ms + s.full_audit_ms),
+            r.speedup_mean(),
+            r.speedup_best(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_incremental_mode(sizes: &[usize], reps: usize, out_path: &str, smoke: bool) {
+    let threads = Parallelism::Auto.effective_threads();
+    let mut report = Report::new(
+        "Incremental republication: 1% delta apply vs full publish+audit",
+        &[
+            "groups",
+            "open",
+            "apply",
+            "inc audit",
+            "full pub",
+            "full audit",
+            "speedup",
+        ],
+    );
+    let mut results = Vec::new();
+    for &rows in sizes {
+        for workload in [Workload::Clustered, Workload::Scattered] {
+            let r = run_incremental(rows, reps, workload);
+            report.row(
+                &format!("{rows} rows, {}", workload.name()),
+                vec![
+                    format!("{}", r.groups),
+                    format!("{:.1}ms", r.open_ms),
+                    format!("{:.2}ms", r.mean(|s| s.apply_ms)),
+                    format!("{:.2}ms", r.mean(|s| s.inc_audit_ms)),
+                    format!("{:.1}ms", r.mean(|s| s.full_publish_ms)),
+                    format!("{:.1}ms", r.mean(|s| s.full_audit_ms)),
+                    format!("{:.2}x", r.speedup_mean()),
+                ],
+            );
+            results.push(r);
+        }
+    }
+    report.note(&format!(
+        "{threads} worker thread(s); {reps} delta(s) per size/workload, each ½% deletes + ½% \
+         inserts (clustered = one narrow age-band cohort, scattered = uniform churn); one kernel \
+         prior model estimated once (estimate_ms) and shared by both sides; every step's groups \
+         and risks verified bit-identical before timing is recorded"
+    ));
+    println!("{}", report.render());
+
+    let payload = incremental_json(&results, threads, smoke, reps);
+    let mut file = std::fs::File::create(out_path).expect("create incremental json");
+    file.write_all(payload.as_bytes())
+        .expect("write incremental json");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let incremental = args.iter().any(|a| a == "--incremental");
     let arg_after = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_baseline.json".to_owned());
+    let out_path = arg_after("--out").unwrap_or_else(|| {
+        if incremental {
+            "BENCH_incremental.json".to_owned()
+        } else {
+            "BENCH_baseline.json".to_owned()
+        }
+    });
     let reps: usize = arg_after("--reps")
         .map(|v| v.parse().expect("--reps takes a positive integer"))
-        .unwrap_or(if smoke { 1 } else { 3 });
+        .unwrap_or(match (incremental, smoke) {
+            (true, true) => 2,
+            (true, false) => 8,
+            (false, true) => 1,
+            (false, false) => 3,
+        });
     assert!(reps >= 1, "--reps takes a positive integer");
     let sizes: Vec<usize> = if smoke {
         vec![1_000]
     } else {
         vec![10_000, 100_000]
     };
+    if incremental {
+        run_incremental_mode(&sizes, reps, &out_path, smoke);
+        return;
+    }
     let threads = Parallelism::Auto.effective_threads();
 
     let mut report = Report::new(

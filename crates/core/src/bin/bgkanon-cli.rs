@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! bgkanon-cli generate  --rows 30162 --seed 42 --out adult_synth.csv
-//! bgkanon-cli anonymize --input adult_synth.csv --model bt --k 4 --b 0.3 --t 0.25 --out published.csv
+//! bgkanon-cli publish   --input adult_synth.csv --model bt --k 4 --b 0.3 --t 0.25 --out published.csv
+//! bgkanon-cli publish   --input base.csv --model kanon --k 5 \
+//!                       --delete-rows 3,17,42 --insert-rows newcomers.csv --out published.csv
 //! bgkanon-cli audit     --input adult_synth.csv --model ldiv --k 3 --l 3 --b-prime 0.3 --t 0.25
 //! bgkanon-cli mine      --input adult_synth.csv --min-support 50 --pairwise
 //! ```
+//!
+//! `publish` and `audit` run through a retained [`PublishSession`]: the
+//! table is partitioned once, optional `--delete-rows` / `--insert-rows`
+//! deltas are applied incrementally through the session, and the audit
+//! replays its group-risk cache. `anonymize` is kept as a legacy alias of
+//! the one-shot pipeline.
 //!
 //! Input files use the 7-column Adult layout produced by `generate`
 //! (`Age,Workclass,Education,Marital-status,Race,Gender,Occupation`), or the
@@ -15,6 +23,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bgkanon::data::csv::{read_csv, write_csv, CsvOptions};
 use bgkanon::data::{adult, Table};
@@ -37,10 +46,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   bgkanon-cli generate  --rows N --seed S --out FILE
-  bgkanon-cli anonymize --input FILE --model (kanon|ldiv|probldiv|tclose|bt|skyline)
+  bgkanon-cli publish   --input FILE --model (kanon|ldiv|probldiv|tclose|bt|skyline)
                         [--k K] [--l L] [--t T] [--b B] [--skyline b:t,b:t,...]
+                        [--delete-rows I,J,...] [--insert-rows FILE]
                         [--format csv|adult-data] [--out FILE]
   bgkanon-cli audit     --input FILE --model ... [model flags] --b-prime B --t T
+                        [--delete-rows I,J,...] [--insert-rows FILE]
+  bgkanon-cli anonymize (legacy one-shot alias of publish, without deltas)
   bgkanon-cli mine      --input FILE [--min-support N] [--pairwise]";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -48,6 +60,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(rest)?;
     match command.as_str() {
         "generate" => generate(&flags),
+        "publish" => publish(&flags),
         "anonymize" => anonymize(&flags),
         "audit" => audit(&flags),
         "mine" => mine(&flags),
@@ -156,6 +169,88 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the optional `--delete-rows I,J,...` and `--insert-rows FILE`
+/// flags into a [`Delta`] over the loaded table's schema.
+fn build_delta(flags: &HashMap<String, String>, table: &Table) -> Result<Option<Delta>, String> {
+    let deletes = flags.get("delete-rows");
+    let inserts = flags.get("insert-rows");
+    if deletes.is_none() && inserts.is_none() {
+        return Ok(None);
+    }
+    let mut builder = DeltaBuilder::new(Arc::clone(table.schema()));
+    if let Some(spec) = deletes {
+        for part in spec.split(',') {
+            let row: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad row index `{part}` in --delete-rows"))?;
+            builder.delete(row);
+        }
+    }
+    if let Some(path) = inserts {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let options = CsvOptions {
+            has_header: true,
+            ..CsvOptions::default()
+        };
+        let (rows, report) = read_csv(BufReader::new(file), Arc::clone(table.schema()), &options)
+            .map_err(|e| e.to_string())?;
+        for r in 0..rows.len() {
+            builder
+                .insert_codes(rows.qi(r), rows.sensitive_value(r))
+                .map_err(|e| e.to_string())?;
+        }
+        eprintln!(
+            "loaded {} insert rows from {path} ({} skipped for missing values)",
+            report.loaded, report.skipped_missing
+        );
+    }
+    Ok(Some(builder.build()))
+}
+
+/// Open a session, apply the optional delta, and report the engine stats.
+fn open_session(flags: &HashMap<String, String>) -> Result<(Table, PublishSession), String> {
+    let table = load_table(flags)?;
+    let publisher = build_publisher(flags)?;
+    let mut session = publisher.open(&table).map_err(|e| e.to_string())?;
+    eprintln!(
+        "requirement: {}\ngroups: {} (avg size {:.1}) in {:?}",
+        session.requirement_name(),
+        session.group_count(),
+        session.anonymized().average_group_size(),
+        session.snapshot().elapsed
+    );
+    if let Some(delta) = build_delta(flags, &table)? {
+        let outcome = session.apply(&delta).map_err(|e| e.to_string())?;
+        eprintln!(
+            "delta: -{} +{} rows → {} groups in {:?} (incremental)",
+            delta.delete_count(),
+            delta.insert_count(),
+            outcome.anonymized.group_count(),
+            outcome.elapsed
+        );
+    }
+    Ok((table, session))
+}
+
+fn publish(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (_, session) = open_session(flags)?;
+    let anonymized = session.anonymized();
+    eprintln!(
+        "utility: DM {}  GCP {:.1}",
+        utility::discernibility(anonymized),
+        utility::global_certainty_penalty(anonymized)
+    );
+    if let Some(out) = flags.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        anonymized
+            .write_csv(session.table(), BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("published table written to {out}");
+    }
+    Ok(())
+}
+
 fn anonymize(flags: &HashMap<String, String>) -> Result<(), String> {
     let table = load_table(flags)?;
     let publisher = build_publisher(flags)?;
@@ -184,17 +279,15 @@ fn anonymize(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
-    let table = load_table(flags)?;
-    let publisher = build_publisher(flags)?;
-    let outcome = publisher.publish(&table).map_err(|e| e.to_string())?;
+    let (_, mut session) = open_session(flags)?;
     let b_prime: f64 = parse(flags, "b-prime")?.unwrap_or(0.3);
     let t: f64 = parse(flags, "t")?.unwrap_or(0.25);
-    let report = outcome.audit_against(&table, b_prime, t);
-    println!("requirement : {}", outcome.requirement_name);
+    let report = session.audit_against(b_prime, t);
+    println!("requirement : {}", session.requirement_name());
     println!("adversary   : Adv(b'={b_prime}) with threshold t={t}");
     println!("worst-case  : {:.4}", report.worst_case);
     println!("mean risk   : {:.4}", report.mean);
-    println!("vulnerable  : {}/{}", report.vulnerable, table.len());
+    println!("vulnerable  : {}/{}", report.vulnerable, session.len());
     Ok(())
 }
 
@@ -281,6 +374,129 @@ mod tests {
         let args: Vec<String> = vec!["frobnicate".into()];
         assert!(run(&args).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn publish_session_end_to_end_with_delta() {
+        let dir = std::env::temp_dir().join("bgkanon_cli_publish_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.csv");
+        let extra = dir.join("extra.csv");
+        let out = dir.join("published.csv");
+        // Base table and a small insert batch, via the generate command.
+        for (path, rows, seed) in [(&base, "120", "3"), (&extra, "6", "9")] {
+            run(&[
+                "generate".into(),
+                "--rows".into(),
+                rows.to_string(),
+                "--seed".into(),
+                seed.to_string(),
+                "--out".into(),
+                path.to_string_lossy().into_owned(),
+            ])
+            .unwrap();
+        }
+        run(&[
+            "publish".into(),
+            "--input".into(),
+            base.to_string_lossy().into_owned(),
+            "--model".into(),
+            "kanon".into(),
+            "--k".into(),
+            "4".into(),
+            "--delete-rows".into(),
+            "0, 7,13".into(),
+            "--insert-rows".into(),
+            extra.to_string_lossy().into_owned(),
+            "--out".into(),
+            out.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "group,Age,Workclass,Education,Marital-status,Race,Gender,Occupation"
+        );
+        // 120 - 3 + 6 tuples plus the header.
+        assert_eq!(lines.len(), 124);
+        for p in [&base, &extra, &out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn audit_runs_through_a_session() {
+        let dir = std::env::temp_dir().join("bgkanon_cli_audit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.csv");
+        run(&[
+            "generate".into(),
+            "--rows".into(),
+            "80".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out".into(),
+            base.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        run(&[
+            "audit".into(),
+            "--input".into(),
+            base.to_string_lossy().into_owned(),
+            "--model".into(),
+            "kanon".into(),
+            "--k".into(),
+            "3".into(),
+            "--delete-rows".into(),
+            "2".into(),
+            "--b-prime".into(),
+            "0.3".into(),
+            "--t".into(),
+            "0.2".into(),
+        ])
+        .unwrap();
+        std::fs::remove_file(&base).ok();
+    }
+
+    #[test]
+    fn bad_delta_flags_are_rejected() {
+        let dir = std::env::temp_dir().join("bgkanon_cli_bad_delta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.csv");
+        run(&[
+            "generate".into(),
+            "--rows".into(),
+            "40".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out".into(),
+            base.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let err = run(&[
+            "publish".into(),
+            "--input".into(),
+            base.to_string_lossy().into_owned(),
+            "--model".into(),
+            "kanon".into(),
+            "--delete-rows".into(),
+            "x".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad row index"));
+        let err = run(&[
+            "publish".into(),
+            "--input".into(),
+            base.to_string_lossy().into_owned(),
+            "--model".into(),
+            "kanon".into(),
+            "--delete-rows".into(),
+            "999".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("out of range"));
+        std::fs::remove_file(&base).ok();
     }
 
     #[test]

@@ -51,21 +51,26 @@ pub use bgkanon_utility as utility;
 
 pub mod params;
 pub mod publisher;
+pub mod session;
 
 pub use data::Parallelism;
 pub use publisher::{PublishError, PublishOutcome, Publisher};
+pub use session::{PublishSession, SessionError};
 
 /// Convenient glob-import surface: the types most programs need.
 pub mod prelude {
-    pub use crate::anon::{AnonymizedTable, Mondrian};
-    pub use crate::data::{Attribute, Parallelism, Schema, Table, TableBuilder};
+    pub use crate::anon::{AnonymizedTable, Mondrian, PartitionTree};
+    pub use crate::data::{
+        Attribute, Delta, DeltaBuilder, Parallelism, Schema, Table, TableBuilder,
+    };
     pub use crate::inference::{exact_posteriors, omega_posteriors, GroupPriors};
     pub use crate::knowledge::{Adversary, Bandwidth};
     pub use crate::params::PaperParams;
     pub use crate::privacy::{
-        Auditor, BTPrivacy, DistinctLDiversity, KAnonymity, PrivacyRequirement,
+        AuditSession, Auditor, BTPrivacy, DistinctLDiversity, KAnonymity, PrivacyRequirement,
         ProbabilisticLDiversity, SkylineBTPrivacy, TCloseness,
     };
     pub use crate::publisher::{PublishOutcome, Publisher};
+    pub use crate::session::{PublishSession, SessionError};
     pub use crate::stats::{BeliefDistance, Dist, Kernel, SmoothedJs};
 }

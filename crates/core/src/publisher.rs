@@ -7,7 +7,7 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bgkanon_anon::{AnonymizedTable, Mondrian};
 use bgkanon_data::{Parallelism, Table};
@@ -161,7 +161,45 @@ impl Publisher {
 
     /// Instantiate the requirements for `table`, run Mondrian, and return
     /// the outcome.
+    ///
+    /// This is the one-shot form of a publishing session: the same engine
+    /// plants a partition tree and derives the published view from it, but
+    /// none of the retained state (the tree, its replay histograms, audit
+    /// caches) outlives the call — callers that expect deltas open a
+    /// [`PublishSession`](crate::PublishSession) instead.
     pub fn publish(&self, table: &Table) -> Result<PublishOutcome, PublishError> {
+        let requirement = self.instantiate(table)?;
+        if !whole_table_satisfies(table, &requirement) {
+            return Err(PublishError::Unsatisfiable {
+                requirement: requirement.name(),
+            });
+        }
+        let requirement_name = requirement.name();
+        let started = std::time::Instant::now();
+        let tree = Mondrian::new(requirement).plant_with(table, self.parallelism);
+        let elapsed = started.elapsed();
+        Ok(PublishOutcome {
+            anonymized: tree.to_anonymized(table),
+            requirement_name,
+            elapsed,
+            parallelism: self.parallelism,
+        })
+    }
+
+    /// Open a retained [`PublishSession`](crate::PublishSession) on
+    /// `table`: instantiate the requirements, plant the partition tree and
+    /// derive the first publication. Equivalent to
+    /// [`publish`](Self::publish) plus keeping the engine state alive for
+    /// incremental re-publication.
+    pub fn open(&self, table: &Table) -> Result<crate::PublishSession, PublishError> {
+        crate::PublishSession::open(table, self)
+    }
+
+    /// Instantiate this publisher's declarative specs against `table`.
+    pub(crate) fn instantiate(
+        &self,
+        table: &Table,
+    ) -> Result<Arc<dyn PrivacyRequirement>, PublishError> {
         if self.specs.is_empty() {
             return Err(PublishError::NoRequirements);
         }
@@ -199,29 +237,25 @@ impl Publisher {
         } else {
             Arc::new(And::new(parts))
         };
-
-        // Pre-check the root so publish() returns an error instead of the
-        // Mondrian panic.
-        let all_rows: Vec<usize> = (0..table.len()).collect();
-        let mut buf = Vec::new();
-        let root = GroupView::compute(table, &all_rows, &mut buf);
-        if !requirement.is_satisfied(&root) {
-            return Err(PublishError::Unsatisfiable {
-                requirement: requirement.name(),
-            });
-        }
-
-        let started = Instant::now();
-        let anonymized =
-            Mondrian::new(Arc::clone(&requirement)).anonymize_with(table, self.parallelism);
-        let elapsed = started.elapsed();
-        Ok(PublishOutcome {
-            anonymized,
-            requirement_name: requirement.name(),
-            elapsed,
-            parallelism: self.parallelism,
-        })
+        Ok(requirement)
     }
+
+    /// The parallelism knob this publisher was configured with.
+    pub(crate) fn parallelism_knob(&self) -> Parallelism {
+        self.parallelism
+    }
+}
+
+/// Does the whole `table` satisfy `requirement`? The pre-check sessions run
+/// so callers get a `PublishError` instead of the Mondrian panic.
+pub(crate) fn whole_table_satisfies(
+    table: &Table,
+    requirement: &Arc<dyn PrivacyRequirement>,
+) -> bool {
+    let all_rows: Vec<usize> = (0..table.len()).collect();
+    let mut buf = Vec::new();
+    let root = GroupView::compute(table, &all_rows, &mut buf);
+    requirement.is_satisfied(&root)
 }
 
 /// The result of a publishing run.

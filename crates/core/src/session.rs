@@ -1,0 +1,570 @@
+//! Retained publishing sessions: the incremental republication engine.
+//!
+//! [`Publisher::publish`] is one-shot — it re-partitions all `n` rows and
+//! forgets everything. A [`PublishSession`] keeps the engine state alive
+//! between publications of an **evolving** table:
+//!
+//! * the instantiated privacy requirement (fixed when the session opens —
+//!   the publisher's threat model holds still while the data moves);
+//! * the retained [`PartitionTree`], so a [`Delta`] re-splits only the
+//!   subtrees it dirties ([`Mondrian::refresh`](bgkanon_anon::Mondrian));
+//! * per-adversary [`AuditSession`]s whose group-risk caches are
+//!   invalidated by leaf stamp — an audit after a delta recomputes Ω only
+//!   for the groups the delta touched.
+//!
+//! The correctness bar, enforced by `tests/tests/incremental.rs`: after
+//! **any** sequence of deltas, [`PublishSession::snapshot`] is bit-identical
+//! to a from-scratch [`Publisher::publish`] of the final table, and
+//! [`PublishSession::audit_with`] is bit-identical to a fresh audit of that
+//! from-scratch publication.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bgkanon_anon::{AnonymizedTable, Mondrian, PartitionTree};
+use bgkanon_data::{Delta, Parallelism, Table};
+use bgkanon_knowledge::{Adversary, Bandwidth};
+use bgkanon_privacy::{AuditReport, AuditSession, Auditor, PrivacyRequirement};
+use bgkanon_stats::SmoothedJs;
+
+use crate::publisher::{whole_table_satisfies, PublishError, PublishOutcome, Publisher};
+
+/// Errors from [`PublishSession::apply`].
+#[derive(Debug, Clone)]
+pub enum SessionError {
+    /// The delta could not be applied to the table (bad row index, invalid
+    /// inserted row, or the table would become empty).
+    Data(bgkanon_data::DataError),
+    /// The post-delta table violates the session's requirement as a whole —
+    /// no publication of it exists under this engine.
+    Publish(PublishError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Data(e) => write!(f, "delta rejected: {e}"),
+            SessionError::Publish(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Data(e) => Some(e),
+            SessionError::Publish(e) => Some(e),
+        }
+    }
+}
+
+impl From<bgkanon_data::DataError> for SessionError {
+    fn from(e: bgkanon_data::DataError) -> Self {
+        SessionError::Data(e)
+    }
+}
+
+impl From<PublishError> for SessionError {
+    fn from(e: PublishError) -> Self {
+        SessionError::Publish(e)
+    }
+}
+
+/// Key identifying one audit configuration inside a session. Prior
+/// identities (and therefore every cached risk) are tied to a concrete
+/// adversary model instance, so the cache is keyed by the instances in
+/// play, not by their parameters.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum AuditKey {
+    /// An externally supplied auditor: adversary + measure instance
+    /// addresses plus the exact-inference cutoff.
+    External(*const (), *const (), usize),
+    /// A session-built `Adv(b')` auditor, keyed by the bandwidth bits.
+    Bandwidth(u64),
+}
+
+/// A retained publish → audit pipeline over an evolving table.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon::data::DeltaBuilder;
+/// use bgkanon::Publisher;
+///
+/// let table = bgkanon::data::adult::generate(300, 7);
+/// let mut session = Publisher::new().k_anonymity(5).open(&table)?;
+/// assert_eq!(session.len(), 300);
+///
+/// // Evolve the table: drop two rows, admit one.
+/// let mut delta = DeltaBuilder::new(Arc::clone(table.schema()));
+/// delta.delete(17).delete(230);
+/// delta.insert_codes(table.qi(3), table.sensitive_value(3))?;
+/// let outcome = session.apply(&delta.build())?;
+/// assert_eq!(outcome.anonymized.len(), 299);
+///
+/// // The session output is bit-identical to republishing from scratch.
+/// let fresh = Publisher::new().k_anonymity(5).publish(session.table())?;
+/// assert_eq!(
+///     outcome.anonymized.group_count(),
+///     fresh.anonymized.group_count(),
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PublishSession {
+    requirement: Arc<dyn PrivacyRequirement>,
+    requirement_name: String,
+    mondrian: Mondrian,
+    parallelism: Parallelism,
+    table: Table,
+    tree: PartitionTree,
+    anonymized: AnonymizedTable,
+    stamps: Vec<u64>,
+    audits: Vec<(AuditKey, AuditSession)>,
+    last_elapsed: Duration,
+    deltas_applied: usize,
+}
+
+impl PublishSession {
+    /// Open a session: instantiate `publisher`'s requirements against
+    /// `table` (they stay fixed for the session's lifetime), plant the
+    /// partition tree and derive the first publication.
+    pub fn open(table: &Table, publisher: &Publisher) -> Result<Self, PublishError> {
+        let requirement = publisher.instantiate(table)?;
+        if !whole_table_satisfies(table, &requirement) {
+            return Err(PublishError::Unsatisfiable {
+                requirement: requirement.name(),
+            });
+        }
+        let parallelism = publisher.parallelism_knob();
+        let mondrian = Mondrian::new(Arc::clone(&requirement));
+        let started = Instant::now();
+        let mut tree = mondrian.plant_with(table, parallelism);
+        let last_elapsed = started.elapsed();
+        // Amortize the refresh engine's per-node histograms up front so the
+        // first delta runs at steady-state speed.
+        mondrian.warm_stats(&mut tree, table);
+        let (anonymized, stamps) = tree.snapshot(table);
+        Ok(PublishSession {
+            requirement_name: requirement.name(),
+            requirement,
+            mondrian,
+            parallelism,
+            table: table.clone(),
+            tree,
+            anonymized,
+            stamps,
+            audits: Vec::new(),
+            last_elapsed,
+            deltas_applied: 0,
+        })
+    }
+
+    /// Apply one delta: evolve the table, route the changes through the
+    /// retained partition tree (re-splitting only dirty subtrees), and
+    /// return the new publication. On error the session is unchanged and
+    /// remains usable.
+    pub fn apply(&mut self, delta: &Delta) -> Result<PublishOutcome, SessionError> {
+        if delta.is_empty() {
+            // Identity delta: the current publication is already the answer.
+            return Ok(self.snapshot());
+        }
+        let t0 = Instant::now();
+        let next = self.table.apply_delta(delta)?;
+        let t1 = Instant::now();
+        if !whole_table_satisfies(&next, &self.requirement) {
+            return Err(PublishError::Unsatisfiable {
+                requirement: self.requirement.name(),
+            }
+            .into());
+        }
+        let t2 = Instant::now();
+        let started = Instant::now();
+        self.mondrian
+            .refresh(&mut self.tree, &self.table, &next, delta.deletes());
+        self.last_elapsed = started.elapsed();
+        let t3 = Instant::now();
+        let (anonymized, stamps) = self.tree.snapshot(&next);
+        let t4 = Instant::now();
+        self.table = next;
+        self.anonymized = anonymized;
+        self.stamps = stamps;
+        self.deltas_applied += 1;
+        let out = Ok(self.snapshot());
+        let t5 = Instant::now();
+        if std::env::var("BGK_PROFILE").is_ok() {
+            eprintln!(
+                "apply: delta={:?} check={:?} refresh={:?} snapshot={:?} clone={:?}",
+                t1 - t0,
+                t2 - t1,
+                t3 - t2,
+                t4 - t3,
+                t5 - t4
+            );
+        }
+        out
+    }
+
+    /// The current publication, as a [`PublishOutcome`] (the same shape
+    /// [`Publisher::publish`] returns); `elapsed` is the engine time of the
+    /// last plant or delta-apply.
+    pub fn snapshot(&self) -> PublishOutcome {
+        PublishOutcome {
+            anonymized: self.anonymized.clone(),
+            requirement_name: self.requirement_name.clone(),
+            elapsed: self.last_elapsed,
+            parallelism: self.parallelism,
+        }
+    }
+
+    /// The session's current table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The current published partition.
+    pub fn anonymized(&self) -> &AnonymizedTable {
+        &self.anonymized
+    }
+
+    /// The retained partition tree.
+    pub fn partition_tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    /// Name of the requirement fixed at open time.
+    pub fn requirement_name(&self) -> &str {
+        &self.requirement_name
+    }
+
+    /// Rows in the current table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the current table has no rows (never — sessions reject
+    /// deltas that would empty the table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Groups in the current publication.
+    pub fn group_count(&self) -> usize {
+        self.anonymized.group_count()
+    }
+
+    /// Number of deltas applied since the session opened.
+    pub fn deltas_applied(&self) -> usize {
+        self.deltas_applied
+    }
+
+    /// Audit the current publication with `auditor`, through this session's
+    /// retained audit cache: groups untouched since the last audit with the
+    /// same auditor replay their risks, only dirty groups recompute Ω.
+    /// Bit-identical to a fresh
+    /// [`Auditor::report`](bgkanon_privacy::Auditor::report) on the current
+    /// table and groups.
+    ///
+    /// The cache is keyed by the auditor's model *instances* (its
+    /// adversary/measure `Arc`s), so pass the same `Auditor` — or clones
+    /// sharing its `Arc`s — across calls to actually hit it; an auditor
+    /// constructed fresh per call audits at cold-cache cost. The session
+    /// retains at most [`MAX_AUDIT_CACHES`](Self::MAX_AUDIT_CACHES)
+    /// configurations, evicting the least recently used.
+    pub fn audit_with(&mut self, auditor: &Auditor, t: f64) -> AuditReport {
+        let key = AuditKey::External(
+            Arc::as_ptr(auditor.adversary()) as *const (),
+            Arc::as_ptr(auditor.measure()) as *const (),
+            auditor.exact_below(),
+        );
+        if !self.audits.iter().any(|(k, _)| *k == key) {
+            self.insert_audit_cache(key, AuditSession::new(auditor.clone()));
+        }
+        self.audit_keyed(key, t)
+    }
+
+    /// Audit against the adversary `Adv(b')` with threshold `t`, using the
+    /// paper's smoothed-JS distance — the session counterpart of
+    /// [`PublishOutcome::audit_against`]. The adversary's prior model is
+    /// estimated from the session table at the **first** call for each
+    /// `b'` and pinned thereafter (the Fig. 1 "reuse the prior model across
+    /// releases" accounting), which is what makes delta audits incremental.
+    pub fn audit_against(&mut self, b_prime: f64, t: f64) -> AuditReport {
+        let key = AuditKey::Bandwidth(b_prime.to_bits());
+        if !self.audits.iter().any(|(k, _)| *k == key) {
+            let adversary = Arc::new(Adversary::kernel(
+                &self.table,
+                Bandwidth::uniform(b_prime, self.table.qi_count()).expect("positive bandwidth"),
+            ));
+            let measure = Arc::new(SmoothedJs::paper_default(
+                self.table.schema().sensitive_distance(),
+            ));
+            self.insert_audit_cache(key, AuditSession::new(Auditor::new(adversary, measure)));
+        }
+        self.audit_keyed(key, t)
+    }
+
+    /// Most audit configurations retained at once; beyond this the least
+    /// recently used cache (and its memos) is dropped, bounding memory for
+    /// callers that construct a fresh auditor per call.
+    pub const MAX_AUDIT_CACHES: usize = 8;
+
+    /// Number of distinct audit configurations this session caches.
+    pub fn audit_cache_count(&self) -> usize {
+        self.audits.len()
+    }
+
+    fn insert_audit_cache(&mut self, key: AuditKey, session: AuditSession) {
+        if self.audits.len() >= Self::MAX_AUDIT_CACHES {
+            // The vec is kept in least-recently-used-first order by
+            // `audit_keyed`, so the front is the eviction victim.
+            self.audits.remove(0);
+        }
+        self.audits.push((key, session));
+    }
+
+    fn audit_keyed(&mut self, key: AuditKey, t: f64) -> AuditReport {
+        let idx = self
+            .audits
+            .iter()
+            .position(|(k, _)| *k == key)
+            .expect("inserted by the caller");
+        // Move the used entry to the back: LRU order for eviction.
+        let entry = self.audits.remove(idx);
+        self.audits.push(entry);
+        let idx = self.audits.len() - 1;
+        let groups: Vec<&[usize]> = self
+            .anonymized
+            .groups()
+            .iter()
+            .map(|g| g.rows.as_slice())
+            .collect();
+        self.audits[idx]
+            .1
+            .report_groups(&self.table, &groups, Some(&self.stamps), t)
+    }
+}
+
+impl fmt::Debug for PublishSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PublishSession")
+            .field("requirement", &self.requirement_name)
+            .field("rows", &self.table.len())
+            .field("groups", &self.anonymized.group_count())
+            .field("deltas_applied", &self.deltas_applied)
+            .field("audit_caches", &self.audits.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::{adult, toy, DeltaBuilder};
+
+    fn delta(table: &Table, deletes: &[usize], inserts: usize, donor_seed: u64) -> Delta {
+        let donors = adult::generate(inserts.max(1), donor_seed);
+        let mut b = DeltaBuilder::new(Arc::clone(table.schema()));
+        for &r in deletes {
+            b.delete(r);
+        }
+        for r in 0..inserts {
+            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn open_matches_publish() {
+        let t = adult::generate(400, 3);
+        let publisher = Publisher::new().k_anonymity(5);
+        let outcome = publisher.publish(&t).unwrap();
+        let session = publisher.open(&t).unwrap();
+        assert_eq!(outcome.anonymized.group_count(), session.group_count());
+        for (a, b) in outcome
+            .anonymized
+            .groups()
+            .iter()
+            .zip(session.anonymized().groups())
+        {
+            assert_eq!(a.rows, b.rows);
+        }
+        assert_eq!(session.requirement_name(), outcome.requirement_name);
+        assert_eq!(session.deltas_applied(), 0);
+        assert!(!session.is_empty());
+    }
+
+    #[test]
+    fn apply_matches_from_scratch_publish() {
+        let t = adult::generate(500, 9);
+        let publisher = Publisher::new().k_anonymity(4);
+        let mut session = publisher.open(&t).unwrap();
+        let d = delta(&t, &[3, 77, 141, 298], 10, 42);
+        let outcome = session.apply(&d).unwrap();
+        let fresh = publisher.publish(session.table()).unwrap();
+        assert_eq!(
+            outcome.anonymized.group_count(),
+            fresh.anonymized.group_count()
+        );
+        for (a, b) in outcome
+            .anonymized
+            .groups()
+            .iter()
+            .zip(fresh.anonymized.groups())
+        {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.ranges, b.ranges);
+            assert_eq!(a.sensitive_counts, b.sensitive_counts);
+        }
+        assert_eq!(session.deltas_applied(), 1);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let t = adult::generate(200, 4);
+        let mut session = Publisher::new().k_anonymity(4).open(&t).unwrap();
+        let before = session.snapshot();
+        let outcome = session
+            .apply(&Delta::empty(Arc::clone(t.schema())))
+            .unwrap();
+        assert_eq!(
+            before.anonymized.group_count(),
+            outcome.anonymized.group_count()
+        );
+        for (a, b) in before
+            .anonymized
+            .groups()
+            .iter()
+            .zip(outcome.anonymized.groups())
+        {
+            assert_eq!(a.rows, b.rows);
+        }
+    }
+
+    #[test]
+    fn delete_all_is_rejected_and_session_survives() {
+        let t = adult::generate(120, 6);
+        let mut session = Publisher::new().k_anonymity(3).open(&t).unwrap();
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        for r in 0..t.len() {
+            b.delete(r);
+        }
+        let err = session.apply(&b.build()).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Data(bgkanon_data::DataError::EmptyTable)
+        ));
+        assert!(err.to_string().contains("delta rejected"));
+        // The session is untouched and keeps working.
+        assert_eq!(session.len(), 120);
+        let d = delta(&t, &[0], 0, 1);
+        assert!(session.apply(&d).is_ok());
+    }
+
+    #[test]
+    fn unsatisfiable_delta_is_rejected_before_mutation() {
+        // Shrink the table below k: the whole table stops satisfying the
+        // requirement, which must surface as Unsatisfiable and leave the
+        // session intact.
+        let t = adult::generate(30, 6);
+        let mut session = Publisher::new().k_anonymity(25).open(&t).unwrap();
+        let d = delta(&t, &(0..10).collect::<Vec<_>>(), 0, 1);
+        let err = session.apply(&d).unwrap_err();
+        assert!(matches!(err, SessionError::Publish(_)));
+        assert_eq!(session.len(), 30);
+    }
+
+    #[test]
+    fn out_of_range_delete_is_rejected() {
+        let t = adult::generate(50, 2);
+        let mut session = Publisher::new().k_anonymity(3).open(&t).unwrap();
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        b.delete(50);
+        let err = session.apply(&b.build()).unwrap_err();
+        assert!(matches!(err, SessionError::Data(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn session_audit_matches_fresh_audit() {
+        let t = adult::generate(300, 12);
+        let publisher = Publisher::new().k_anonymity(4);
+        let mut session = publisher.open(&t).unwrap();
+        let adversary = Arc::new(Adversary::kernel(
+            &t,
+            Bandwidth::uniform(0.3, t.qi_count()).unwrap(),
+        ));
+        let measure: Arc<dyn bgkanon_stats::BeliefDistance> =
+            Arc::new(SmoothedJs::paper_default(t.schema().sensitive_distance()));
+        let auditor = Auditor::new(adversary, measure);
+
+        let first = session.audit_with(&auditor, 0.2);
+        let d = delta(&t, &[5, 42], 4, 77);
+        session.apply(&d).unwrap();
+        let incremental = session.audit_with(&auditor, 0.2);
+        assert_eq!(session.audit_cache_count(), 1);
+
+        let fresh = publisher.publish(session.table()).unwrap();
+        let reference = fresh.audit_with(session.table(), &auditor, 0.2);
+        assert_eq!(
+            incremental.worst_case.to_bits(),
+            reference.worst_case.to_bits()
+        );
+        assert_eq!(incremental.mean.to_bits(), reference.mean.to_bits());
+        assert_eq!(incremental.vulnerable, reference.vulnerable);
+        for (a, b) in incremental.risks.iter().zip(&reference.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the pre-delta report was a valid report too.
+        assert!(first.worst_case >= first.mean);
+    }
+
+    #[test]
+    fn audit_against_pins_the_adversary_per_bandwidth() {
+        let t = toy::hospital_table();
+        let mut session = Publisher::new()
+            .k_anonymity(3)
+            .bt_privacy(0.3, 0.25)
+            .open(&t)
+            .unwrap();
+        let a = session.audit_against(0.3, 0.25);
+        assert!(a.worst_case <= 0.25 + 1e-9);
+        let b = session.audit_against(0.3, 0.25);
+        assert_eq!(a.worst_case.to_bits(), b.worst_case.to_bits());
+        let _other = session.audit_against(0.5, 0.25);
+        assert_eq!(session.audit_cache_count(), 2);
+    }
+
+    #[test]
+    fn audit_cache_is_bounded_lru() {
+        let t = adult::generate(80, 3);
+        let mut session = Publisher::new().k_anonymity(3).open(&t).unwrap();
+        // Distinct bandwidths force distinct cache entries.
+        for i in 0..(PublishSession::MAX_AUDIT_CACHES + 3) {
+            let b = 0.2 + 0.01 * i as f64;
+            let _ = session.audit_against(b, 0.2);
+        }
+        assert_eq!(
+            session.audit_cache_count(),
+            PublishSession::MAX_AUDIT_CACHES
+        );
+        // The most recent entry survived and replays bit-identically.
+        let b_last = 0.2 + 0.01 * (PublishSession::MAX_AUDIT_CACHES + 2) as f64;
+        let a = session.audit_against(b_last, 0.2);
+        let b = session.audit_against(b_last, 0.2);
+        assert_eq!(a.worst_case.to_bits(), b.worst_case.to_bits());
+        assert_eq!(
+            session.audit_cache_count(),
+            PublishSession::MAX_AUDIT_CACHES
+        );
+    }
+
+    #[test]
+    fn debug_formats() {
+        let t = adult::generate(60, 1);
+        let session = Publisher::new().k_anonymity(3).open(&t).unwrap();
+        let s = format!("{session:?}");
+        assert!(s.contains("PublishSession"));
+        assert!(s.contains("3-anonymity"));
+    }
+}

@@ -43,6 +43,13 @@ pub enum DataError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A row index referred to a row outside the table.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
     /// The operation requires a non-empty table.
     EmptyTable,
     /// An I/O error occurred while reading or writing a data file.
@@ -74,6 +81,9 @@ impl fmt::Display for DataError {
                 write!(f, "line {line}: expected {expected} fields, found {found}")
             }
             DataError::InvalidHierarchy { reason } => write!(f, "invalid hierarchy: {reason}"),
+            DataError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for a table of {rows} rows")
+            }
             DataError::EmptyTable => write!(f, "operation requires a non-empty table"),
             DataError::Io(msg) => write!(f, "I/O error: {msg}"),
         }

@@ -20,6 +20,7 @@
 pub mod adult;
 pub mod attribute;
 pub mod csv;
+pub mod delta;
 pub mod distance;
 pub mod error;
 pub mod exec;
@@ -30,6 +31,7 @@ pub mod table;
 pub mod toy;
 
 pub use attribute::{Attribute, AttributeKind};
+pub use delta::{Delta, DeltaBuilder};
 pub use distance::DistanceMatrix;
 pub use error::DataError;
 pub use exec::Parallelism;

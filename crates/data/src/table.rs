@@ -4,7 +4,7 @@
 //! `Vec<u32>` of sensitive codes, which keeps scans cache-friendly for the
 //! kernel estimator and Mondrian partitioner.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::error::DataError;
@@ -135,11 +135,14 @@ impl Table {
         }
     }
 
-    /// Group rows by identical QI combinations. Returns a map from the QI
-    /// code vector to the list of row indices carrying it. This is the
-    /// "distinct QI folding" used by the kernel estimator.
-    pub fn group_by_qi(&self) -> HashMap<Box<[u32]>, Vec<usize>> {
-        let mut map: HashMap<Box<[u32]>, Vec<usize>> = HashMap::new();
+    /// Group rows by identical QI combinations. Returns an ordered map from
+    /// the QI code vector to the list of row indices carrying it. This is
+    /// the "distinct QI folding" used by the kernel estimator; the map is a
+    /// `BTreeMap` so iteration order is the lexicographic code order —
+    /// deterministic across runs and platforms, which keeps audit reports
+    /// and serialized outputs built on top of it stable.
+    pub fn group_by_qi(&self) -> BTreeMap<Box<[u32]>, Vec<usize>> {
+        let mut map: BTreeMap<Box<[u32]>, Vec<usize>> = BTreeMap::new();
         for r in 0..self.len() {
             map.entry(self.qi(r).into()).or_default().push(r);
         }
@@ -168,6 +171,27 @@ impl Table {
         let rows: Vec<usize> = (0..self.len().min(n)).collect();
         self.subset(&rows)
     }
+
+    /// Assemble from raw, already-validated buffers (the delta fast path —
+    /// survivors of an existing table need no re-validation).
+    pub(crate) fn from_raw(schema: Arc<Schema>, qi_data: Vec<u32>, sensitive: Vec<u32>) -> Table {
+        debug_assert_eq!(qi_data.len(), sensitive.len() * schema.qi_count());
+        Table {
+            schema,
+            qi_data,
+            sensitive,
+        }
+    }
+
+    /// The raw row-major QI buffer (for whole-table copies).
+    pub(crate) fn raw_qi_data(&self) -> &[u32] {
+        &self.qi_data
+    }
+
+    /// The raw sensitive-code buffer (for whole-table copies).
+    pub(crate) fn raw_sensitive(&self) -> &[u32] {
+        &self.sensitive
+    }
 }
 
 /// Row-by-row builder for [`Table`], validating codes against the schema.
@@ -185,6 +209,17 @@ impl TableBuilder {
             schema,
             qi_data: Vec::new(),
             sensitive: Vec::new(),
+        }
+    }
+
+    /// Start from the rows of an existing table — the append path used by
+    /// publishing sessions to evolve a table without re-encoding it. The
+    /// codes are already validated, so this is a pair of buffer copies.
+    pub fn from_table(table: &Table) -> Self {
+        TableBuilder {
+            schema: Arc::clone(&table.schema),
+            qi_data: table.qi_data.clone(),
+            sensitive: table.sensitive.clone(),
         }
     }
 
@@ -301,6 +336,23 @@ mod tests {
         assert_eq!(g.len(), 2);
         assert_eq!(g[&Box::from([5u32, 0u32])], vec![0, 1]);
         assert_eq!(g[&Box::from([40u32, 1u32])], vec![2, 3]);
+        // Iteration is lexicographic in the QI codes — stable across runs.
+        let keys: Vec<&Box<[u32]>> = g.keys().collect();
+        assert_eq!(keys[0].as_ref(), &[5u32, 0u32]);
+        assert_eq!(keys[1].as_ref(), &[40u32, 1u32]);
+    }
+
+    #[test]
+    fn builder_from_table_appends() {
+        let t = sample();
+        let mut b = TableBuilder::from_table(&t);
+        assert_eq!(b.len(), 4);
+        b.push_text(&["30", "F", "HIV"]).unwrap();
+        let u = b.build().unwrap();
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.qi(0), t.qi(0));
+        assert_eq!(u.qi(4), &[10, 0]);
+        assert_eq!(u.sensitive_value(4), 2);
     }
 
     #[test]

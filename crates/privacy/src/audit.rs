@@ -142,6 +142,17 @@ impl Auditor {
         &self.adversary
     }
 
+    /// The belief-distance measure in use.
+    pub fn measure(&self) -> &Arc<dyn BeliefDistance> {
+        &self.measure
+    }
+
+    /// The exact-inference cutoff set by
+    /// [`use_exact_below`](Self::use_exact_below) (0 when disabled).
+    pub fn exact_below(&self) -> usize {
+        self.exact_below
+    }
+
     /// Disclosure risk of every tuple under the published `groups`
     /// (disjoint row-index sets covering the table).
     pub fn tuple_risks(&self, table: &Table, groups: &[Vec<usize>]) -> Vec<f64> {
@@ -201,14 +212,26 @@ impl Auditor {
     }
 
     fn assemble_report(&self, risks: Vec<f64>, t: f64) -> AuditReport {
-        let covered: Vec<f64> = risks.iter().copied().filter(|r| !r.is_nan()).collect();
-        let worst_case = covered.iter().copied().fold(0.0, f64::max);
-        let mean = if covered.is_empty() {
+        let mut worst_case = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut covered = 0usize;
+        let mut vulnerable = 0usize;
+        for &r in &risks {
+            if r.is_nan() {
+                continue;
+            }
+            covered += 1;
+            sum += r;
+            worst_case = worst_case.max(r);
+            if r > t {
+                vulnerable += 1;
+            }
+        }
+        let mean = if covered == 0 {
             0.0
         } else {
-            covered.iter().sum::<f64>() / covered.len() as f64
+            sum / covered as f64
         };
-        let vulnerable = covered.iter().filter(|&&r| r > t).count();
         AuditReport {
             risks,
             worst_case,
@@ -275,6 +298,35 @@ impl Auditor {
         }
     }
 
+    /// Resolve a group's priors, prior identities, sensitive histogram and
+    /// memo signature into `scratch`.
+    ///
+    /// Each member's prior is resolved once, against the shared model. The
+    /// model is immutable for the duration of the audit, so a prior's
+    /// address identifies it: equal addresses ⇒ the very same `Dist`.
+    ///
+    /// The group signature is the *sequence* of prior identities plus the
+    /// sensitive histogram. The sequence (not just the multiset) matters
+    /// because the reference path accumulates column sums — and the exact
+    /// path its permanent DP — in row order, so only an order-preserving
+    /// replay is guaranteed bit-identical.
+    fn prepare_group<'a>(&'a self, table: &Table, rows: &[usize], scratch: &mut AuditScratch<'a>) {
+        scratch.priors.clear();
+        scratch.prior_ids.clear();
+        for &r in rows {
+            let p = self.adversary.prior(table.qi(r));
+            scratch.priors.push(p);
+            scratch.prior_ids.push(std::ptr::from_ref(p) as u64);
+        }
+        table.sensitive_counts_into(rows, &mut scratch.counts);
+
+        scratch.signature.clear();
+        scratch.signature.extend_from_slice(&scratch.prior_ids);
+        scratch
+            .signature
+            .extend(scratch.counts.iter().map(|&c| u64::from(c)));
+    }
+
     /// Audit one group, replaying the memo when its signature was already
     /// solved.
     fn audit_group<'a>(
@@ -286,29 +338,7 @@ impl Auditor {
         scratch: &mut AuditScratch<'a>,
         out: &mut Vec<(usize, f64)>,
     ) {
-        // Resolve each member's prior once, against the shared model. The
-        // model is immutable for the duration of the audit, so a prior's
-        // address identifies it: equal addresses ⇒ the very same `Dist`.
-        scratch.priors.clear();
-        scratch.prior_ids.clear();
-        for &r in rows {
-            let p = self.adversary.prior(table.qi(r));
-            scratch.priors.push(p);
-            scratch.prior_ids.push(std::ptr::from_ref(p) as u64);
-        }
-        table.sensitive_counts_into(rows, &mut scratch.counts);
-
-        // Group signature: the *sequence* of prior identities plus the
-        // sensitive histogram. The sequence (not just the multiset) matters
-        // because the reference path accumulates column sums — and the exact
-        // path its permanent DP — in row order, so only an order-preserving
-        // replay is guaranteed bit-identical.
-        scratch.signature.clear();
-        scratch.signature.extend_from_slice(&scratch.prior_ids);
-        scratch
-            .signature
-            .extend(scratch.counts.iter().map(|&c| u64::from(c)));
-
+        self.prepare_group(table, rows, scratch);
         let cached = memo
             .lock()
             .expect("audit memo lock")
@@ -439,6 +469,203 @@ struct AuditScratch<'a> {
     /// Prepared-prior cache of the measure's fast path, keyed by prior
     /// identity and kept for the worker's lifetime.
     prepared: HashMap<u64, Option<Dist>>,
+}
+
+/// One entry of an [`AuditSession`] cache, tagged with the generation of
+/// the report that last used it so stale entries can be evicted.
+struct CacheEntry {
+    generation: u64,
+    risks: Arc<Vec<f64>>,
+}
+
+/// A retained audit state for repeated publications of an evolving table:
+/// an [`Auditor`] plus caches that survive across
+/// [`report`](AuditSession::report) calls.
+///
+/// Two cache levels, both producing risks **bit-identical** to a fresh
+/// audit (the values cached are exactly the ones a fresh run computes):
+///
+/// * a **signature memo** — group signature (prior-identity sequence +
+///   sensitive histogram) → per-member risks, the same memo the batched
+///   engine builds per call, here kept alive between calls;
+/// * a **stamp cache** — an opaque caller-supplied token per group (the
+///   publishing engine uses the partition-tree leaf stamp, which changes
+///   whenever a leaf's membership changes) → risks, letting unchanged
+///   groups skip even the signature computation.
+///
+/// Invalidation is explicit and keyed by the dirty partitions: after each
+/// report, entries not used by that report are dropped, so dissolved groups
+/// do not accumulate.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_knowledge::{Adversary, Bandwidth};
+/// use bgkanon_privacy::{AuditSession, Auditor};
+/// use bgkanon_stats::SmoothedJs;
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let auditor = Auditor::new(
+///     Arc::new(Adversary::kernel(&table, Bandwidth::uniform(0.3, 2).unwrap())),
+///     Arc::new(SmoothedJs::paper_default(table.schema().sensitive_distance())),
+/// );
+/// let groups = bgkanon_data::toy::hospital_groups();
+/// let fresh = auditor.report(&table, &groups, 0.25);
+///
+/// let mut session = AuditSession::new(auditor);
+/// let first = session.report(&table, &groups, 0.25);
+/// let replay = session.report(&table, &groups, 0.25); // served from the memo
+/// assert_eq!(first.worst_case.to_bits(), fresh.worst_case.to_bits());
+/// assert_eq!(replay.worst_case.to_bits(), fresh.worst_case.to_bits());
+/// ```
+pub struct AuditSession {
+    auditor: Auditor,
+    memo: HashMap<Vec<u64>, CacheEntry>,
+    stamps: HashMap<u64, CacheEntry>,
+    prepared: HashMap<u64, Option<Dist>>,
+    generation: u64,
+}
+
+impl AuditSession {
+    /// Open a session around `auditor`. The auditor's adversary model is
+    /// pinned for the session's lifetime — prior identities (and therefore
+    /// cached signatures) stay valid across reports.
+    pub fn new(auditor: Auditor) -> Self {
+        AuditSession {
+            auditor,
+            memo: HashMap::new(),
+            stamps: HashMap::new(),
+            prepared: HashMap::new(),
+            generation: 0,
+        }
+    }
+
+    /// The wrapped auditor.
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Number of live signature-memo entries (diagnostics).
+    pub fn cached_signatures(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Number of live stamp-cache entries (diagnostics).
+    pub fn cached_stamps(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Audit `groups` with threshold `t`, replaying cached group risks and
+    /// computing only the groups whose signature is new. Bit-identical to
+    /// [`Auditor::report`] on the same inputs.
+    pub fn report(&mut self, table: &Table, groups: &[Vec<usize>], t: f64) -> AuditReport {
+        self.report_stamped(table, groups, None, t)
+    }
+
+    /// Like [`report`](AuditSession::report), with an optional stamp per
+    /// group: a caller-chosen token that must change whenever the group's
+    /// membership (row set or order) changes and must never collide between
+    /// distinct memberships audited by this session. Stamp hits bypass the
+    /// signature computation entirely — the fast path for partitions where
+    /// most groups survived the last delta untouched.
+    pub fn report_stamped(
+        &mut self,
+        table: &Table,
+        groups: &[Vec<usize>],
+        stamps: Option<&[u64]>,
+        t: f64,
+    ) -> AuditReport {
+        let slices: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
+        self.report_groups(table, &slices, stamps, t)
+    }
+
+    /// The borrowed-slice form of [`report_stamped`](Self::report_stamped)
+    /// — callers holding groups inside a larger structure (a published
+    /// partition) can audit without deep-copying the row lists.
+    pub fn report_groups(
+        &mut self,
+        table: &Table,
+        groups: &[&[usize]],
+        stamps: Option<&[u64]>,
+        t: f64,
+    ) -> AuditReport {
+        if let Some(stamps) = stamps {
+            assert_eq!(stamps.len(), groups.len(), "one stamp per group");
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        let m = table.schema().sensitive_domain_size();
+        let mut risks = vec![f64::NAN; table.len()];
+        let auditor = &self.auditor;
+        let mut scratch = AuditScratch {
+            prepared: std::mem::take(&mut self.prepared),
+            ..AuditScratch::default()
+        };
+        for (gi, rows) in groups.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let stamp = stamps.map(|s| s[gi]);
+            let solved = if let Some(entry) = stamp.and_then(|s| self.stamps.get_mut(&s)) {
+                entry.generation = generation;
+                Arc::clone(&entry.risks)
+            } else {
+                auditor.prepare_group(table, rows, &mut scratch);
+                let solved = match self.memo.get_mut(&scratch.signature) {
+                    Some(entry) => {
+                        entry.generation = generation;
+                        Arc::clone(&entry.risks)
+                    }
+                    None => {
+                        let solved = Arc::new(auditor.solve_group(rows, m, &mut scratch));
+                        self.memo.insert(
+                            scratch.signature.clone(),
+                            CacheEntry {
+                                generation,
+                                risks: Arc::clone(&solved),
+                            },
+                        );
+                        solved
+                    }
+                };
+                if let Some(s) = stamp {
+                    self.stamps.insert(
+                        s,
+                        CacheEntry {
+                            generation,
+                            risks: Arc::clone(&solved),
+                        },
+                    );
+                }
+                solved
+            };
+            for (&row, &risk) in rows.iter().zip(solved.iter()) {
+                risks[row] = risk;
+            }
+        }
+        self.prepared = std::mem::take(&mut scratch.prepared);
+        // Explicit invalidation, keyed by the dirty partitions. Stamps are
+        // dropped as soon as the partition stops producing them (the leaf
+        // was dissolved or re-stamped). Signature entries get a small grace
+        // window: a stamp-served group never touches its memo entry, yet
+        // its signature comes straight back when a later delta rebuilds an
+        // equal-content group — evicting eagerly would turn that replay
+        // into a full Ω recomputation.
+        const MEMO_GRACE: u64 = 8;
+        self.memo
+            .retain(|_, e| e.generation + MEMO_GRACE >= generation);
+        self.stamps.retain(|_, e| e.generation == generation);
+        self.auditor.assemble_report(risks, t)
+    }
+}
+
+impl std::fmt::Debug for AuditSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditSession")
+            .field("auditor", &self.auditor)
+            .field("cached_signatures", &self.memo.len())
+            .field("cached_stamps", &self.stamps.len())
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for Auditor {
@@ -592,6 +819,60 @@ mod tests {
         assert_eq!(serial.worst_case.to_bits(), batched.worst_case.to_bits());
         assert_eq!(serial.mean.to_bits(), batched.mean.to_bits());
         assert_eq!(serial.vulnerable, batched.vulnerable);
+    }
+
+    #[test]
+    fn audit_session_replays_bit_identically() {
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        let a = auditor(&t, 0.3);
+        let fresh = a.report(&t, &groups, 0.1);
+        let mut session = AuditSession::new(a);
+        let first = session.report(&t, &groups, 0.1);
+        assert!(session.cached_signatures() > 0);
+        let replay = session.report(&t, &groups, 0.1);
+        for ((f, a), b) in fresh.risks.iter().zip(&first.risks).zip(&replay.risks) {
+            assert_eq!(f.to_bits(), a.to_bits());
+            assert_eq!(f.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn audit_session_stamps_bypass_and_invalidate() {
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        let mut session = AuditSession::new(auditor(&t, 0.3));
+        let stamps = [11u64, 22, 33];
+        let first = session.report_stamped(&t, &groups, Some(&stamps), 0.1);
+        assert_eq!(session.cached_stamps(), 3);
+        // Same stamps: served from the stamp cache, same bits.
+        let hit = session.report_stamped(&t, &groups, Some(&stamps), 0.1);
+        for (a, b) in first.risks.iter().zip(&hit.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Dropping one group evicts its stamp (and eventually its
+        // signature) from the caches.
+        let fewer = [groups[0].clone(), groups[1].clone()];
+        let partial = session.report_stamped(&t, &fewer, Some(&stamps[..2]), 0.1);
+        assert_eq!(session.cached_stamps(), 2);
+        assert!(partial.risks[groups[2][0]].is_nan());
+        let reference = auditor(&t, 0.3).report(&t, &fewer, 0.1);
+        assert_eq!(partial.worst_case.to_bits(), reference.worst_case.to_bits());
+    }
+
+    #[test]
+    fn audit_session_matches_reference_with_exact_inference() {
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        let a = auditor(&t, 0.3).use_exact_below(16);
+        let fresh = a.report(&t, &groups, 0.1);
+        let mut session = AuditSession::new(a);
+        for _ in 0..2 {
+            let rep = session.report(&t, &groups, 0.1);
+            for (f, s) in fresh.risks.iter().zip(&rep.risks) {
+                assert_eq!(f.to_bits(), s.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,14 @@ impl PrivacyRequirement for KAnonymity {
     fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
         group.len() >= self.k
     }
+
+    fn counts_decidable(&self) -> bool {
+        true
+    }
+
+    fn is_satisfied_by_counts(&self, len: usize, _sensitive_counts: &[u32]) -> bool {
+        len >= self.k
+    }
 }
 
 #[cfg(test)]

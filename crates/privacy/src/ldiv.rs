@@ -36,6 +36,14 @@ impl PrivacyRequirement for DistinctLDiversity {
     fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
         group.distinct_sensitive() >= self.l
     }
+
+    fn counts_decidable(&self) -> bool {
+        true
+    }
+
+    fn is_satisfied_by_counts(&self, _len: usize, sensitive_counts: &[u32]) -> bool {
+        sensitive_counts.iter().filter(|&&c| c > 0).count() >= self.l
+    }
 }
 
 /// Probabilistic ℓ-diversity.
@@ -69,6 +77,18 @@ impl PrivacyRequirement for ProbabilisticLDiversity {
         }
         // max count / |G| ≤ 1/ℓ  ⇔  max count · ℓ ≤ |G|.
         (group.max_sensitive_count() as usize) * self.l <= group.len()
+    }
+
+    fn counts_decidable(&self) -> bool {
+        true
+    }
+
+    fn is_satisfied_by_counts(&self, len: usize, sensitive_counts: &[u32]) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let max = sensitive_counts.iter().copied().max().unwrap_or(0);
+        (max as usize) * self.l <= len
     }
 }
 

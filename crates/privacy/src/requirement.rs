@@ -57,6 +57,37 @@ pub trait PrivacyRequirement: Send + Sync {
 
     /// Does `group` satisfy the requirement?
     fn is_satisfied(&self, group: &GroupView<'_>) -> bool;
+
+    /// True when this requirement is a pure function of the group's size
+    /// and sensitive histogram — i.e. [`is_satisfied`](Self::is_satisfied)
+    /// never looks at the actual member rows. k-anonymity, the ℓ-diversity
+    /// family and t-closeness are; (B,t)-privacy is not (it evaluates the
+    /// adversary's posterior per member tuple).
+    ///
+    /// The incremental publishing engine uses this to revalidate retained
+    /// splits from per-partition histograms without materializing row sets.
+    fn counts_decidable(&self) -> bool {
+        false
+    }
+
+    /// Evaluate the requirement from a group's size and sensitive histogram
+    /// alone. Implementations returning `true` from
+    /// [`counts_decidable`](Self::counts_decidable) **must** make this
+    /// agree exactly with [`is_satisfied`](Self::is_satisfied) on any group
+    /// with the same `(len, sensitive_counts)` — bit-identical incremental
+    /// republication depends on it.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: callers must check
+    /// [`counts_decidable`](Self::counts_decidable) first.
+    fn is_satisfied_by_counts(&self, len: usize, sensitive_counts: &[u32]) -> bool {
+        let _ = (len, sensitive_counts);
+        panic!(
+            "`{}` cannot be decided from counts alone; check counts_decidable() first",
+            self.name()
+        );
+    }
 }
 
 /// Conjunction of requirements — the experiments enforce
@@ -92,6 +123,16 @@ impl PrivacyRequirement for And {
 
     fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
         self.parts.iter().all(|p| p.is_satisfied(group))
+    }
+
+    fn counts_decidable(&self) -> bool {
+        self.parts.iter().all(|p| p.counts_decidable())
+    }
+
+    fn is_satisfied_by_counts(&self, len: usize, sensitive_counts: &[u32]) -> bool {
+        self.parts
+            .iter()
+            .all(|p| p.is_satisfied_by_counts(len, sensitive_counts))
     }
 }
 
@@ -139,5 +180,29 @@ mod tests {
     #[should_panic(expected = "at least one part")]
     fn empty_conjunction_rejected() {
         let _ = And::new(vec![]);
+    }
+
+    #[test]
+    fn counts_decidability_propagates_through_and() {
+        struct RowBound;
+        impl PrivacyRequirement for RowBound {
+            fn name(&self) -> String {
+                "row-bound".into()
+            }
+            fn is_satisfied(&self, group: &GroupView<'_>) -> bool {
+                group.rows.iter().all(|&r| r < 100)
+            }
+        }
+        let counts = And::pair(MinSize(2), MinSize(3));
+        assert!(!MinSize(2).counts_decidable());
+        assert!(!counts.counts_decidable());
+        let with_rows = And::pair(RowBound, RowBound);
+        assert!(!with_rows.counts_decidable());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be decided from counts")]
+    fn counts_evaluation_of_row_requirement_panics() {
+        let _ = MinSize(2).is_satisfied_by_counts(3, &[3]);
     }
 }

@@ -72,6 +72,18 @@ impl PrivacyRequirement for TCloseness {
         let dist = Dist::from_counts(group.sensitive_counts).expect("non-empty group");
         self.emd_to_table(&dist) <= self.t
     }
+
+    fn counts_decidable(&self) -> bool {
+        true
+    }
+
+    fn is_satisfied_by_counts(&self, len: usize, sensitive_counts: &[u32]) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let dist = Dist::from_counts(sensitive_counts).expect("non-empty group");
+        self.emd_to_table(&dist) <= self.t
+    }
 }
 
 #[cfg(test)]
