@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use bgkanon::data::DeltaBuilder;
 use bgkanon::inference::{exact_posteriors, omega_posteriors, GroupPriors};
-use bgkanon::knowledge::{Adversary, Bandwidth, PriorEstimator};
+use bgkanon::knowledge::{Adversary, Bandwidth, FoldedTable, PriorEstimator};
 use bgkanon::prelude::*;
 use bgkanon::stats::divergence::js_divergence;
 use bgkanon::stats::permanent::{likelihood_dp, likelihood_via_permanent};
@@ -25,6 +26,51 @@ fn bench_prior_estimation(c: &mut Criterion) {
             b.iter(|| estimator.estimate(table));
         });
     }
+    group.finish();
+}
+
+fn bench_estimator_stages(c: &mut Criterion) {
+    // The sparse engine's individual stages: fold, support-index build,
+    // one neighbor-bounded point query, and a 1%-delta refresh.
+    let table = bgkanon::data::adult::generate(5_000, 42);
+    let estimator = PriorEstimator::new(
+        Arc::clone(table.schema()),
+        Bandwidth::uniform(0.25, table.qi_count()).unwrap(),
+    );
+    let folded = FoldedTable::new(&table);
+    let index = estimator.index(&folded);
+    let model = estimator.estimate(&table);
+
+    let mut delta = DeltaBuilder::new(Arc::clone(table.schema()));
+    let donors = bgkanon::data::adult::generate(25, 7);
+    for r in 0..25 {
+        delta.delete(r * 100);
+        delta
+            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .unwrap();
+    }
+    let delta = delta.build();
+
+    let mut group = c.benchmark_group("estimator_stages");
+    group.sample_size(10);
+    group.bench_function("fold_5k", |b| {
+        b.iter(|| FoldedTable::new(&table));
+    });
+    group.bench_function("index_build_5k", |b| {
+        b.iter(|| estimator.index(&folded));
+    });
+    group.bench_function("single_point_query", |b| {
+        b.iter(|| estimator.estimate_indexed(&folded, &index, table.qi(0)));
+    });
+    group.bench_function("refresh_1pct_delta", |b| {
+        // Each iteration refreshes a fresh clone of the model (the clone is
+        // part of the measured loop; it is cheap next to the recompute).
+        b.iter(|| {
+            let mut m = model.clone();
+            estimator.refresh(&mut m, &table, &delta);
+            m
+        });
+    });
     group.finish();
 }
 
@@ -103,6 +149,7 @@ fn bench_permanent(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_prior_estimation,
+    bench_estimator_stages,
     bench_inference,
     bench_mondrian,
     bench_distances,

@@ -10,7 +10,16 @@
 //!   subtrees it dirties ([`Mondrian::refresh`](bgkanon_anon::Mondrian));
 //! * per-adversary [`AuditSession`]s whose group-risk caches are
 //!   invalidated by leaf stamp — an audit after a delta recomputes Ω only
-//!   for the groups the delta touched.
+//!   for the groups the delta touched;
+//! * session-built adversary models
+//!   ([`audit_against`](PublishSession::audit_against)) that **track the
+//!   evolving table**: each applied delta refreshes their kernel-estimated
+//!   priors in place ([`PriorEstimator::refresh_with`]), recomputing only
+//!   the compact-support neighborhood the delta dirtied — the adversary is
+//!   never silently frozen at the table the session opened on. Externally
+//!   supplied auditors ([`audit_with`](PublishSession::audit_with)) embody
+//!   the caller's chosen prior model and are left untouched (the paper's
+//!   Fig. 1 "reuse the prior across releases" accounting).
 //!
 //! The correctness bar, enforced by `tests/tests/incremental.rs`: after
 //! **any** sequence of deltas, [`PublishSession::snapshot`] is bit-identical
@@ -24,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use bgkanon_anon::{AnonymizedTable, Mondrian, PartitionTree};
 use bgkanon_data::{Delta, Parallelism, Table};
-use bgkanon_knowledge::{Adversary, Bandwidth};
+use bgkanon_knowledge::{Adversary, Bandwidth, PriorEstimator, PriorModel};
 use bgkanon_privacy::{AuditReport, AuditSession, Auditor, PrivacyRequirement};
 use bgkanon_stats::SmoothedJs;
 
@@ -84,6 +93,26 @@ enum AuditKey {
     Bandwidth(u64),
 }
 
+/// A session-owned adversary whose prior model **tracks** the evolving
+/// table: every [`PublishSession::apply`] routes the delta through
+/// [`PriorEstimator::refresh_with`], recomputing only the kernel
+/// neighborhood the delta dirtied.
+struct TrackedPrior {
+    bandwidth: Bandwidth,
+    estimator: PriorEstimator,
+    model: Arc<PriorModel>,
+}
+
+/// One retained audit configuration: its risk caches, plus the tracked
+/// prior state when the adversary is session-built (the
+/// [`audit_against`](PublishSession::audit_against) path — external
+/// auditors embody the *caller's* frozen model and are never refreshed).
+struct AuditCache {
+    key: AuditKey,
+    session: AuditSession,
+    tracked: Option<TrackedPrior>,
+}
+
 /// A retained publish → audit pipeline over an evolving table.
 ///
 /// ```
@@ -119,7 +148,7 @@ pub struct PublishSession {
     tree: PartitionTree,
     anonymized: AnonymizedTable,
     stamps: Vec<u64>,
-    audits: Vec<(AuditKey, AuditSession)>,
+    audits: Vec<AuditCache>,
     last_elapsed: Duration,
     deltas_applied: usize,
 }
@@ -177,6 +206,11 @@ impl PublishSession {
             }
             .into());
         }
+        let t1b = Instant::now();
+        // Session-built adversary models track the evolving table: refresh
+        // each one's dirty kernel neighborhood against the pre-delta table
+        // it currently reflects (external auditors stay caller-frozen).
+        self.refresh_tracked_priors(delta);
         let t2 = Instant::now();
         let started = Instant::now();
         self.mondrian
@@ -193,9 +227,10 @@ impl PublishSession {
         let t5 = Instant::now();
         if std::env::var("BGK_PROFILE").is_ok() {
             eprintln!(
-                "apply: delta={:?} check={:?} refresh={:?} snapshot={:?} clone={:?}",
+                "apply: delta={:?} check={:?} priors={:?} refresh={:?} snapshot={:?} clone={:?}",
                 t1 - t0,
-                t2 - t1,
+                t1b - t1,
+                t2 - t1b,
                 t3 - t2,
                 t4 - t3,
                 t5 - t4
@@ -276,8 +311,8 @@ impl PublishSession {
             Arc::as_ptr(auditor.measure()) as *const (),
             auditor.exact_below(),
         );
-        if !self.audits.iter().any(|(k, _)| *k == key) {
-            self.insert_audit_cache(key, AuditSession::new(auditor.clone()));
+        if !self.audits.iter().any(|c| c.key == key) {
+            self.insert_audit_cache(key, AuditSession::new(auditor.clone()), None);
         }
         self.audit_keyed(key, t)
     }
@@ -285,20 +320,38 @@ impl PublishSession {
     /// Audit against the adversary `Adv(b')` with threshold `t`, using the
     /// paper's smoothed-JS distance — the session counterpart of
     /// [`PublishOutcome::audit_against`]. The adversary's prior model is
-    /// estimated from the session table at the **first** call for each
-    /// `b'` and pinned thereafter (the Fig. 1 "reuse the prior model across
-    /// releases" accounting), which is what makes delta audits incremental.
+    /// estimated from the session table at the **first** call for each `b'`
+    /// and from then on **tracks the evolving table**: every
+    /// [`apply`](Self::apply) refreshes it in place
+    /// ([`PriorEstimator::refresh_with`]), recomputing only the kernel
+    /// neighborhood the delta dirtied — so a delta audit always measures
+    /// the adversary the *current* table implies, bit-identical to opening
+    /// a fresh session on that table, at a fraction of the re-estimation
+    /// cost.
     pub fn audit_against(&mut self, b_prime: f64, t: f64) -> AuditReport {
         let key = AuditKey::Bandwidth(b_prime.to_bits());
-        if !self.audits.iter().any(|(k, _)| *k == key) {
-            let adversary = Arc::new(Adversary::kernel(
-                &self.table,
-                Bandwidth::uniform(b_prime, self.table.qi_count()).expect("positive bandwidth"),
+        if !self.audits.iter().any(|c| c.key == key) {
+            let bandwidth =
+                Bandwidth::uniform(b_prime, self.table.qi_count()).expect("positive bandwidth");
+            let estimator = PriorEstimator::new(Arc::clone(self.table.schema()), bandwidth.clone());
+            let model = Arc::new(estimator.estimate_with(&self.table, self.parallelism));
+            let adversary = Arc::new(Adversary::from_model(
+                &format!("Adv({bandwidth})"),
+                bandwidth.clone(),
+                Arc::clone(&model),
             ));
             let measure = Arc::new(SmoothedJs::paper_default(
                 self.table.schema().sensitive_distance(),
             ));
-            self.insert_audit_cache(key, AuditSession::new(Auditor::new(adversary, measure)));
+            self.insert_audit_cache(
+                key,
+                AuditSession::new(Auditor::new(adversary, measure)),
+                Some(TrackedPrior {
+                    bandwidth,
+                    estimator,
+                    model,
+                }),
+            );
         }
         self.audit_keyed(key, t)
     }
@@ -313,20 +366,29 @@ impl PublishSession {
         self.audits.len()
     }
 
-    fn insert_audit_cache(&mut self, key: AuditKey, session: AuditSession) {
+    fn insert_audit_cache(
+        &mut self,
+        key: AuditKey,
+        session: AuditSession,
+        tracked: Option<TrackedPrior>,
+    ) {
         if self.audits.len() >= Self::MAX_AUDIT_CACHES {
             // The vec is kept in least-recently-used-first order by
             // `audit_keyed`, so the front is the eviction victim.
             self.audits.remove(0);
         }
-        self.audits.push((key, session));
+        self.audits.push(AuditCache {
+            key,
+            session,
+            tracked,
+        });
     }
 
     fn audit_keyed(&mut self, key: AuditKey, t: f64) -> AuditReport {
         let idx = self
             .audits
             .iter()
-            .position(|(k, _)| *k == key)
+            .position(|c| c.key == key)
             .expect("inserted by the caller");
         // Move the used entry to the back: LRU order for eviction.
         let entry = self.audits.remove(idx);
@@ -339,8 +401,69 @@ impl PublishSession {
             .map(|g| g.rows.as_slice())
             .collect();
         self.audits[idx]
-            .1
+            .session
             .report_groups(&self.table, &groups, Some(&self.stamps), t)
+    }
+
+    /// Route `delta` through every tracked adversary model — called by
+    /// [`apply`](Self::apply) while `self.table` is still the pre-delta
+    /// table the models reflect. Each refreshed model gets a rebuilt
+    /// adversary + audit session: the risk caches key on prior *identities*
+    /// inside the model, and a refresh frees the dirty priors' allocations
+    /// (a later allocation could reuse an address and alias a cached
+    /// identity), so the caches must not survive the mutation.
+    ///
+    /// The refresh is **eager** — the models track the table even through
+    /// applies that are never audited. That keeps every audit's cost
+    /// audit-shaped (no deferred estimation debt suddenly coming due) at
+    /// the price of dirty-neighborhood recomputation per apply per tracked
+    /// bandwidth; sessions that audit rarely and want apply at its minimum
+    /// cost should use externally supplied auditors instead.
+    fn refresh_tracked_priors(&mut self, delta: &Delta) {
+        if !self.audits.iter().any(|c| c.tracked.is_some()) {
+            return;
+        }
+        let old = std::mem::take(&mut self.audits);
+        self.audits = old
+            .into_iter()
+            .map(|cache| {
+                let AuditCache {
+                    key,
+                    session,
+                    tracked,
+                } = cache;
+                let Some(mut tracked) = tracked else {
+                    return AuditCache {
+                        key,
+                        session,
+                        tracked: None,
+                    };
+                };
+                let measure = Arc::clone(session.auditor().measure());
+                let exact_below = session.auditor().exact_below();
+                // Drop the old session (and with it the old adversary's
+                // model handle) so the refresh mutates in place instead of
+                // cloning the model.
+                drop(session);
+                tracked.estimator.refresh_with(
+                    Arc::make_mut(&mut tracked.model),
+                    &self.table,
+                    delta,
+                    self.parallelism,
+                );
+                let adversary = Arc::new(Adversary::from_model(
+                    &format!("Adv({})", tracked.bandwidth),
+                    tracked.bandwidth.clone(),
+                    Arc::clone(&tracked.model),
+                ));
+                let auditor = Auditor::new(adversary, measure).use_exact_below(exact_below);
+                AuditCache {
+                    key,
+                    session: AuditSession::new(auditor),
+                    tracked: Some(tracked),
+                }
+            })
+            .collect();
     }
 }
 
@@ -520,7 +643,7 @@ mod tests {
     }
 
     #[test]
-    fn audit_against_pins_the_adversary_per_bandwidth() {
+    fn audit_against_reuses_the_cached_adversary() {
         let t = toy::hospital_table();
         let mut session = Publisher::new()
             .k_anonymity(3)
@@ -533,6 +656,56 @@ mod tests {
         assert_eq!(a.worst_case.to_bits(), b.worst_case.to_bits());
         let _other = session.audit_against(0.5, 0.25);
         assert_eq!(session.audit_cache_count(), 2);
+    }
+
+    #[test]
+    fn audit_against_tracks_the_evolving_table() {
+        // The staleness fix: after deltas, audit_against must measure the
+        // adversary the *current* table implies — bit-identical to a fresh
+        // session opened on that table — not the model frozen at open.
+        let t = adult::generate(300, 12);
+        let publisher = Publisher::new().k_anonymity(4);
+        let mut session = publisher.open(&t).unwrap();
+        let before = session.audit_against(0.3, 0.2);
+        assert!(before.worst_case >= before.mean);
+
+        let d = delta(&t, &[5, 42, 77, 130], 8, 99);
+        session.apply(&d).unwrap();
+        let tracked = session.audit_against(0.3, 0.2);
+
+        let mut fresh = publisher.open(session.table()).unwrap();
+        let reference = fresh.audit_against(0.3, 0.2);
+        assert_eq!(tracked.worst_case.to_bits(), reference.worst_case.to_bits());
+        assert_eq!(tracked.mean.to_bits(), reference.mean.to_bits());
+        assert_eq!(tracked.vulnerable, reference.vulnerable);
+        for (a, b) in tracked.risks.iter().zip(&reference.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The tracked entry is still a single cache slot.
+        assert_eq!(session.audit_cache_count(), 1);
+    }
+
+    #[test]
+    fn external_auditor_stays_caller_frozen() {
+        // audit_with uses the caller's adversary as supplied — the Fig. 1
+        // accounting where one estimated prior is reused across releases.
+        let t = adult::generate(200, 5);
+        let publisher = Publisher::new().k_anonymity(4);
+        let mut session = publisher.open(&t).unwrap();
+        let adversary = Arc::new(Adversary::kernel(
+            &t,
+            Bandwidth::uniform(0.3, t.qi_count()).unwrap(),
+        ));
+        let measure: Arc<dyn bgkanon_stats::BeliefDistance> =
+            Arc::new(SmoothedJs::paper_default(t.schema().sensitive_distance()));
+        let auditor = Auditor::new(adversary, measure);
+        session.apply(&delta(&t, &[1, 2], 2, 7)).unwrap();
+        let incremental = session.audit_with(&auditor, 0.2);
+        let fresh = publisher.publish(session.table()).unwrap();
+        let reference = fresh.audit_with(session.table(), &auditor, 0.2);
+        for (a, b) in incremental.risks.iter().zip(&reference.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Nadaraya–Watson kernel regression estimation of the prior belief
-//! function (Eq. 1–2 of the paper).
+//! function (Eq. 1–2 of the paper), built around **compact kernel support**.
 //!
 //! For a QI point `q = (q_1..q_d)` the estimated prior is
 //!
@@ -13,17 +13,30 @@
 //! the normalized semantic distance of attribute `A_i`. Implementation
 //! notes:
 //!
-//! * per attribute, kernel weights are precomputed over the full `r × r`
-//!   distance matrix, so each tuple-pair weight is `d` table lookups and
-//!   multiplications;
-//! * rows with identical QI combinations are folded (weight = count), making
-//!   the cost `O(u² · (d + m))` for `u` distinct QI points;
-//! * distinct points are processed in parallel with scoped threads.
+//! * every shipped kernel family has compact support, so each per-attribute
+//!   `r × r` weight table is stored **sparse** ([`SparseWeights`], CSR: per
+//!   value `a` only the values `b` with nonzero weight);
+//! * rows with identical QI combinations are folded into a reusable
+//!   [`FoldedTable`] (weight = multiplicity), and a [`SupportIndex`] over
+//!   the folded points (lexicographically sorted order + per-attribute
+//!   inverted postings) lets a query enumerate **only the candidates inside
+//!   the product-kernel support** — seeded from the most selective
+//!   attribute — instead of scanning all `u` distinct points;
+//! * candidates are accumulated in ascending sorted-point order, so the
+//!   sparse result is **bit-identical** to the dense all-pairs reference
+//!   ([`PriorEstimator::estimate_reference`], also selected by
+//!   [`Parallelism::Serial`]), which `tests/tests/estimation.rs`
+//!   property-tests across kernel families and bandwidths;
+//! * compact support also makes the model **session-refreshable**: a
+//!   [`Delta`] can only perturb priors inside the kernel neighborhood of
+//!   the changed points, so [`PriorEstimator::refresh`] recomputes exactly
+//!   that dirty neighborhood and is bit-identical to a from-scratch
+//!   estimate of the post-delta table.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use bgkanon_data::{Schema, Table};
+use bgkanon_data::{Delta, Parallelism, Schema, Table};
 use bgkanon_stats::{Dist, Kernel};
 
 use crate::bandwidth::Bandwidth;
@@ -50,28 +63,609 @@ impl KernelFamily {
             KernelFamily::Triangular => Kernel::triangular(b),
         }
     }
+
+    /// Stable lowercase name (used by the persistence format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelFamily::Epanechnikov => "epanechnikov",
+            KernelFamily::Uniform => "uniform",
+            KernelFamily::Triangular => "triangular",
+        }
+    }
+}
+
+impl std::str::FromStr for KernelFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "epanechnikov" => Ok(KernelFamily::Epanechnikov),
+            "uniform" => Ok(KernelFamily::Uniform),
+            "triangular" => Ok(KernelFamily::Triangular),
+            other => Err(format!("unknown kernel family `{other}`")),
+        }
+    }
+}
+
+/// One attribute's kernel weight table `W[a][b] = K(d(a, b))` in CSR form:
+/// per value `a`, only the values `b` inside the kernel support (nonzero
+/// weight) are stored. With the bench's bandwidth 0.25 the overwhelming
+/// majority of the dense `r × r` table is exactly zero — the sparsity the
+/// whole estimation engine is built on.
+#[derive(Debug, Clone)]
+pub struct SparseWeights {
+    size: usize,
+    /// `row_ptr[a]..row_ptr[a + 1]` slices `cols`/`weights` for value `a`.
+    row_ptr: Vec<usize>,
+    /// Support values per row, ascending.
+    cols: Vec<u32>,
+    /// Kernel weight per stored `(a, b)` pair.
+    weights: Vec<f64>,
+    /// True when every row's support is a contiguous code range (always the
+    /// case for numeric attributes), enabling O(1) random access.
+    contiguous: bool,
+}
+
+impl SparseWeights {
+    fn build(kernel: &Kernel, dist: &bgkanon_data::distance::DistanceMatrix) -> Self {
+        let r = dist.size();
+        let mut row_ptr = Vec::with_capacity(r + 1);
+        row_ptr.push(0usize);
+        let mut cols = Vec::new();
+        let mut weights = Vec::new();
+        let mut contiguous = true;
+        for a in 0..r {
+            let start = cols.len();
+            for (b, &d) in dist.row(a as u32).iter().enumerate() {
+                let w = kernel.weight(d);
+                if w > 0.0 {
+                    cols.push(b as u32);
+                    weights.push(w);
+                }
+            }
+            // The diagonal distance is 0 and K(0) > 0 for every family, so
+            // no row is ever empty.
+            debug_assert!(cols.len() > start, "support row {a} is empty");
+            let len = cols.len() - start;
+            contiguous &= (cols[cols.len() - 1] - cols[start]) as usize + 1 == len;
+            row_ptr.push(cols.len());
+        }
+        SparseWeights {
+            size: r,
+            row_ptr,
+            cols,
+            weights,
+            contiguous,
+        }
+    }
+
+    /// Domain size `r`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The support list of value `a`: every `b` with `W[a][b] > 0`,
+    /// ascending.
+    pub fn support(&self, a: u32) -> &[u32] {
+        &self.cols[self.row_ptr[a as usize]..self.row_ptr[a as usize + 1]]
+    }
+
+    /// Kernel weight `W[a][b]`, 0.0 outside the support.
+    #[inline]
+    pub fn weight(&self, a: u32, b: u32) -> f64 {
+        let lo = self.row_ptr[a as usize];
+        let row = &self.cols[lo..self.row_ptr[a as usize + 1]];
+        if self.contiguous {
+            let first = row[0];
+            if b >= first {
+                let off = (b - first) as usize;
+                if off < row.len() {
+                    return self.weights[lo + off];
+                }
+            }
+            0.0
+        } else {
+            match row.binary_search(&b) {
+                Ok(i) => self.weights[lo + i],
+                Err(_) => 0.0,
+            }
+        }
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nonzero(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Fraction of the dense `r × r` table that is nonzero — the
+    /// support-density diagnostic ([`Kernel::support_density`] over the
+    /// attribute's distance matrix gives the same number).
+    pub fn density(&self) -> f64 {
+        self.cols.len() as f64 / (self.size * self.size) as f64
+    }
+
+    /// True when every row's support is one contiguous code range.
+    pub fn is_contiguous(&self) -> bool {
+        self.contiguous
+    }
+}
+
+/// A borrowed view of one distinct QI combination: its codes, multiplicity
+/// and sensitive histogram (the [`FoldedTable`] stores all points in flat
+/// contiguous arrays for cache-friendly scans; this view is how they are
+/// read back).
+#[derive(Debug, Clone, Copy)]
+pub struct FoldedPoint<'a> {
+    qi: &'a [u32],
+    count: u32,
+    sensitive_counts: &'a [u32],
+}
+
+impl<'a> FoldedPoint<'a> {
+    /// The QI code combination.
+    pub fn qi(&self) -> &'a [u32] {
+        self.qi
+    }
+
+    /// Number of table rows folded into this point.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Per-sensitive-value counts among those rows (sums to
+    /// [`count`](Self::count)).
+    pub fn sensitive_counts(&self) -> &'a [u32] {
+        self.sensitive_counts
+    }
+}
+
+/// The distinct-QI folding of a table: one point per distinct QI
+/// combination, **sorted lexicographically**, plus the whole-table sensitive
+/// totals. Storage is flat and row-major (codes, multiplicities and
+/// histograms in three contiguous arrays), so the accumulation hot loops
+/// scan linearly instead of chasing per-point allocations. This is the
+/// substrate every estimation path shares — fold once, then estimate, query
+/// ([`PriorEstimator::estimate_many`]) and refresh against it without
+/// re-scanning the table.
+///
+/// ```
+/// use bgkanon_knowledge::FoldedTable;
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let folded = FoldedTable::new(&table);
+/// assert_eq!(folded.rows(), table.len());
+/// assert_eq!(folded.len(), table.group_by_qi().len());
+/// // Points are sorted lexicographically by QI codes.
+/// let qis: Vec<&[u32]> = folded.points().map(|p| p.qi()).collect();
+/// assert!(qis.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FoldedTable {
+    qi_count: usize,
+    m: usize,
+    rows: usize,
+    sensitive_totals: Vec<u64>,
+    /// `u × d` row-major QI codes, rows sorted lexicographically.
+    qi: Vec<u32>,
+    /// Multiplicity per point.
+    counts: Vec<u32>,
+    /// `u × m` row-major sensitive histograms.
+    hists: Vec<u32>,
+}
+
+impl FoldedTable {
+    /// Fold `table` by distinct QI combination (one `O(n)` pass).
+    pub fn new(table: &Table) -> Self {
+        let d = table.qi_count();
+        let m = table.schema().sensitive_domain_size();
+        let mut map: HashMap<&[u32], u32> = HashMap::new();
+        let mut tmp_qi: Vec<&[u32]> = Vec::new();
+        let mut tmp_hists: Vec<u32> = Vec::new();
+        let mut sensitive_totals = vec![0u64; m];
+        for row in 0..table.len() {
+            let qi = table.qi(row);
+            let s = table.sensitive_value(row) as usize;
+            sensitive_totals[s] += 1;
+            let idx = *map.entry(qi).or_insert_with(|| {
+                tmp_qi.push(qi);
+                tmp_hists.resize(tmp_hists.len() + m, 0);
+                (tmp_qi.len() - 1) as u32
+            });
+            tmp_hists[idx as usize * m + s] += 1;
+        }
+        drop(map);
+        let mut order: Vec<u32> = (0..tmp_qi.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| tmp_qi[a as usize].cmp(tmp_qi[b as usize]));
+        let u = order.len();
+        let mut qi = Vec::with_capacity(u * d);
+        let mut counts = Vec::with_capacity(u);
+        let mut hists = Vec::with_capacity(u * m);
+        for &i in &order {
+            qi.extend_from_slice(tmp_qi[i as usize]);
+            let h = &tmp_hists[i as usize * m..(i as usize + 1) * m];
+            hists.extend_from_slice(h);
+            counts.push(h.iter().sum());
+        }
+        FoldedTable {
+            qi_count: d,
+            m,
+            rows: table.len(),
+            sensitive_totals,
+            qi,
+            counts,
+            hists,
+        }
+    }
+
+    /// Rebuild from raw `(codes, histogram)` points (the persistence
+    /// layer's path). Points are sorted; multiplicities and totals are
+    /// derived from the histograms.
+    pub(crate) fn from_points(
+        qi_count: usize,
+        m: usize,
+        mut points: Vec<(Box<[u32]>, Vec<u32>)>,
+    ) -> Self {
+        points.sort_by(|a, b| a.0.cmp(&b.0));
+        let u = points.len();
+        let mut sensitive_totals = vec![0u64; m];
+        let mut rows = 0usize;
+        let mut qi = Vec::with_capacity(u * qi_count);
+        let mut counts = Vec::with_capacity(u);
+        let mut hists = Vec::with_capacity(u * m);
+        for (codes, hist) in &points {
+            qi.extend_from_slice(codes);
+            hists.extend_from_slice(hist);
+            let count: u32 = hist.iter().sum();
+            rows += count as usize;
+            counts.push(count);
+            for (s, &c) in hist.iter().enumerate() {
+                sensitive_totals[s] += u64::from(c);
+            }
+        }
+        FoldedTable {
+            qi_count,
+            m,
+            rows,
+            sensitive_totals,
+            qi,
+            counts,
+            hists,
+        }
+    }
+
+    /// Number of distinct QI points `u`.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no rows were folded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of folded rows `n`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of QI attributes `d`.
+    pub fn qi_count(&self) -> usize {
+        self.qi_count
+    }
+
+    /// Sensitive domain size `m`.
+    pub fn sensitive_domain_size(&self) -> usize {
+        self.m
+    }
+
+    /// QI codes of the point at sorted index `i`.
+    #[inline]
+    fn point_qi(&self, i: usize) -> &[u32] {
+        &self.qi[i * self.qi_count..(i + 1) * self.qi_count]
+    }
+
+    /// Sensitive histogram of the point at sorted index `i`.
+    #[inline]
+    fn point_hist(&self, i: usize) -> &[u32] {
+        &self.hists[i * self.m..(i + 1) * self.m]
+    }
+
+    /// The points in lexicographic QI order.
+    pub fn points(&self) -> impl Iterator<Item = FoldedPoint<'_>> {
+        (0..self.len()).map(|i| self.point(i))
+    }
+
+    /// Point at sorted index `i`.
+    pub fn point(&self, i: usize) -> FoldedPoint<'_> {
+        FoldedPoint {
+            qi: self.point_qi(i),
+            count: self.counts[i],
+            sensitive_counts: self.point_hist(i),
+        }
+    }
+
+    /// Index of the point with QI combination `qi`, if present.
+    pub fn find(&self, qi: &[u32]) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.point_qi(mid).cmp(qi) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// The whole-table sensitive distribution `Q` — bit-identical to
+    /// [`Table::sensitive_distribution`] of the folded table.
+    pub fn table_distribution(&self) -> Dist {
+        let n = self.rows as f64;
+        Dist::new(
+            self.sensitive_totals
+                .iter()
+                .map(|&c| c as f64 / n)
+                .collect(),
+        )
+        .expect("table distribution is valid")
+    }
+
+    /// Evolve the fold by one [`Delta`]. `table` must be the **pre-delta**
+    /// table this fold currently represents (deletes are row indices into
+    /// it). Returns the distinct QI combinations whose multiplicity or
+    /// histogram actually changed — the seed of the dirty kernel
+    /// neighborhood [`PriorEstimator::refresh`] recomputes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` is out of sync with the fold (different row
+    /// count, or a delete that the fold cannot account for), or when the
+    /// delta would empty the table ([`Table::apply_delta`] rejects the same
+    /// delta with [`DataError::EmptyTable`](bgkanon_data::DataError) — an
+    /// empty table has no sensitive distribution to estimate). The check
+    /// runs before any mutation, so a panicking fold is left intact.
+    pub fn apply_delta(&mut self, table: &Table, delta: &Delta) -> Vec<Box<[u32]>> {
+        assert_eq!(
+            table.len(),
+            self.rows,
+            "folded table is out of sync with the pre-delta table"
+        );
+        assert!(
+            self.rows + delta.insert_count() > delta.delete_count(),
+            "delta would empty the table"
+        );
+        // Net change per touched QI combination.
+        let mut touched: BTreeMap<Box<[u32]>, Vec<i64>> = BTreeMap::new();
+        for &row in delta.deletes() {
+            assert!(row < table.len(), "delete index {row} out of range");
+            let hist = touched
+                .entry(table.qi(row).into())
+                .or_insert_with(|| vec![0i64; self.m]);
+            hist[table.sensitive_value(row) as usize] -= 1;
+        }
+        for i in 0..delta.insert_count() {
+            let hist = touched
+                .entry(delta.insert_qi(i).into())
+                .or_insert_with(|| vec![0i64; self.m]);
+            hist[delta.insert_sensitive(i) as usize] += 1;
+        }
+        touched.retain(|_, hist| hist.iter().any(|&d| d != 0));
+        if touched.is_empty() {
+            return Vec::new();
+        }
+
+        // Merge the (sorted) net changes into the sorted flat arrays.
+        let d = self.qi_count;
+        let m = self.m;
+        let u_old = self.counts.len();
+        let old_qi = std::mem::replace(
+            &mut self.qi,
+            Vec::with_capacity((u_old + touched.len()) * d),
+        );
+        let old_counts =
+            std::mem::replace(&mut self.counts, Vec::with_capacity(u_old + touched.len()));
+        let old_hists = std::mem::replace(
+            &mut self.hists,
+            Vec::with_capacity((u_old + touched.len()) * m),
+        );
+        let mut scratch = vec![0u32; m];
+        let mut changes = touched.iter().peekable();
+        for i in 0..u_old {
+            let pq = &old_qi[i * d..(i + 1) * d];
+            while let Some((qi, _)) = changes.peek() {
+                if qi.as_ref() < pq {
+                    let (qi, hist) = changes.next().expect("peeked");
+                    self.insert_fresh(qi, hist);
+                } else {
+                    break;
+                }
+            }
+            match changes.peek() {
+                Some((qi, _)) if qi.as_ref() == pq => {
+                    let (_, hist) = changes.next().expect("peeked");
+                    let mut count = 0u32;
+                    for (s, &delta_s) in hist.iter().enumerate() {
+                        let c = i64::from(old_hists[i * m + s]) + delta_s;
+                        assert!(c >= 0, "folded table is out of sync: negative count");
+                        let c = u32::try_from(c).expect("count fits u32");
+                        scratch[s] = c;
+                        count += c;
+                        self.sensitive_totals[s] =
+                            (self.sensitive_totals[s] as i64 + delta_s) as u64;
+                        self.rows = (self.rows as i64 + delta_s) as usize;
+                    }
+                    if count > 0 {
+                        self.qi.extend_from_slice(pq);
+                        self.counts.push(count);
+                        self.hists.extend_from_slice(&scratch);
+                    }
+                }
+                _ => {
+                    self.qi.extend_from_slice(pq);
+                    self.counts.push(old_counts[i]);
+                    self.hists.extend_from_slice(&old_hists[i * m..(i + 1) * m]);
+                }
+            }
+        }
+        for (qi, hist) in changes {
+            self.insert_fresh(qi, hist);
+        }
+        touched.into_keys().collect()
+    }
+
+    /// Append a brand-new point from a net-change histogram (all deltas
+    /// must be non-negative — there was nothing to delete from).
+    fn insert_fresh(&mut self, qi: &[u32], hist: &[i64]) {
+        let mut count = 0u32;
+        let start = self.hists.len();
+        for (s, &delta_s) in hist.iter().enumerate() {
+            assert!(
+                delta_s >= 0,
+                "folded table is out of sync: delete of unseen point"
+            );
+            let c = u32::try_from(delta_s).expect("count fits u32");
+            self.hists.push(c);
+            count += c;
+            self.sensitive_totals[s] += u64::from(c);
+            self.rows += c as usize;
+        }
+        debug_assert!(count > 0, "net-zero change must have been filtered");
+        debug_assert_eq!(self.hists.len() - start, self.m);
+        self.qi.extend_from_slice(qi);
+        self.counts.push(count);
+    }
+}
+
+/// Per-attribute inverted index over a [`FoldedTable`]'s points, in two
+/// complementary forms built once per estimation pass:
+///
+/// * **postings** — per attribute value, the ascending list of point
+///   indices carrying it (drives selectivity estimates, contiguous-range
+///   seeds and posting-list gathers);
+/// * **value bitsets** — per attribute value, a `u`-bit set over the
+///   points. A query with narrow supports enumerates the **exact**
+///   product-kernel support by AND-ing one (OR-folded) bitset per
+///   attribute across the most selective attribute's id window — a few
+///   hundred word operations instead of thousands of candidate probes.
+#[derive(Debug, Clone)]
+pub struct SupportIndex {
+    /// Per attribute: (`offsets` of length `r + 1`, point `ids`).
+    postings: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Bits per point-id word (`u.div_ceil(64)`).
+    words: usize,
+    /// Per attribute: `r × words` row-major point bitsets.
+    value_bits: Vec<Vec<u64>>,
+}
+
+impl SupportIndex {
+    fn build(folded: &FoldedTable, sizes: &[usize]) -> Self {
+        let u = folded.len();
+        let words = u.div_ceil(64);
+        let mut value_bits = Vec::with_capacity(sizes.len());
+        let postings = sizes
+            .iter()
+            .enumerate()
+            .map(|(attr, &r)| {
+                let mut offsets = vec![0u32; r + 1];
+                let mut bits = vec![0u64; r * words];
+                for id in 0..u {
+                    let v = folded.point_qi(id)[attr] as usize;
+                    offsets[v + 1] += 1;
+                    bits[v * words + id / 64] |= 1u64 << (id % 64);
+                }
+                value_bits.push(bits);
+                for v in 0..r {
+                    offsets[v + 1] += offsets[v];
+                }
+                let mut cursor = offsets.clone();
+                let mut ids = vec![0u32; u];
+                for id in 0..u {
+                    let v = folded.point_qi(id)[attr] as usize;
+                    ids[cursor[v] as usize] = id as u32;
+                    cursor[v] += 1;
+                }
+                (offsets, ids)
+            })
+            .collect();
+        SupportIndex {
+            postings,
+            words,
+            value_bits,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.postings.first().map_or(0, |(_, ids)| ids.len())
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How a query enumerates the folded points: everything, a contiguous range
+/// of the sorted order, or an explicitly gathered sorted id list.
+enum CandidateSet<'a> {
+    All,
+    Range(usize, usize),
+    List(&'a [u32]),
 }
 
 /// The estimated prior belief function `P̂pri` of one adversary.
 ///
 /// Holds a distribution for every distinct QI combination of the estimation
-/// table; unseen combinations can be estimated on demand with
-/// [`PriorEstimator::estimate_at`].
+/// table, the [`FoldedTable`] it was estimated from (making the model
+/// [refreshable](PriorModel::refresh) under table deltas), and the
+/// bandwidth/family provenance; unseen combinations can be estimated on
+/// demand with [`PriorEstimator::estimate_at`].
 #[derive(Debug, Clone)]
 pub struct PriorModel {
     priors: HashMap<Box<[u32]>, Dist>,
     /// The whole-table sensitive distribution, used as the zero-weight
     /// fallback (it is also what Eq. 2 degrades to with maximal bandwidth).
     table_distribution: Dist,
+    /// The folded estimation table — present on models built by the
+    /// estimator (and reloaded v2 persisted models), absent on bare
+    /// [`from_parts`](Self::from_parts) models.
+    folded: Option<FoldedTable>,
+    /// Bandwidth the model was estimated with, when known.
+    bandwidth: Option<Bandwidth>,
+    /// Kernel family the model was estimated with.
+    family: KernelFamily,
 }
 
 impl PriorModel {
-    /// Assemble a model from raw parts (the persistence layer and tests use
-    /// this; prefer [`PriorEstimator::estimate`]).
+    /// Assemble a model from raw parts (the legacy persistence format and
+    /// tests use this; prefer [`PriorEstimator::estimate`]). The result has
+    /// no folded table and therefore cannot
+    /// [`refresh`](PriorModel::refresh).
     pub fn from_parts(priors: HashMap<Box<[u32]>, Dist>, table_distribution: Dist) -> Self {
         PriorModel {
             priors,
             table_distribution,
+            folded: None,
+            bandwidth: None,
+            family: KernelFamily::default(),
+        }
+    }
+
+    /// Assemble a refreshable model (the v2 persistence path).
+    pub(crate) fn from_parts_folded(
+        priors: HashMap<Box<[u32]>, Dist>,
+        folded: FoldedTable,
+        bandwidth: Bandwidth,
+        family: KernelFamily,
+    ) -> Self {
+        PriorModel {
+            priors,
+            table_distribution: folded.table_distribution(),
+            folded: Some(folded),
+            bandwidth: Some(bandwidth),
+            family,
         }
     }
 
@@ -90,6 +684,60 @@ impl PriorModel {
     /// The whole-table sensitive distribution `Q`.
     pub fn table_distribution(&self) -> &Dist {
         &self.table_distribution
+    }
+
+    /// The folded estimation table, when the model carries one.
+    pub fn folded(&self) -> Option<&FoldedTable> {
+        self.folded.as_ref()
+    }
+
+    /// Bandwidth provenance, when known.
+    pub fn bandwidth(&self) -> Option<&Bandwidth> {
+        self.bandwidth.as_ref()
+    }
+
+    /// Kernel-family provenance ([`KernelFamily::Epanechnikov`] when
+    /// unknown).
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// True when the model carries its folded table and can therefore
+    /// [`refresh`](Self::refresh) under deltas.
+    pub fn is_refreshable(&self) -> bool {
+        self.folded.is_some()
+    }
+
+    /// Evolve the model by one table delta, recomputing only the priors
+    /// inside the kernel neighborhood of the changed points — see
+    /// [`PriorEstimator::refresh_with`], which this delegates to with
+    /// [`Parallelism::Auto`].
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use bgkanon_data::DeltaBuilder;
+    /// use bgkanon_knowledge::{Bandwidth, PriorEstimator};
+    ///
+    /// let table = bgkanon_data::adult::generate(120, 7);
+    /// let estimator = PriorEstimator::new(
+    ///     Arc::clone(table.schema()),
+    ///     Bandwidth::uniform(0.25, table.qi_count()).unwrap(),
+    /// );
+    /// let mut model = estimator.estimate(&table);
+    ///
+    /// let mut delta = DeltaBuilder::new(Arc::clone(table.schema()));
+    /// delta.delete(3).delete(40);
+    /// let delta = delta.build();
+    /// model.refresh(&estimator, &table, &delta);
+    ///
+    /// // Bit-identical to estimating the post-delta table from scratch.
+    /// let fresh = estimator.estimate(&table.apply_delta(&delta).unwrap());
+    /// for (qi, p) in fresh.iter() {
+    ///     assert_eq!(p, model.prior(qi).unwrap());
+    /// }
+    /// ```
+    pub fn refresh(&mut self, estimator: &PriorEstimator, table: &Table, delta: &Delta) {
+        estimator.refresh(self, table, delta);
     }
 
     /// Number of distinct QI combinations covered.
@@ -128,9 +776,9 @@ pub struct PriorEstimator {
     schema: Arc<Schema>,
     bandwidth: Bandwidth,
     family: KernelFamily,
-    /// Per attribute, row-major `r × r` kernel weights
+    /// Per attribute, the CSR kernel weight table
     /// `W_i[a][b] = K_i(d_i(a, b))`.
-    weight_tables: Vec<Vec<f64>>,
+    weights: Vec<SparseWeights>,
 }
 
 impl PriorEstimator {
@@ -149,26 +797,17 @@ impl PriorEstimator {
             bandwidth.len(),
             schema.qi_count()
         );
-        let weight_tables = (0..schema.qi_count())
+        let weights = (0..schema.qi_count())
             .map(|i| {
                 let kernel = family.kernel(bandwidth.get(i));
-                let dist = schema.qi_distance(i);
-                let r = dist.size();
-                let mut table = vec![0.0f64; r * r];
-                for a in 0..r {
-                    let row = dist.row(a as u32);
-                    for (b, &d) in row.iter().enumerate() {
-                        table[a * r + b] = kernel.weight(d);
-                    }
-                }
-                table
+                SparseWeights::build(&kernel, schema.qi_distance(i))
             })
             .collect();
         PriorEstimator {
             schema,
             bandwidth,
             family,
-            weight_tables,
+            weights,
         }
     }
 
@@ -182,13 +821,25 @@ impl PriorEstimator {
         self.family
     }
 
-    /// Product kernel weight `Π_i K_i(d_i(a_i, b_i))` between two QI points.
+    /// The sparse kernel weight table of attribute `i`.
+    pub fn sparse_weights(&self, i: usize) -> &SparseWeights {
+        &self.weights[i]
+    }
+
+    /// Per-attribute support density (fraction of nonzero entries in each
+    /// `r × r` kernel table) — the diagnostic that predicts the sparse
+    /// engine's win over the dense scan.
+    pub fn support_density(&self) -> Vec<f64> {
+        self.weights.iter().map(SparseWeights::density).collect()
+    }
+
+    /// Product kernel weight `Π_i K_i(d_i(a_i, b_i))` between two QI
+    /// points, short-circuiting on the first zero factor.
     #[inline]
     fn pair_weight(&self, a: &[u32], b: &[u32]) -> f64 {
         let mut w = 1.0;
-        for (i, table) in self.weight_tables.iter().enumerate() {
-            let r = self.schema.qi_distance(i).size();
-            w *= table[a[i] as usize * r + b[i] as usize];
+        for (i, table) in self.weights.iter().enumerate() {
+            w *= table.weight(a[i], b[i]);
             if w == 0.0 {
                 return 0.0;
             }
@@ -196,129 +847,663 @@ impl PriorEstimator {
         w
     }
 
-    /// Estimate the full prior model over every distinct QI combination in
-    /// `table`, in parallel.
-    pub fn estimate(&self, table: &Table) -> PriorModel {
-        let m = self.schema.sensitive_domain_size();
-        // Fold identical QI combinations.
-        let folded = fold_table(table, m);
-        let points: Vec<&FoldedPoint> = folded.iter().collect();
-        let n_points = points.len();
+    /// Build the [`SupportIndex`] over `folded`'s points.
+    pub fn index(&self, folded: &FoldedTable) -> SupportIndex {
+        assert_eq!(
+            folded.qi_count(),
+            self.schema.qi_count(),
+            "QI arity mismatch"
+        );
+        let sizes: Vec<usize> = self.weights.iter().map(SparseWeights::size).collect();
+        SupportIndex::build(folded, &sizes)
+    }
 
-        let table_distribution =
-            Dist::new(table.sensitive_distribution()).expect("table distribution is valid");
+    /// Below this many points, iterating a contiguous sorted-order range
+    /// beats gathering + intersecting posting lists.
+    const RANGE_DIRECT_MAX: usize = 192;
 
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(n_points.max(1));
-        let chunk = n_points.div_ceil(threads);
-
-        let mut results: Vec<Option<Dist>> = vec![None; n_points];
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
-                let points = &points;
-                let fallback = &table_distribution;
-                let this = &*self;
-                scope.spawn(move || {
-                    let start = t * chunk;
-                    for (off, slot) in out_chunk.iter_mut().enumerate() {
-                        let q = points[start + off];
-                        *slot = Some(this.estimate_folded(&q.qi, points, m, fallback));
-                    }
-                });
+    /// Enumerate the candidate points for query `q` (`buf` is reusable
+    /// scratch): **seed** from the most selective attribute's posting lists
+    /// and **intersect** with attribute 0's support window — because the
+    /// points are sorted lexicographically, attribute 0's posting ids are
+    /// the identity permutation, so a contiguous attribute-0 support is one
+    /// id range `[lo, hi)` and each seed posting list restricts to it with
+    /// two binary searches. The remaining attributes intersect away inside
+    /// the product-weight computation, which short-circuits on the first
+    /// zero factor. Every point with nonzero product weight is guaranteed
+    /// to be in the set; with `ordered` the set comes out in ascending
+    /// point order (required for bit-identical accumulation — dirty-marking
+    /// passes `false` and skips the sort).
+    fn candidates<'a>(
+        &self,
+        folded: &FoldedTable,
+        index: &SupportIndex,
+        q: &[u32],
+        buf: &'a mut Vec<u32>,
+        bits: &mut Vec<u64>,
+        ordered: bool,
+    ) -> CandidateSet<'a> {
+        let u = folded.len();
+        // Candidate count per attribute; track the best overall and the
+        // best gatherable (non-attribute-0) seed.
+        let mut best = (usize::MAX, 0usize);
+        let mut best_rest = (usize::MAX, 0usize);
+        for (i, w) in self.weights.iter().enumerate() {
+            let (offsets, _) = &index.postings[i];
+            let support = w.support(q[i]);
+            let count = if w.is_contiguous() {
+                let first = support[0] as usize;
+                let last = support[support.len() - 1] as usize;
+                (offsets[last + 1] - offsets[first]) as usize
+            } else {
+                support
+                    .iter()
+                    .map(|&b| (offsets[b as usize + 1] - offsets[b as usize]) as usize)
+                    .sum()
+            };
+            if count < best.0 {
+                best = (count, i);
             }
-        });
-
-        let priors = folded
-            .iter()
-            .zip(results)
-            .map(|(p, d)| (p.qi.clone(), d.expect("filled by thread")))
-            .collect();
-        PriorModel {
-            priors,
-            table_distribution,
+            if i > 0 && count < best_rest.0 {
+                best_rest = (count, i);
+            }
         }
+        if best.0 >= u {
+            return CandidateSet::All;
+        }
+        // Attribute 0's support window in sorted-point-id space.
+        let window = if self.weights[0].is_contiguous() {
+            let support = self.weights[0].support(q[0]);
+            let (offsets, _) = &index.postings[0];
+            let first = support[0] as usize;
+            let last = support[support.len() - 1] as usize;
+            Some((offsets[first] as usize, offsets[last + 1] as usize))
+        } else {
+            None
+        };
+        // Exact product-support enumeration: AND one (OR-folded) value
+        // bitset per attribute across the window — whenever the supports
+        // are narrow (the compact-support common case) this is a few
+        // hundred word operations and yields exactly the nonzero-weight
+        // point set, beating any posting-list gather.
+        let (lo, hi) = window.unwrap_or((0, u));
+        let w0 = lo / 64;
+        let w1 = hi.div_ceil(64).max(w0 + 1);
+        let span = w1 - w0;
+        let skip0 = usize::from(window.is_some());
+        let or_count: usize = (skip0..self.weights.len())
+            .map(|i| self.weights[i].support(q[i]).len())
+            .sum();
+        // A gathered candidate costs several operations to copy and probe;
+        // a bitset word-op is one — weigh the comparison accordingly.
+        if or_count > 0 && span * (or_count + 2) < best.0 * 4 {
+            let words_all = index.words;
+            bits.resize(words_all.max(span), 0);
+            let mut first = true;
+            for ((weights, &q_i), rows) in self
+                .weights
+                .iter()
+                .zip(q)
+                .zip(&index.value_bits)
+                .skip(skip0)
+            {
+                let support = weights.support(q_i);
+                for (w, slot) in bits[..span].iter_mut().enumerate() {
+                    if !first && *slot == 0 {
+                        continue;
+                    }
+                    let mut mask = 0u64;
+                    for &b in support {
+                        mask |= rows[b as usize * words_all + w0 + w];
+                    }
+                    if first {
+                        *slot = mask;
+                    } else {
+                        *slot &= mask;
+                    }
+                }
+                first = false;
+            }
+            // Clip the window's partial boundary words.
+            if lo % 64 != 0 {
+                bits[0] &= !0u64 << (lo % 64);
+            }
+            if hi % 64 != 0 {
+                bits[span - 1] &= !0u64 >> (64 - hi % 64);
+            }
+            buf.clear();
+            for (wi, slot) in bits[..span].iter_mut().enumerate() {
+                let mut word = std::mem::take(slot);
+                while word != 0 {
+                    buf.push(((w0 + wi) * 64 + word.trailing_zeros() as usize) as u32);
+                    word &= word - 1;
+                }
+            }
+            return CandidateSet::List(buf);
+        }
+        let seed = if best.1 == 0 {
+            if let Some((lo, hi)) = window {
+                if best_rest.0 >= u || hi - lo <= Self::RANGE_DIRECT_MAX {
+                    // No gatherable seed, or the window is already tiny.
+                    return CandidateSet::Range(lo, hi);
+                }
+                // Seed from the best non-window attribute instead; the
+                // window restriction below does the actual narrowing.
+                best_rest.1
+            } else {
+                0
+            }
+        } else {
+            best.1
+        };
+        let (offsets, ids) = &index.postings[seed];
+        buf.clear();
+        if ordered {
+            // Gather into a point-id bitset and read the set bits back in
+            // ascending order — much cheaper than sorting the gathered
+            // list, and ascending order is what bit-identical accumulation
+            // requires.
+            bits.resize(u.div_ceil(64), 0);
+            let mut min_word = usize::MAX;
+            let mut max_word = 0usize;
+            for &b in self.weights[seed].support(q[seed]) {
+                let mut slice =
+                    &ids[offsets[b as usize] as usize..offsets[b as usize + 1] as usize];
+                if seed != 0 {
+                    if let Some((lo, hi)) = window {
+                        let start = slice.partition_point(|&id| (id as usize) < lo);
+                        let end = slice.partition_point(|&id| (id as usize) < hi);
+                        slice = &slice[start..end];
+                    }
+                }
+                for &id in slice {
+                    let word = id as usize / 64;
+                    bits[word] |= 1u64 << (id as usize % 64);
+                    min_word = min_word.min(word);
+                    max_word = max_word.max(word);
+                }
+            }
+            if min_word == usize::MAX {
+                return CandidateSet::List(buf);
+            }
+            for (word_idx, slot) in bits
+                .iter_mut()
+                .enumerate()
+                .take(max_word + 1)
+                .skip(min_word)
+            {
+                let mut word = std::mem::take(slot);
+                while word != 0 {
+                    buf.push((word_idx * 64 + word.trailing_zeros() as usize) as u32);
+                    word &= word - 1;
+                }
+            }
+        } else {
+            for &b in self.weights[seed].support(q[seed]) {
+                let mut slice =
+                    &ids[offsets[b as usize] as usize..offsets[b as usize + 1] as usize];
+                if seed != 0 {
+                    if let Some((lo, hi)) = window {
+                        let start = slice.partition_point(|&id| (id as usize) < lo);
+                        let end = slice.partition_point(|&id| (id as usize) < hi);
+                        slice = &slice[start..end];
+                    }
+                }
+                buf.extend_from_slice(slice);
+            }
+        }
+        CandidateSet::List(buf)
     }
 
-    /// Estimate the prior at one (possibly unseen) QI point `q` against
-    /// `table`.
-    pub fn estimate_at(&self, table: &Table, q: &[u32]) -> Dist {
-        assert_eq!(q.len(), self.schema.qi_count(), "QI arity mismatch");
-        let m = self.schema.sensitive_domain_size();
-        let folded = fold_table(table, m);
-        let points: Vec<&FoldedPoint> = folded.iter().collect();
-        let fallback =
-            Dist::new(table.sensitive_distribution()).expect("table distribution is valid");
-        self.estimate_folded(q, &points, m, &fallback)
-    }
-
-    fn estimate_folded(
+    /// Accumulate Eq. 1–2 numerators/denominator over `candidates`, in
+    /// ascending sorted-point order (what makes every engine bit-identical).
+    fn accumulate(
         &self,
         q: &[u32],
-        points: &[&FoldedPoint],
-        m: usize,
-        fallback: &Dist,
-    ) -> Dist {
-        let mut numer = vec![0.0f64; m];
+        folded: &FoldedTable,
+        candidates: CandidateSet<'_>,
+        numer: &mut Vec<f64>,
+    ) -> f64 {
+        let m = folded.sensitive_domain_size();
+        numer.clear();
+        numer.resize(m, 0.0);
         let mut denom = 0.0f64;
-        for p in points {
-            let w = self.pair_weight(q, &p.qi);
+        let mut visit = |id: usize| {
+            let w = self.pair_weight(q, folded.point_qi(id));
             if w > 0.0 {
-                denom += w * p.count as f64;
-                for (s, &c) in p.sensitive_counts.iter().enumerate() {
+                denom += w * f64::from(folded.counts[id]);
+                for (s, &c) in folded.point_hist(id).iter().enumerate() {
                     if c > 0 {
                         numer[s] += w * f64::from(c);
                     }
                 }
             }
+        };
+        match candidates {
+            CandidateSet::All => (0..folded.len()).for_each(&mut visit),
+            CandidateSet::Range(lo, hi) => (lo..hi).for_each(&mut visit),
+            CandidateSet::List(ids) => ids.iter().for_each(|&id| visit(id as usize)),
         }
+        denom
+    }
+
+    /// Turn accumulated numerators into the prior distribution (falling
+    /// back to the table distribution outside every kernel support).
+    fn finalize(&self, numer: &[f64], denom: f64, fallback: &Dist) -> Dist {
         if denom <= 0.0 {
             // No point of the table inside the kernel support (possible only
             // for q outside the table with small bandwidths).
             return fallback.clone();
         }
-        for x in numer.iter_mut() {
-            *x /= denom;
+        let p: Vec<f64> = numer.iter().map(|&x| x / denom).collect();
+        Dist::new(p).unwrap_or_else(|_| fallback.clone())
+    }
+
+    /// One sparse query against a prepared fold + index.
+    #[allow(clippy::too_many_arguments)]
+    fn query(
+        &self,
+        folded: &FoldedTable,
+        index: &SupportIndex,
+        q: &[u32],
+        fallback: &Dist,
+        buf: &mut Vec<u32>,
+        bits: &mut Vec<u64>,
+        numer: &mut Vec<f64>,
+    ) -> Dist {
+        let candidates = self.candidates(folded, index, q, buf, bits, true);
+        let denom = self.accumulate(q, folded, candidates, numer);
+        self.finalize(numer, denom, fallback)
+    }
+
+    /// Estimate the full prior model over every distinct QI combination in
+    /// `table` with the default [`Parallelism::Auto`] (the sparse engine on
+    /// every available core).
+    pub fn estimate(&self, table: &Table) -> PriorModel {
+        self.estimate_with(table, Parallelism::Auto)
+    }
+
+    /// Estimate with an explicit parallelism knob, consistent with the
+    /// Mondrian and audit engines: [`Parallelism::Serial`] selects the
+    /// **dense all-pairs reference** path
+    /// ([`estimate_reference`](Self::estimate_reference)), `Auto`/
+    /// `Threads(n)` the sparse neighbor-bounded engine. All knobs produce
+    /// bit-identical models.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use bgkanon_data::Parallelism;
+    /// use bgkanon_knowledge::{Bandwidth, PriorEstimator};
+    ///
+    /// let table = bgkanon_data::adult::generate(150, 3);
+    /// let estimator = PriorEstimator::new(
+    ///     Arc::clone(table.schema()),
+    ///     Bandwidth::uniform(0.25, table.qi_count()).unwrap(),
+    /// );
+    /// let dense = estimator.estimate_with(&table, Parallelism::Serial);
+    /// let sparse = estimator.estimate_with(&table, Parallelism::threads(2));
+    /// for (qi, p) in dense.iter() {
+    ///     assert_eq!(p, sparse.prior(qi).unwrap()); // bit-identical
+    /// }
+    /// ```
+    pub fn estimate_with(&self, table: &Table, parallelism: Parallelism) -> PriorModel {
+        self.estimate_folded(FoldedTable::new(table), parallelism)
+    }
+
+    /// Estimate from an already-built fold (the fold is retained inside the
+    /// returned model — reach it back via [`PriorModel::folded`]).
+    pub fn estimate_folded(&self, folded: FoldedTable, parallelism: Parallelism) -> PriorModel {
+        assert_eq!(
+            folded.qi_count(),
+            self.schema.qi_count(),
+            "QI arity mismatch"
+        );
+        if parallelism.is_serial() {
+            return self.reference_from(folded);
         }
-        Dist::new(numer).unwrap_or_else(|_| fallback.clone())
+        let fallback = folded.table_distribution();
+        let index = self.index(&folded);
+        let n_points = folded.len();
+        let threads = parallelism.effective_threads().min(n_points.max(1));
+        let mut results: Vec<Option<Dist>> = vec![None; n_points];
+        if threads <= 1 {
+            let mut buf = Vec::new();
+            let mut bits = Vec::new();
+            let mut numer = Vec::new();
+            for (i, slot) in results.iter_mut().enumerate() {
+                *slot = Some(self.query(
+                    &folded,
+                    &index,
+                    folded.point_qi(i),
+                    &fallback,
+                    &mut buf,
+                    &mut bits,
+                    &mut numer,
+                ));
+            }
+        } else {
+            let chunk = n_points.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+                    let folded = &folded;
+                    let index = &index;
+                    let fallback = &fallback;
+                    let this = &*self;
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        let mut bits = Vec::new();
+                        let mut numer = Vec::new();
+                        let start = t * chunk;
+                        for (off, slot) in out_chunk.iter_mut().enumerate() {
+                            let q = folded.point_qi(start + off);
+                            *slot = Some(this.query(
+                                folded, index, q, fallback, &mut buf, &mut bits, &mut numer,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        let priors = (0..n_points)
+            .zip(results)
+            .map(|(i, d)| (folded.point_qi(i).into(), d.expect("filled above")))
+            .collect();
+        PriorModel {
+            priors,
+            table_distribution: fallback,
+            folded: Some(folded),
+            bandwidth: Some(self.bandwidth.clone()),
+            family: self.family,
+        }
     }
-}
 
-/// A distinct QI combination with its multiplicity and sensitive histogram.
-#[derive(Debug, Clone)]
-struct FoldedPoint {
-    qi: Box<[u32]>,
-    count: u32,
-    sensitive_counts: Vec<u32>,
-}
-
-fn fold_table(table: &Table, m: usize) -> Vec<FoldedPoint> {
-    let mut map: HashMap<Box<[u32]>, FoldedPoint> = HashMap::new();
-    for row in 0..table.len() {
-        let qi: Box<[u32]> = table.qi(row).into();
-        let s = table.sensitive_value(row) as usize;
-        let entry = map.entry(qi.clone()).or_insert_with(|| FoldedPoint {
-            qi,
-            count: 0,
-            sensitive_counts: vec![0; m],
-        });
-        entry.count += 1;
-        entry.sensitive_counts[s] += 1;
+    /// The dense all-pairs **reference** engine: a direct `O(u²·(d+m))`
+    /// transcription of Eq. 1–2 over the folded points, single-threaded.
+    /// This is the simple, auditable path the sparse engine is
+    /// property-tested against — and what [`Parallelism::Serial`] selects.
+    pub fn estimate_reference(&self, table: &Table) -> PriorModel {
+        self.reference_from(FoldedTable::new(table))
     }
-    let mut v: Vec<FoldedPoint> = map.into_values().collect();
-    // Deterministic order (parallel chunking must be reproducible).
-    v.sort_by(|a, b| a.qi.cmp(&b.qi));
-    v
+
+    fn reference_from(&self, folded: FoldedTable) -> PriorModel {
+        assert_eq!(
+            folded.qi_count(),
+            self.schema.qi_count(),
+            "QI arity mismatch"
+        );
+        let fallback = folded.table_distribution();
+        let mut numer = Vec::new();
+        let mut priors = HashMap::with_capacity(folded.len());
+        for i in 0..folded.len() {
+            let denom = self.accumulate(folded.point_qi(i), &folded, CandidateSet::All, &mut numer);
+            priors.insert(
+                folded.point_qi(i).into(),
+                self.finalize(&numer, denom, &fallback),
+            );
+        }
+        PriorModel {
+            priors,
+            table_distribution: fallback,
+            folded: Some(folded),
+            bandwidth: Some(self.bandwidth.clone()),
+            family: self.family,
+        }
+    }
+
+    /// Estimate the prior at one (possibly unseen) QI point `q` against
+    /// `table`. Folds the table on every call — batch repeated queries
+    /// through [`FoldedTable::new`] + [`estimate_many`](Self::estimate_many)
+    /// (or [`estimate_indexed`](Self::estimate_indexed)) instead.
+    pub fn estimate_at(&self, table: &Table, q: &[u32]) -> Dist {
+        let folded = FoldedTable::new(table);
+        let index = self.index(&folded);
+        self.estimate_indexed(&folded, &index, q)
+    }
+
+    /// Estimate the priors at many (possibly unseen) QI points against one
+    /// fold, building the support index once.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use bgkanon_knowledge::{Bandwidth, FoldedTable, PriorEstimator};
+    ///
+    /// let table = bgkanon_data::toy::hospital_table();
+    /// let estimator = PriorEstimator::new(
+    ///     Arc::clone(table.schema()),
+    ///     Bandwidth::uniform(0.5, 2).unwrap(),
+    /// );
+    /// let folded = FoldedTable::new(&table);
+    /// let queries: Vec<&[u32]> = vec![&[20, 1], &[0, 0]];
+    /// let priors = estimator.estimate_many(&folded, &queries);
+    /// assert_eq!(priors.len(), 2);
+    /// ```
+    pub fn estimate_many(&self, folded: &FoldedTable, queries: &[&[u32]]) -> Vec<Dist> {
+        let index = self.index(folded);
+        let fallback = folded.table_distribution();
+        let mut buf = Vec::new();
+        let mut bits = Vec::new();
+        let mut numer = Vec::new();
+        queries
+            .iter()
+            .map(|q| {
+                assert_eq!(q.len(), self.schema.qi_count(), "QI arity mismatch");
+                self.query(
+                    folded, &index, q, &fallback, &mut buf, &mut bits, &mut numer,
+                )
+            })
+            .collect()
+    }
+
+    /// Single-query form against a prepared fold + index (the micro-bench
+    /// and hot-loop entry point; `index` must have been built from `folded`
+    /// by [`index`](Self::index)).
+    pub fn estimate_indexed(&self, folded: &FoldedTable, index: &SupportIndex, q: &[u32]) -> Dist {
+        assert_eq!(q.len(), self.schema.qi_count(), "QI arity mismatch");
+        debug_assert_eq!(index.len(), folded.len(), "index built from another fold");
+        let fallback = folded.table_distribution();
+        let mut buf = Vec::new();
+        let mut bits = Vec::new();
+        let mut numer = Vec::new();
+        self.query(folded, index, q, &fallback, &mut buf, &mut bits, &mut numer)
+    }
+
+    /// [`refresh_with`](Self::refresh_with) under [`Parallelism::Auto`].
+    pub fn refresh(&self, model: &mut PriorModel, table: &Table, delta: &Delta) {
+        self.refresh_with(model, table, delta, Parallelism::Auto);
+    }
+
+    /// Evolve `model` by one delta against its estimation table, where
+    /// `table` is the **pre-delta** table the model currently reflects.
+    /// Compact kernel support means the delta can only perturb priors
+    /// within the product-kernel neighborhood of the changed QI points, so
+    /// only that dirty neighborhood is recomputed (under `parallelism`
+    /// worker threads; `Serial` recomputes on one thread). The result is
+    /// **bit-identical** to a from-scratch
+    /// [`estimate`](Self::estimate) of the post-delta table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` was not built by this estimator's `estimate*`
+    /// path (no folded table — see [`PriorModel::is_refreshable`]), when
+    /// `table`/`delta` are inconsistent with the model's fold, or when the
+    /// delta would empty the table (checked before any mutation — see
+    /// [`FoldedTable::apply_delta`]).
+    pub fn refresh_with(
+        &self,
+        model: &mut PriorModel,
+        table: &Table,
+        delta: &Delta,
+        parallelism: Parallelism,
+    ) {
+        let t0 = std::time::Instant::now();
+        // Checked here, before the fold is taken out of the model, so a
+        // panic leaves the model fully intact.
+        assert!(
+            table.len() + delta.insert_count() > delta.delete_count(),
+            "delta would empty the table"
+        );
+        let mut folded = model
+            .folded
+            .take()
+            .expect("model is not refreshable (built without a folded table)");
+        let changed = folded.apply_delta(table, delta);
+        if changed.is_empty() {
+            model.folded = Some(folded);
+            return;
+        }
+        let t1 = std::time::Instant::now();
+        let fallback = folded.table_distribution();
+        let index = self.index(&folded);
+        let t2 = std::time::Instant::now();
+
+        // Mark the dirty neighborhood: every point within the (symmetric)
+        // product-kernel support of a changed QI combination.
+        let mut dirty = vec![false; folded.len()];
+        let mut buf = Vec::new();
+        let mut bits = Vec::new();
+        for key in &changed {
+            // Order is irrelevant for marking — skip the sort.
+            let candidates = self.candidates(&folded, &index, key, &mut buf, &mut bits, false);
+            let mut mark = |id: usize| {
+                if !dirty[id] && self.pair_weight(key, folded.point_qi(id)) > 0.0 {
+                    dirty[id] = true;
+                }
+            };
+            match candidates {
+                CandidateSet::All => (0..folded.len()).for_each(&mut mark),
+                CandidateSet::Range(lo, hi) => (lo..hi).for_each(&mut mark),
+                CandidateSet::List(ids) => ids.iter().for_each(|&id| mark(id as usize)),
+            }
+            // Combinations deleted outright no longer have a prior.
+            if folded.find(key).is_none() {
+                model.priors.remove(key);
+            }
+        }
+        let dirty_ids: Vec<u32> = dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &d)| d.then_some(id as u32))
+            .collect();
+        let t3 = std::time::Instant::now();
+
+        // Recompute exactly the dirty points, in deterministic order.
+        let threads = parallelism.effective_threads().min(dirty_ids.len().max(1));
+        let mut results: Vec<Option<Dist>> = vec![None; dirty_ids.len()];
+        if threads <= 1 {
+            let mut numer = Vec::new();
+            for (slot, &id) in results.iter_mut().zip(&dirty_ids) {
+                *slot = Some(self.query(
+                    &folded,
+                    &index,
+                    folded.point_qi(id as usize),
+                    &fallback,
+                    &mut buf,
+                    &mut bits,
+                    &mut numer,
+                ));
+            }
+        } else {
+            let chunk = dirty_ids.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (out_chunk, id_chunk) in results.chunks_mut(chunk).zip(dirty_ids.chunks(chunk))
+                {
+                    let folded = &folded;
+                    let index = &index;
+                    let fallback = &fallback;
+                    let this = &*self;
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        let mut bits = Vec::new();
+                        let mut numer = Vec::new();
+                        for (slot, &id) in out_chunk.iter_mut().zip(id_chunk) {
+                            let q = folded.point_qi(id as usize);
+                            *slot = Some(this.query(
+                                folded, index, q, fallback, &mut buf, &mut bits, &mut numer,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        for (&id, dist) in dirty_ids.iter().zip(results) {
+            model.priors.insert(
+                folded.point_qi(id as usize).into(),
+                dist.expect("filled above"),
+            );
+        }
+        model.table_distribution = fallback;
+        if std::env::var("BGK_PROFILE").is_ok() {
+            eprintln!(
+                "refresh: points={} changed={} dirty={} fold={:?} index={:?} mark={:?} \
+                 recompute={:?}",
+                folded.len(),
+                changed.len(),
+                dirty_ids.len(),
+                t1 - t0,
+                t2 - t1,
+                t3 - t2,
+                t3.elapsed(),
+            );
+        }
+        model.folded = Some(folded);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgkanon_data::toy;
+    use bgkanon_data::{adult, toy, DeltaBuilder};
 
     fn hospital() -> Table {
         toy::hospital_table()
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_candidate_stats() {
+        let t = adult::generate(100_000, 42);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.25, t.qi_count()).unwrap(),
+        );
+        for (i, w) in est.weights.iter().enumerate() {
+            eprintln!(
+                "attr {i}: r={} density={:.3} contiguous={}",
+                w.size(),
+                w.density(),
+                w.is_contiguous()
+            );
+        }
+        let folded = FoldedTable::new(&t);
+        let index = est.index(&folded);
+        let u = folded.len();
+        let (mut tot_c, mut tot_sv, mut n_range, mut n_list, mut tot_range) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut buf = Vec::new();
+        let mut bits = Vec::new();
+        for i in 0..u {
+            let q: Vec<u32> = folded.point_qi(i).to_vec();
+            let cands = est.candidates(&folded, &index, &q, &mut buf, &mut bits, true);
+            let ids: Vec<u32> = match cands {
+                CandidateSet::All => (0..u as u32).collect(),
+                CandidateSet::Range(lo, hi) => {
+                    n_range += 1;
+                    tot_range += (hi - lo) as u64;
+                    (lo as u32..hi as u32).collect()
+                }
+                CandidateSet::List(l) => {
+                    n_list += 1;
+                    l.to_vec()
+                }
+            };
+            tot_c += ids.len() as u64;
+            tot_sv += ids
+                .iter()
+                .filter(|&&id| est.pair_weight(&q, folded.point_qi(id as usize)) > 0.0)
+                .count() as u64;
+        }
+        eprintln!("u={u} mean_candidates={:.1} mean_survivors={:.1} range_queries={n_range} (mean len {:.1}) list_queries={n_list}",
+            tot_c as f64 / u as f64, tot_sv as f64 / u as f64, tot_range as f64 / n_range.max(1) as f64);
     }
 
     #[test]
@@ -332,6 +1517,196 @@ mod tests {
             let sum: f64 = p.as_slice().iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
             assert!(p.as_slice().iter().all(|&x| x >= 0.0));
+        }
+        assert!(model.is_refreshable());
+        assert_eq!(model.bandwidth().unwrap().get(0), 0.3);
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_reference_bitwise() {
+        for (n, b) in [(300usize, 0.25f64), (200, 0.6), (150, 1.5)] {
+            let t = adult::generate(n, 11);
+            for family in [
+                KernelFamily::Epanechnikov,
+                KernelFamily::Uniform,
+                KernelFamily::Triangular,
+            ] {
+                let est = PriorEstimator::with_family(
+                    Arc::clone(t.schema()),
+                    Bandwidth::uniform(b, t.qi_count()).unwrap(),
+                    family,
+                );
+                let dense = est.estimate_reference(&t);
+                let sparse = est.estimate_with(&t, Parallelism::threads(2));
+                assert_eq!(dense.len(), sparse.len());
+                for (qi, p) in dense.iter() {
+                    let q = sparse.prior(qi).expect("same key set");
+                    for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{family:?} b={b} diverges");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_knob_selects_the_reference_path() {
+        let t = adult::generate(150, 5);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.25, t.qi_count()).unwrap(),
+        );
+        let serial = est.estimate_with(&t, Parallelism::Serial);
+        let reference = est.estimate_reference(&t);
+        for (qi, p) in reference.iter() {
+            assert_eq!(
+                p.as_slice(),
+                serial.prior(qi).unwrap().as_slice(),
+                "Serial must run the reference engine"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_matches_from_scratch_estimate() {
+        let t = adult::generate(250, 9);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.25, t.qi_count()).unwrap(),
+        );
+        let mut model = est.estimate(&t);
+
+        let donors = adult::generate(10, 77);
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        b.delete(3).delete(17).delete(200);
+        for r in 0..10 {
+            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+                .unwrap();
+        }
+        let delta = b.build();
+        est.refresh_with(&mut model, &t, &delta, Parallelism::threads(2));
+
+        let next = t.apply_delta(&delta).unwrap();
+        let fresh = est.estimate(&next);
+        assert_eq!(model.len(), fresh.len());
+        for (qi, p) in fresh.iter() {
+            let q = model.prior(qi).expect("refreshed model covers the key");
+            for (a, b) in p.as_slice().iter().zip(q.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "refresh drifts at {qi:?}");
+            }
+        }
+        for (a, b) in model
+            .table_distribution()
+            .as_slice()
+            .iter()
+            .zip(fresh.table_distribution().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_delta_refresh_is_identity() {
+        let t = adult::generate(100, 2);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.3, t.qi_count()).unwrap(),
+        );
+        let mut model = est.estimate(&t);
+        let before = model.clone();
+        est.refresh(&mut model, &t, &Delta::empty(Arc::clone(t.schema())));
+        assert_eq!(model.len(), before.len());
+        for (qi, p) in before.iter() {
+            assert_eq!(p.as_slice(), model.prior(qi).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta would empty the table")]
+    fn refresh_rejects_table_emptying_delta_before_mutation() {
+        let t = adult::generate(20, 3);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.3, t.qi_count()).unwrap(),
+        );
+        let mut model = est.estimate(&t);
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        for r in 0..t.len() {
+            b.delete(r);
+        }
+        // Table::apply_delta rejects the same delta with EmptyTable.
+        assert!(t.apply_delta(&b.build()).is_err());
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        for r in 0..t.len() {
+            b.delete(r);
+        }
+        est.refresh(&mut model, &t, &b.build());
+    }
+
+    #[test]
+    #[should_panic(expected = "not refreshable")]
+    fn from_parts_model_cannot_refresh() {
+        let t = hospital();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.3, 2).unwrap());
+        let built = est.estimate(&t);
+        let mut bare =
+            PriorModel::from_parts(built.priors.clone(), built.table_distribution().clone());
+        assert!(!bare.is_refreshable());
+        est.refresh(&mut bare, &t, &Delta::empty(Arc::clone(t.schema())));
+    }
+
+    #[test]
+    fn folded_table_tracks_delta() {
+        let t = adult::generate(120, 4);
+        let mut folded = FoldedTable::new(&t);
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        b.delete(0).delete(5);
+        b.insert_codes(t.qi(1), t.sensitive_value(1)).unwrap();
+        let delta = b.build();
+        let changed = folded.apply_delta(&t, &delta);
+        assert!(!changed.is_empty());
+        let next = t.apply_delta(&delta).unwrap();
+        let fresh = FoldedTable::new(&next);
+        assert_eq!(folded.rows(), next.len());
+        assert_eq!(folded.len(), fresh.len());
+        for (a, b) in folded.points().zip(fresh.points()) {
+            assert_eq!(a.qi(), b.qi());
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.sensitive_counts(), b.sensitive_counts());
+        }
+    }
+
+    #[test]
+    fn sparse_weights_match_kernel() {
+        let t = adult::generate(50, 1);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.25, t.qi_count()).unwrap(),
+        );
+        for i in 0..t.qi_count() {
+            let sw = est.sparse_weights(i);
+            let kernel = KernelFamily::Epanechnikov.kernel(0.25);
+            let dist = t.schema().qi_distance(i);
+            let mut nnz = 0;
+            for a in 0..dist.size() as u32 {
+                for b in 0..dist.size() as u32 {
+                    let expect = kernel.weight(dist.get(a, b));
+                    assert_eq!(sw.weight(a, b).to_bits(), expect.to_bits());
+                    if expect > 0.0 {
+                        nnz += 1;
+                        assert!(sw.support(a).contains(&b));
+                    }
+                }
+            }
+            assert_eq!(sw.nonzero(), nnz);
+            let density = sw.density();
+            assert!((0.0..=1.0).contains(&density));
+            // The diagnostic agrees with the Kernel-side computation.
+            let mut all = Vec::new();
+            for a in 0..dist.size() as u32 {
+                all.extend_from_slice(dist.row(a));
+            }
+            assert!((density - kernel.support_density(&all)).abs() < 1e-12);
         }
     }
 
@@ -412,6 +1787,19 @@ mod tests {
     }
 
     #[test]
+    fn estimate_many_matches_estimate_at() {
+        let t = hospital();
+        let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.4, 2).unwrap());
+        let folded = FoldedTable::new(&t);
+        let queries: Vec<&[u32]> = vec![&[20, 1], &[0, 0], t.qi(0)];
+        let many = est.estimate_many(&folded, &queries);
+        for (q, p) in queries.iter().zip(&many) {
+            let single = est.estimate_at(&t, q);
+            assert_eq!(p.as_slice(), single.as_slice());
+        }
+    }
+
+    #[test]
     fn estimation_is_deterministic_across_runs() {
         let t = bgkanon_data::adult::generate(300, 5);
         let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.3, 6).unwrap());
@@ -453,6 +1841,14 @@ mod tests {
             KernelFamily::Triangular.kernel(0.5),
             Kernel::triangular(0.5)
         );
+        for f in [
+            KernelFamily::Epanechnikov,
+            KernelFamily::Uniform,
+            KernelFamily::Triangular,
+        ] {
+            assert_eq!(f.as_str().parse::<KernelFamily>().unwrap(), f);
+        }
+        assert!("gaussian".parse::<KernelFamily>().is_err());
     }
 
     #[test]
@@ -467,5 +1863,19 @@ mod tests {
             model.prior_or_fallback(&unknown).as_slice(),
             model.table_distribution().as_slice()
         );
+    }
+
+    #[test]
+    fn support_density_shrinks_with_bandwidth() {
+        let t = adult::generate(50, 1);
+        let density = |b: f64| {
+            PriorEstimator::new(
+                Arc::clone(t.schema()),
+                Bandwidth::uniform(b, t.qi_count()).unwrap(),
+            )
+            .support_density()[0]
+        };
+        assert!(density(0.1) < density(0.5));
+        assert_eq!(density(2.0), 1.0); // bandwidth past the range: dense
     }
 }

@@ -28,6 +28,8 @@ pub mod persist;
 pub use adversary::Adversary;
 pub use bandwidth::Bandwidth;
 pub use calibrate::{attribute_diagnostics, suggest_skyline};
-pub use estimator::{KernelFamily, PriorEstimator, PriorModel};
+pub use estimator::{
+    FoldedPoint, FoldedTable, KernelFamily, PriorEstimator, PriorModel, SparseWeights, SupportIndex,
+};
 pub use mining::{mine_negative_rules, MiningConfig, NegativeRule, Pattern};
 pub use persist::{load_model, save_model};

@@ -17,10 +17,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bgkanon_data::Table;
+use bgkanon_data::{Parallelism, Table};
 
 use crate::bandwidth::Bandwidth;
-use crate::estimator::PriorEstimator;
+use crate::estimator::{FoldedTable, PriorEstimator};
 
 /// A conjunctive QI pattern of one or two attribute-value equalities.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -48,9 +48,13 @@ impl Pattern {
 
     /// Does row `row` of `table` match the pattern?
     pub fn matches(&self, table: &Table, row: usize) -> bool {
-        self.terms
-            .iter()
-            .all(|&(attr, value)| table.qi_value(row, attr) == value)
+        self.matches_qi(table.qi(row))
+    }
+
+    /// Does a bare QI code combination match the pattern? This is the form
+    /// the folded (distinct-QI) paths use.
+    pub fn matches_qi(&self, qi: &[u32]) -> bool {
+        self.terms.iter().all(|&(attr, value)| qi[attr] == value)
     }
 
     /// Human-readable form against a schema.
@@ -181,19 +185,26 @@ pub struct SubsumptionCheck {
 /// probability of the excluded value over all matching tuples. For
 /// bandwidths small enough that the kernel support stays inside the
 /// pattern's equivalence class, the probability is exactly 0.
+///
+/// The table is folded **once** into a [`FoldedTable`] shared by the
+/// estimation pass and the per-rule scans (which walk the `u` distinct QI
+/// points instead of all `n` rows — every row of a distinct point shares
+/// its prior, so the worst case over points equals the worst case over
+/// rows).
 pub fn verify_subsumption(table: &Table, rules: &[NegativeRule], b: f64) -> Vec<SubsumptionCheck> {
     let estimator = PriorEstimator::new(
         Arc::clone(table.schema()),
         Bandwidth::uniform(b, table.qi_count()).expect("positive bandwidth"),
     );
-    let model = estimator.estimate(table);
+    let model = estimator.estimate_folded(FoldedTable::new(table), Parallelism::Auto);
+    let folded = model.folded().expect("estimate_folded retains the fold");
     rules
         .iter()
         .map(|rule| {
             let mut worst = 0.0f64;
-            for row in 0..table.len() {
-                if rule.pattern.matches(table, row) {
-                    let p = model.prior_or_fallback(table.qi(row));
+            for point in folded.points() {
+                if rule.pattern.matches_qi(point.qi()) {
+                    let p = model.prior_or_fallback(point.qi());
                     worst = worst.max(p.get(rule.sensitive_value as usize));
                 }
             }

@@ -3,27 +3,41 @@
 //! Kernel estimation is the expensive step of the (B,t) pipeline
 //! (Fig. 4(b)), and experiments reuse the same adversary across many
 //! releases. [`save_model`]/[`load_model`] persist a [`PriorModel`] as a
-//! line-oriented text file:
+//! line-oriented text file. Models that carry their folded estimation table
+//! (anything built by `PriorEstimator::estimate*`) are written in the **v2**
+//! format, which also records the bandwidth, kernel family and folded
+//! points — so a reloaded model is [refreshable](PriorModel::refresh) under
+//! table deltas *without re-folding*:
 //!
 //! ```text
-//! bgkanon-prior-model v1
+//! bgkanon-prior-model v2
 //! dims <d> <m>
-//! table <p_1> … <p_m>
+//! bandwidth <b_1> … <b_d>
+//! family <epanechnikov|uniform|triangular>
+//! point <q_1> … <q_d> <c_1> … <c_m>
+//! …
 //! prior <q_1> … <q_d> <p_1> … <p_m>
 //! …
 //! ```
 //!
+//! Bare [`PriorModel::from_parts`] models fall back to the legacy **v1**
+//! format (`table` line + `prior` lines), which [`load_model`] still reads.
 //! Entries are written in sorted QI order, so files are byte-stable for a
 //! given model.
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
 use bgkanon_stats::Dist;
 
-use crate::estimator::PriorModel;
+use crate::bandwidth::Bandwidth;
+use crate::estimator::{FoldedTable, KernelFamily, PriorModel};
 
-/// Magic first line of the format.
+/// Magic first line of the legacy (prior-only) format.
 pub const MAGIC: &str = "bgkanon-prior-model v1";
+
+/// Magic first line of the refreshable format.
+pub const MAGIC_V2: &str = "bgkanon-prior-model v2";
 
 /// Errors from [`load_model`].
 #[derive(Debug)]
@@ -65,40 +79,104 @@ fn fmt_floats(xs: &[f64]) -> String {
         .join(" ")
 }
 
-/// Write `model` to `writer`.
+fn fmt_codes(qi: &[u32]) -> String {
+    qi.iter().map(u32::to_string).collect::<Vec<_>>().join(" ")
+}
+
+/// Write `model` to `writer` — v2 when the model carries its folded table
+/// (refreshable after reload), v1 otherwise.
 pub fn save_model<W: Write>(model: &PriorModel, mut writer: W) -> std::io::Result<()> {
     // Sort entries for byte-stable output.
     let mut entries: Vec<(&[u32], &Dist)> = model.iter().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
-    let d = entries.first().map(|(qi, _)| qi.len()).unwrap_or(0);
     let m = model.table_distribution().len();
-    writeln!(writer, "{MAGIC}")?;
-    writeln!(writer, "dims {d} {m}")?;
-    writeln!(
-        writer,
-        "table {}",
-        fmt_floats(model.table_distribution().as_slice())
-    )?;
-    for (qi, dist) in entries {
-        let codes = qi.iter().map(u32::to_string).collect::<Vec<_>>().join(" ");
-        writeln!(writer, "prior {codes} {}", fmt_floats(dist.as_slice()))?;
+    if let (Some(folded), Some(bandwidth)) = (model.folded(), model.bandwidth()) {
+        let d = folded.qi_count();
+        writeln!(writer, "{MAGIC_V2}")?;
+        writeln!(writer, "dims {d} {m}")?;
+        writeln!(writer, "bandwidth {}", fmt_floats(bandwidth.as_slice()))?;
+        writeln!(writer, "family {}", model.family().as_str())?;
+        for p in folded.points() {
+            writeln!(
+                writer,
+                "point {} {}",
+                fmt_codes(p.qi()),
+                p.sensitive_counts()
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )?;
+        }
+        for (qi, dist) in entries {
+            writeln!(
+                writer,
+                "prior {} {}",
+                fmt_codes(qi),
+                fmt_floats(dist.as_slice())
+            )?;
+        }
+    } else {
+        let d = entries.first().map(|(qi, _)| qi.len()).unwrap_or(0);
+        writeln!(writer, "{MAGIC}")?;
+        writeln!(writer, "dims {d} {m}")?;
+        writeln!(
+            writer,
+            "table {}",
+            fmt_floats(model.table_distribution().as_slice())
+        )?;
+        for (qi, dist) in entries {
+            writeln!(
+                writer,
+                "prior {} {}",
+                fmt_codes(qi),
+                fmt_floats(dist.as_slice())
+            )?;
+        }
     }
     Ok(())
 }
 
-/// Read a model previously written by [`save_model`].
+fn parse_dist(toks: &[&str], line: usize) -> Result<Dist, PersistError> {
+    let p: Result<Vec<f64>, _> = toks.iter().map(|t| t.parse::<f64>()).collect();
+    let p = p.map_err(|_| PersistError::Format {
+        line,
+        reason: "bad float".into(),
+    })?;
+    Dist::new(p).map_err(|e| PersistError::Format {
+        line,
+        reason: format!("invalid distribution: {e}"),
+    })
+}
+
+fn parse_codes(toks: &[&str], line: usize) -> Result<Vec<u32>, PersistError> {
+    let codes: Result<Vec<u32>, _> = toks.iter().map(|t| t.parse::<u32>()).collect();
+    codes.map_err(|_| PersistError::Format {
+        line,
+        reason: "bad QI code".into(),
+    })
+}
+
+/// Read a model previously written by [`save_model`] (either format; a v2
+/// file yields a refreshable model carrying its folded table, bandwidth and
+/// kernel family).
 pub fn load_model<R: BufRead>(reader: R) -> Result<PriorModel, PersistError> {
     let mut lines = reader.lines().enumerate();
     let (_, first) = lines.next().ok_or(PersistError::Format {
         line: 1,
         reason: "empty file".into(),
     })?;
-    if first?.trim() != MAGIC {
-        return Err(PersistError::Format {
-            line: 1,
-            reason: format!("missing magic `{MAGIC}`"),
-        });
-    }
+    let first = first?;
+    let v2 = match first.trim() {
+        s if s == MAGIC => false,
+        s if s == MAGIC_V2 => true,
+        _ => {
+            return Err(PersistError::Format {
+                line: 1,
+                reason: format!("missing magic `{MAGIC}` or `{MAGIC_V2}`"),
+            })
+        }
+    };
     let (_, dims) = lines.next().ok_or(PersistError::Format {
         line: 2,
         reason: "missing dims line".into(),
@@ -121,17 +199,9 @@ pub fn load_model<R: BufRead>(reader: R) -> Result<PriorModel, PersistError> {
     let d = parse_usize(it.next(), 2)?;
     let m = parse_usize(it.next(), 2)?;
 
-    let parse_dist = |toks: &[&str], line: usize| -> Result<Dist, PersistError> {
-        let p: Result<Vec<f64>, _> = toks.iter().map(|t| t.parse::<f64>()).collect();
-        let p = p.map_err(|_| PersistError::Format {
-            line,
-            reason: "bad float".into(),
-        })?;
-        Dist::new(p).map_err(|e| PersistError::Format {
-            line,
-            reason: format!("invalid distribution: {e}"),
-        })
-    };
+    if v2 {
+        return load_v2_body(lines, d, m);
+    }
 
     let (_, table_line) = lines.next().ok_or(PersistError::Format {
         line: 3,
@@ -147,7 +217,7 @@ pub fn load_model<R: BufRead>(reader: R) -> Result<PriorModel, PersistError> {
     }
     let table_distribution = parse_dist(&toks[1..], 3)?;
 
-    let mut priors = std::collections::HashMap::new();
+    let mut priors = HashMap::new();
     for (idx, line) in lines {
         let line_no = idx + 1;
         let line = line?;
@@ -161,15 +231,125 @@ pub fn load_model<R: BufRead>(reader: R) -> Result<PriorModel, PersistError> {
                 reason: format!("expected `prior` with {d} codes and {m} probabilities"),
             });
         }
-        let codes: Result<Vec<u32>, _> = toks[1..=d].iter().map(|t| t.parse::<u32>()).collect();
-        let codes = codes.map_err(|_| PersistError::Format {
-            line: line_no,
-            reason: "bad QI code".into(),
-        })?;
+        let codes = parse_codes(&toks[1..=d], line_no)?;
         let dist = parse_dist(&toks[1 + d..], line_no)?;
         priors.insert(codes.into_boxed_slice(), dist);
     }
     Ok(PriorModel::from_parts(priors, table_distribution))
+}
+
+/// Parse everything after the `dims` line of a v2 file.
+fn load_v2_body<I>(mut lines: I, d: usize, m: usize) -> Result<PriorModel, PersistError>
+where
+    I: Iterator<Item = (usize, std::io::Result<String>)>,
+{
+    let (_, bw_line) = lines.next().ok_or(PersistError::Format {
+        line: 3,
+        reason: "missing bandwidth line".into(),
+    })?;
+    let bw_line = bw_line?;
+    let toks: Vec<&str> = bw_line.split_whitespace().collect();
+    if toks.first() != Some(&"bandwidth") || toks.len() != d + 1 {
+        return Err(PersistError::Format {
+            line: 3,
+            reason: format!("expected `bandwidth` with {d} components"),
+        });
+    }
+    let b: Result<Vec<f64>, _> = toks[1..].iter().map(|t| t.parse::<f64>()).collect();
+    let b = b.map_err(|_| PersistError::Format {
+        line: 3,
+        reason: "bad float".into(),
+    })?;
+    let bandwidth = Bandwidth::new(b).map_err(|e| PersistError::Format {
+        line: 3,
+        reason: format!("invalid bandwidth: {e}"),
+    })?;
+
+    let (_, fam_line) = lines.next().ok_or(PersistError::Format {
+        line: 4,
+        reason: "missing family line".into(),
+    })?;
+    let fam_line = fam_line?;
+    let toks: Vec<&str> = fam_line.split_whitespace().collect();
+    if toks.len() != 2 || toks[0] != "family" {
+        return Err(PersistError::Format {
+            line: 4,
+            reason: "expected `family <name>`".into(),
+        });
+    }
+    let family: KernelFamily = toks[1]
+        .parse()
+        .map_err(|e| PersistError::Format { line: 4, reason: e })?;
+
+    let mut points: Vec<(Box<[u32]>, Vec<u32>)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut priors = HashMap::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.first().copied() {
+            Some("point") => {
+                if toks.len() != 1 + d + m {
+                    return Err(PersistError::Format {
+                        line: line_no,
+                        reason: format!("expected `point` with {d} codes and {m} counts"),
+                    });
+                }
+                let codes = parse_codes(&toks[1..=d], line_no)?;
+                let counts: Result<Vec<u32>, _> =
+                    toks[1 + d..].iter().map(|t| t.parse::<u32>()).collect();
+                let counts = counts.map_err(|_| PersistError::Format {
+                    line: line_no,
+                    reason: "bad count".into(),
+                })?;
+                if counts.iter().all(|&c| c == 0) {
+                    return Err(PersistError::Format {
+                        line: line_no,
+                        reason: "folded point with zero rows".into(),
+                    });
+                }
+                let codes = codes.into_boxed_slice();
+                if !seen.insert(codes.clone()) {
+                    return Err(PersistError::Format {
+                        line: line_no,
+                        reason: "duplicate folded point".into(),
+                    });
+                }
+                points.push((codes, counts));
+            }
+            Some("prior") => {
+                if toks.len() != 1 + d + m {
+                    return Err(PersistError::Format {
+                        line: line_no,
+                        reason: format!("expected `prior` with {d} codes and {m} probabilities"),
+                    });
+                }
+                let codes = parse_codes(&toks[1..=d], line_no)?;
+                let dist = parse_dist(&toks[1 + d..], line_no)?;
+                priors.insert(codes.into_boxed_slice(), dist);
+            }
+            _ => {
+                return Err(PersistError::Format {
+                    line: line_no,
+                    reason: "expected `point` or `prior`".into(),
+                })
+            }
+        }
+    }
+    if points.is_empty() {
+        return Err(PersistError::Format {
+            line: 5,
+            reason: "v2 model has no folded points".into(),
+        });
+    }
+    let folded = FoldedTable::from_points(d, m, points);
+    Ok(PriorModel::from_parts_folded(
+        priors, folded, bandwidth, family,
+    ))
 }
 
 #[cfg(test)]
@@ -177,6 +357,7 @@ mod tests {
     use super::*;
     use crate::bandwidth::Bandwidth;
     use crate::estimator::PriorEstimator;
+    use bgkanon_data::DeltaBuilder;
     use std::sync::Arc;
 
     fn model() -> PriorModel {
@@ -205,6 +386,97 @@ mod tests {
     }
 
     #[test]
+    fn v2_roundtrip_preserves_fold_and_provenance() {
+        let m = model();
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        assert!(buf.starts_with(MAGIC_V2.as_bytes()));
+        let loaded = load_model(buf.as_slice()).unwrap();
+        assert!(loaded.is_refreshable());
+        assert_eq!(loaded.bandwidth(), m.bandwidth());
+        assert_eq!(loaded.family(), m.family());
+        let (a, b) = (m.folded().unwrap(), loaded.folded().unwrap());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.rows(), b.rows());
+        for (pa, pb) in a.points().zip(b.points()) {
+            assert_eq!(pa.qi(), pb.qi());
+            assert_eq!(pa.count(), pb.count());
+            assert_eq!(pa.sensitive_counts(), pb.sensitive_counts());
+        }
+        // Exact bit equality of every prior and the table distribution.
+        for (qi, p) in m.iter() {
+            let q = loaded.prior(qi).unwrap();
+            for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (x, y) in m
+            .table_distribution()
+            .as_slice()
+            .iter()
+            .zip(loaded.table_distribution().as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn reloaded_model_refreshes_without_refolding() {
+        // The round-trip contract of the sparse engine: save → load →
+        // refresh(delta) must equal a from-scratch estimate of the
+        // post-delta table, bit for bit.
+        let t = bgkanon_data::adult::generate(250, 4);
+        let est = PriorEstimator::new(
+            Arc::clone(t.schema()),
+            Bandwidth::uniform(0.25, t.qi_count()).unwrap(),
+        );
+        let m = est.estimate(&t);
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        let mut loaded = load_model(buf.as_slice()).unwrap();
+        // The persisted provenance is enough to rebuild the estimator.
+        let est2 = PriorEstimator::with_family(
+            Arc::clone(t.schema()),
+            loaded.bandwidth().unwrap().clone(),
+            loaded.family(),
+        );
+
+        let donors = bgkanon_data::adult::generate(6, 123);
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        b.delete(10).delete(42).delete(200);
+        for r in 0..6 {
+            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+                .unwrap();
+        }
+        let delta = b.build();
+        loaded.refresh(&est2, &t, &delta);
+
+        let fresh = est.estimate(&t.apply_delta(&delta).unwrap());
+        assert_eq!(loaded.len(), fresh.len());
+        for (qi, p) in fresh.iter() {
+            let q = loaded.prior(qi).unwrap();
+            for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "drift at {qi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let m = model();
+        let bare = PriorModel::from_parts(
+            m.iter().map(|(qi, p)| (qi.into(), p.clone())).collect(),
+            m.table_distribution().clone(),
+        );
+        let mut buf = Vec::new();
+        save_model(&bare, &mut buf).unwrap();
+        assert!(buf.starts_with(MAGIC.as_bytes()));
+        let loaded = load_model(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), bare.len());
+        assert!(!loaded.is_refreshable());
+    }
+
+    #[test]
     fn output_is_byte_stable() {
         let m = model();
         let mut a = Vec::new();
@@ -224,6 +496,8 @@ mod tests {
     fn truncated_file_rejected() {
         let text = format!("{MAGIC}\ndims 2 3\n");
         assert!(load_model(text.as_bytes()).is_err());
+        let text = format!("{MAGIC_V2}\ndims 2 3\n");
+        assert!(load_model(text.as_bytes()).is_err());
     }
 
     #[test]
@@ -237,5 +511,28 @@ mod tests {
     fn wrong_arity_rejected() {
         let text = format!("{MAGIC}\ndims 2 2\ntable 0.5 0.5\nprior 3 0.9 0.1\n");
         assert!(load_model(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn v2_malformed_lines_rejected() {
+        let head = format!("{MAGIC_V2}\ndims 1 2\nbandwidth 2.5e-1\nfamily epanechnikov\n");
+        // Unknown family.
+        assert!(load_model(
+            format!("{MAGIC_V2}\ndims 1 2\nbandwidth 2.5e-1\nfamily gaussian\npoint 0 1 0\n")
+                .as_bytes()
+        )
+        .is_err());
+        // Zero-row point.
+        assert!(load_model(format!("{head}point 0 0 0\n").as_bytes()).is_err());
+        // Duplicate point.
+        assert!(load_model(format!("{head}point 0 1 0\npoint 0 0 1\n").as_bytes()).is_err());
+        // Stray keyword.
+        assert!(load_model(format!("{head}table 0.5 0.5\n").as_bytes()).is_err());
+        // No points at all.
+        assert!(load_model(head.as_bytes()).is_err());
+        // Minimal valid file.
+        let ok = load_model(format!("{head}point 0 1 1\nprior 0 5e-1 5e-1\n").as_bytes()).unwrap();
+        assert!(ok.is_refreshable());
+        assert_eq!(ok.folded().unwrap().rows(), 2);
     }
 }

@@ -100,6 +100,50 @@ impl Kernel {
     pub fn weights(&self, distances: &[f64]) -> Vec<f64> {
         distances.iter().map(|&d| self.weight(d)).collect()
     }
+
+    /// Radius of the kernel's **compact support**: weights vanish at
+    /// distances beyond the bandwidth `B`. Every kernel family shipped here
+    /// has compact support — the property the sparse estimation engine
+    /// exploits. Whether the boundary itself carries weight depends on the
+    /// family ([`support_is_closed`](Self::support_is_closed)).
+    pub fn support_radius(&self) -> f64 {
+        self.bandwidth()
+    }
+
+    /// True when the support boundary `x = B` itself carries weight (the
+    /// uniform kernel); the Epanechnikov and triangular kernels vanish at
+    /// the boundary (open support).
+    pub fn support_is_closed(&self) -> bool {
+        matches!(self, Kernel::Uniform { .. })
+    }
+
+    /// True exactly when [`weight`](Self::weight)`(x) > 0` — the membership
+    /// test the sparse weight tables are built from. Defined via `weight`
+    /// itself so the two can never disagree at the support boundary.
+    #[inline]
+    pub fn in_support(&self, x: f64) -> bool {
+        self.weight(x) > 0.0
+    }
+
+    /// Fraction of `distances` inside the support — the sparsity
+    /// diagnostic: a per-attribute kernel table over these distances has
+    /// exactly this density of nonzero entries. Returns 0 for an empty
+    /// slice.
+    ///
+    /// ```
+    /// use bgkanon_stats::Kernel;
+    ///
+    /// let k = Kernel::epanechnikov(0.25);
+    /// // Of the distances {0, 0.2, 0.5, 0.9} only the first two are inside.
+    /// assert_eq!(k.support_density(&[0.0, 0.2, 0.5, 0.9]), 0.5);
+    /// ```
+    pub fn support_density(&self, distances: &[f64]) -> f64 {
+        if distances.is_empty() {
+            return 0.0;
+        }
+        let inside = distances.iter().filter(|&&d| self.in_support(d)).count();
+        inside as f64 / distances.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +214,34 @@ mod tests {
         assert_eq!(ws.len(), 3);
         assert_eq!(ws[2], 0.0);
         assert!(ws[0] > ws[1]);
+    }
+
+    #[test]
+    fn support_agrees_with_weight_everywhere() {
+        for k in [
+            Kernel::epanechnikov(0.25),
+            Kernel::uniform(0.25),
+            Kernel::triangular(0.25),
+        ] {
+            for i in 0..=1000 {
+                let x = i as f64 / 1000.0;
+                assert_eq!(k.in_support(x), k.weight(x) > 0.0, "{k:?} at {x}");
+            }
+            assert_eq!(k.support_radius(), 0.25);
+        }
+        // The boundary: closed for uniform, open for the others.
+        assert!(Kernel::uniform(0.25).in_support(0.25));
+        assert!(Kernel::uniform(0.25).support_is_closed());
+        assert!(!Kernel::epanechnikov(0.25).in_support(0.25));
+        assert!(!Kernel::triangular(0.25).support_is_closed());
+    }
+
+    #[test]
+    fn support_density_counts_nonzero_fraction() {
+        let k = Kernel::epanechnikov(0.5);
+        assert_eq!(k.support_density(&[]), 0.0);
+        assert_eq!(k.support_density(&[0.0, 0.1, 0.5, 0.7]), 0.5);
+        assert_eq!(Kernel::uniform(1.0).support_density(&[0.0, 0.5, 1.0]), 1.0);
     }
 
     #[test]

@@ -157,6 +157,16 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
 }
 
 /// Assert two expressions are unequal inside a `proptest!` body.
