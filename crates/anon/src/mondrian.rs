@@ -15,8 +15,9 @@
 //! * [`Mondrian::anonymize`] — the single-threaded **reference** path: a
 //!   direct transcription of the algorithm, kept simple on purpose so the
 //!   optimized engine can be property-tested against it;
-//! * [`Mondrian::anonymize_with`] — the **parallel** engine: workers steal
-//!   regions from a shared deque under [`std::thread::scope`], split them
+//! * [`Mondrian::anonymize_with`] — the **parallel** engine: worker jobs on
+//!   the process-wide [`shared_pool`](bgkanon_data::shared_pool) steal
+//!   regions from a shared deque, split them
 //!   with a stable counting sort (QI domains are small dense codes), derive
 //!   the right half's sensitive histogram by subtraction from the parent's,
 //!   and reuse per-worker scratch buffers. Because every region is split by
@@ -285,23 +286,30 @@ impl Mondrian {
         root: Region,
         workers: usize,
     ) -> (usize, Vec<(usize, NodeRec)>) {
-        let engine = Engine {
+        let engine = Arc::new(Engine {
             state: Mutex::new(EngineState {
                 deque: vec![root],
                 active: 0,
             }),
             available: Condvar::new(),
             slots: AtomicUsize::new(1),
-        };
-        let mut outputs: Vec<Vec<(usize, NodeRec)>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| self.worker(table, &engine)))
-                .collect();
-            for h in handles {
-                outputs.push(h.join().expect("worker panicked"));
-            }
         });
+        // Worker jobs run on the process-wide pool — a serving process
+        // planting and re-planting trees across many sessions reuses the
+        // same threads instead of spawning a scope per call. Jobs are
+        // `'static`: the table clone is O(1) and the requirement is an
+        // `Arc`. A worker only ever blocks waiting on *running* workers of
+        // its own engine (a region is held exclusively by the job splitting
+        // it), so the call completes even when the pool serializes the jobs.
+        let jobs: Vec<_> = (0..workers)
+            .map(|_| {
+                let mondrian = Mondrian::new(Arc::clone(&self.requirement));
+                let table = table.clone();
+                let engine = Arc::clone(&engine);
+                move || mondrian.worker(&table, &engine)
+            })
+            .collect();
+        let outputs = bgkanon_data::shared_pool().run(jobs);
         (
             engine.slots.load(Ordering::Relaxed),
             outputs.into_iter().flatten().collect(),

@@ -31,6 +31,20 @@
 //! cargo run --release -p bgkanon-bench --bin baseline -- --estimate --smoke
 //! ```
 //!
+//! `--concurrent` switches to the **multi-tenant serving** benchmark,
+//! written to `BENCH_concurrent.json`: N tenants × M reader/writer threads
+//! through a [`SessionHub`](bgkanon::SessionHub) (writers applying scripted
+//! churn deltas, readers serving audit requests through the hub's shared
+//! stamp caches) against the serial one-session loop — one thread, serial
+//! reference engines, a fresh audit per release. Every tenant's final
+//! table, publication and audit report are verified bit-identical between
+//! the two phases before any throughput number is recorded.
+//!
+//! ```text
+//! cargo run --release -p bgkanon-bench --bin baseline -- --concurrent
+//! cargo run --release -p bgkanon-bench --bin baseline -- --concurrent --smoke
+//! ```
+//!
 //! Methodology:
 //!
 //! * **publish** — Mondrian under 10-anonymity (the partitioning cost the
@@ -887,14 +901,330 @@ fn run_incremental_mode(sizes: &[usize], reps: usize, out_path: &str, smoke: boo
     println!("wrote {out_path}");
 }
 
+/// Outcome of verifying one tenant of the concurrent benchmark.
+struct TenantVerdict {
+    name: String,
+    rows: usize,
+    groups: usize,
+    identical: bool,
+}
+
+/// The concurrent serving benchmark: N tenants × M reader/writer threads
+/// through a [`SessionHub`](bgkanon::SessionHub), against the **serial one-session loop** — one
+/// thread processing every tenant sequentially through the single-owner
+/// session engine with the serial reference engines and a fresh (uncached)
+/// audit per release, the pre-hub way of serving the same workload. Both
+/// sides apply the identical per-tenant delta sequences and serve the same
+/// number of audit requests; every tenant's final publication and final
+/// audit report are verified bit-identical across the two before any
+/// throughput number is recorded.
+fn run_concurrent_mode(smoke: bool, out_path: &str) {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let (tenants, readers, writers, rows, deltas) = if smoke {
+        (3usize, 2usize, 1usize, 3_000usize, 5usize)
+    } else {
+        (8, 4, 2, 10_000, 6)
+    };
+    // Audit requests served per phase: the serial loop audits once per
+    // release; the hub's readers serve this many times more (a serving
+    // layer exists to answer many queries per release).
+    let quota_mult = 4usize;
+    let audit_quota = tenants * (deltas + 1) * quota_mult;
+    let threads = Parallelism::Auto.effective_threads();
+
+    // Deterministic per-tenant delta sequences, replayed identically by
+    // both phases (the delta for a step depends only on the tenant's
+    // current table, which evolves identically on both sides).
+    let delta_for = |table: &Table, tenant: usize, step: usize| -> Delta {
+        let mut rng =
+            SmallRng::seed_from_u64(SEED ^ ((tenant as u64) << 24) ^ ((step as u64) << 8));
+        let workload = if (tenant + step).is_multiple_of(2) {
+            Workload::Clustered
+        } else {
+            Workload::Scattered
+        };
+        workload_delta(
+            table,
+            &mut rng,
+            workload,
+            (rows / 200).max(1),
+            SEED + (tenant * 1_000 + step) as u64,
+        )
+    };
+
+    let tables: Vec<Table> = (0..tenants)
+        .map(|i| adult::generate(rows, SEED + i as u64))
+        .collect();
+    // Frozen per-tenant kernel adversaries (the Fig. 1 accounting: one
+    // estimated prior reused across releases), built outside both timed
+    // phases and shared by both so the audits compare exactly.
+    let auditors: Vec<Auditor> = tables
+        .iter()
+        .map(|t| {
+            let adversary = Arc::new(Adversary::kernel(
+                t,
+                Bandwidth::uniform(B_PRIME, t.qi_count()).expect("positive bandwidth"),
+            ));
+            let measure: Arc<dyn bgkanon::stats::BeliefDistance> =
+                Arc::new(SmoothedJs::paper_default(t.schema().sensitive_distance()));
+            Auditor::new(adversary, measure)
+        })
+        .collect();
+
+    // ---- Phase 1: the serial one-session loop. --------------------------
+    let serial_publisher = Publisher::new()
+        .k_anonymity(K)
+        .parallelism(Parallelism::Serial);
+    let serial_started = Instant::now();
+    let mut serial_tables: Vec<Table> = Vec::with_capacity(tenants);
+    let mut serial_reports = Vec::with_capacity(tenants);
+    let mut serial_audits = 0usize;
+    for i in 0..tenants {
+        let mut session = serial_publisher.open(&tables[i]).expect("satisfiable");
+        let mut last = auditors[i].report(
+            session.table(),
+            &session.anonymized().row_groups(),
+            THRESHOLD,
+        );
+        serial_audits += 1;
+        for step in 0..deltas {
+            let d = delta_for(session.table(), i, step);
+            session.apply(&d).expect("valid scripted delta");
+            last = auditors[i].report(
+                session.table(),
+                &session.anonymized().row_groups(),
+                THRESHOLD,
+            );
+            serial_audits += 1;
+        }
+        serial_tables.push(session.table().clone());
+        serial_reports.push(last);
+    }
+    let serial_elapsed = serial_started.elapsed().as_secs_f64();
+    let serial_deltas = tenants * deltas;
+
+    // ---- Phase 2: the hub, writers + readers concurrent. ----------------
+    let hub = Arc::new(bgkanon::SessionHub::new());
+    let hub_publisher = Publisher::new().k_anonymity(K);
+    let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        hub.register(name, &tables[i], &hub_publisher)
+            .expect("satisfiable");
+    }
+    let served = AtomicUsize::new(0);
+    let writers_done = AtomicBool::new(false);
+    let hub_started = Instant::now();
+    let hub_window = std::thread::scope(|scope| {
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let hub = Arc::clone(&hub);
+                let names = &names;
+                let delta_for = &delta_for;
+                scope.spawn(move || {
+                    // Tenants are partitioned over writers; each tenant's
+                    // delta sequence stays ordered within its one writer.
+                    for i in (w..tenants).step_by(writers.max(1)) {
+                        for step in 0..deltas {
+                            let snap = hub.snapshot(&names[i]).expect("registered");
+                            let d = delta_for(snap.table(), i, step);
+                            hub.apply(&names[i], &d).expect("valid scripted delta");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for r in 0..readers {
+            let hub = Arc::clone(&hub);
+            let names = &names;
+            let auditors = &auditors;
+            let served = &served;
+            let writers_done = &writers_done;
+            scope.spawn(move || {
+                let mut round = r;
+                // Serve the shared audit quota; keep serving while writers
+                // are still publishing so the window always has reader load.
+                loop {
+                    let ticket = served.fetch_add(1, Ordering::Relaxed);
+                    if ticket >= audit_quota && writers_done.load(Ordering::Relaxed) {
+                        served.fetch_sub(1, Ordering::Relaxed);
+                        return;
+                    }
+                    let i = round % tenants;
+                    let report = hub
+                        .audit_with(&names[i], &auditors[i], THRESHOLD)
+                        .expect("tenant registered");
+                    assert!(report.worst_case >= 0.0);
+                    round += 1;
+                }
+            });
+        }
+        for h in writer_handles {
+            h.join().expect("writer thread");
+        }
+        writers_done.store(true, Ordering::Relaxed);
+        hub_started.elapsed().as_secs_f64()
+    });
+    let hub_elapsed = hub_started.elapsed().as_secs_f64();
+    let hub_audits = served.load(Ordering::Relaxed);
+
+    // ---- Verification: concurrency must never buy throughput with drift.
+    let mut verdicts: Vec<TenantVerdict> = Vec::with_capacity(tenants);
+    for (i, name) in names.iter().enumerate() {
+        let snap = hub.snapshot(name).expect("registered");
+        let mut identical = true;
+        // (a) The hub's evolved table is the serial loop's evolved table.
+        identical &= snap.table().len() == serial_tables[i].len();
+        if identical {
+            for r in 0..snap.table().len() {
+                if snap.table().qi(r) != serial_tables[i].qi(r)
+                    || snap.table().sensitive_value(r) != serial_tables[i].sensitive_value(r)
+                {
+                    identical = false;
+                    break;
+                }
+            }
+        }
+        // (b) The published partition matches a from-scratch publish.
+        let fresh = serial_publisher.publish(snap.table()).expect("satisfiable");
+        identical &= snap.anonymized().group_count() == fresh.anonymized.group_count();
+        if identical {
+            for (a, b) in snap
+                .anonymized()
+                .groups()
+                .iter()
+                .zip(fresh.anonymized.groups())
+            {
+                if a.rows != b.rows || a.ranges != b.ranges {
+                    identical = false;
+                    break;
+                }
+            }
+        }
+        // (c) A final cached hub audit is bit-identical to the serial
+        // loop's final fresh audit of the same release.
+        let hub_report = hub
+            .audit_with(name, &auditors[i], THRESHOLD)
+            .expect("registered");
+        identical &= hub_report.risks.len() == serial_reports[i].risks.len();
+        if identical {
+            for (a, b) in hub_report.risks.iter().zip(&serial_reports[i].risks) {
+                if a.to_bits() != b.to_bits() {
+                    identical = false;
+                    break;
+                }
+            }
+        }
+        verdicts.push(TenantVerdict {
+            name: name.clone(),
+            rows: snap.len(),
+            groups: snap.group_count(),
+            identical,
+        });
+    }
+    let all_identical = verdicts.iter().all(|v| v.identical);
+
+    let serial_audits_per_s = serial_audits as f64 / serial_elapsed;
+    let serial_deltas_per_s = serial_deltas as f64 / serial_elapsed;
+    let hub_audits_per_s = hub_audits as f64 / hub_elapsed;
+    let hub_deltas_per_s = serial_deltas as f64 / hub_window;
+    let audit_speedup = hub_audits_per_s / serial_audits_per_s;
+    let delta_speedup = hub_deltas_per_s / serial_deltas_per_s;
+
+    let mut report = Report::new(
+        "Concurrent serving: SessionHub vs the serial one-session loop",
+        &["elapsed", "deltas/s", "audits/s"],
+    );
+    report.row(
+        "serial loop",
+        vec![
+            format!("{:.0}ms", serial_elapsed * 1e3),
+            format!("{serial_deltas_per_s:.1}"),
+            format!("{serial_audits_per_s:.1}"),
+        ],
+    );
+    report.row(
+        "hub",
+        vec![
+            format!("{:.0}ms", hub_elapsed * 1e3),
+            format!("{hub_deltas_per_s:.1}"),
+            format!("{hub_audits_per_s:.1}"),
+        ],
+    );
+    report.note(&format!(
+        "{tenants} tenants × {rows} rows; {deltas} deltas/tenant; {readers} reader + \
+         {writers} writer thread(s) on {threads} core(s); hub served {hub_audits} audit \
+         requests ({quota_mult}× the serial loop's {serial_audits}); audit speedup \
+         {audit_speedup:.2}x, delta speedup {delta_speedup:.2}x; every tenant verified \
+         bit-identical: {all_identical}"
+    ));
+    println!("{}", report.render());
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"concurrent\",\n");
+    out.push_str(&format!("  \"requirement\": \"{K}-anonymity\",\n"));
+    out.push_str(&format!("  \"adversary_bandwidth\": {B_PRIME},\n"));
+    out.push_str(&format!("  \"audit_threshold\": {THRESHOLD},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"tenants\": {tenants},\n"));
+    out.push_str(&format!("  \"rows_per_tenant\": {rows},\n"));
+    out.push_str(&format!("  \"deltas_per_tenant\": {deltas},\n"));
+    out.push_str(&format!("  \"reader_threads\": {readers},\n"));
+    out.push_str(&format!("  \"writer_threads\": {writers},\n"));
+    out.push_str(&format!(
+        "  \"serial\": {{\"elapsed_ms\": {:.3}, \"audits\": {serial_audits}, \
+         \"deltas_per_s\": {serial_deltas_per_s:.3}, \"audits_per_s\": \
+         {serial_audits_per_s:.3}}},\n",
+        serial_elapsed * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"hub\": {{\"elapsed_ms\": {:.3}, \"audits\": {hub_audits}, \
+         \"deltas_per_s\": {hub_deltas_per_s:.3}, \"audits_per_s\": \
+         {hub_audits_per_s:.3}}},\n",
+        hub_elapsed * 1e3
+    ));
+    out.push_str(&format!("  \"delta_speedup\": {delta_speedup:.3},\n"));
+    out.push_str(&format!("  \"audit_speedup\": {audit_speedup:.3},\n"));
+    out.push_str("  \"tenant_verdicts\": [\n");
+    for (i, v) in verdicts.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tenant\": \"{}\", \"rows\": {}, \"groups\": {}, \
+             \"identical_output\": {}}}{}\n",
+            v.name,
+            v.rows,
+            v.groups,
+            v.identical,
+            if i + 1 < verdicts.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"identical_output\": {all_identical}\n"));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(out_path).expect("create concurrent json");
+    file.write_all(out.as_bytes())
+        .expect("write concurrent json");
+    println!("wrote {out_path}");
+    assert!(
+        all_identical,
+        "concurrent serving drifted from the serial replay — see {out_path}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let incremental = args.iter().any(|a| a == "--incremental");
     let estimate = args.iter().any(|a| a == "--estimate");
+    let concurrent = args.iter().any(|a| a == "--concurrent");
     assert!(
-        !(incremental && estimate),
-        "--incremental and --estimate are mutually exclusive"
+        [incremental, estimate, concurrent]
+            .iter()
+            .filter(|b| **b)
+            .count()
+            <= 1,
+        "--incremental, --estimate and --concurrent are mutually exclusive"
     );
     let arg_after = |flag: &str| {
         args.iter()
@@ -907,10 +1237,16 @@ fn main() {
             "BENCH_incremental.json".to_owned()
         } else if estimate {
             "BENCH_estimate.json".to_owned()
+        } else if concurrent {
+            "BENCH_concurrent.json".to_owned()
         } else {
             "BENCH_baseline.json".to_owned()
         }
     });
+    if concurrent {
+        run_concurrent_mode(smoke, &out_path);
+        return;
+    }
     let reps: usize = arg_after("--reps")
         .map(|v| v.parse().expect("--reps takes a positive integer"))
         .unwrap_or(match (incremental, smoke) {

@@ -15,6 +15,10 @@
 //! | [`fig5`] | Fig. 5(a)/(b) | general utility: DM and GCP |
 //! | [`fig6`] | Fig. 6(a)/(b) | aggregate query answering error |
 //! | [`ablation`] | — | kernel family, measure smoothing, exact-vs-Ω, rule subsumption |
+//!
+//! [`gate`] is not an experiment: it implements the CI perf-regression gate
+//! (`--bin perfgate`) that checks the smoke benchmarks' JSON against the
+//! committed thresholds in `crates/bench/thresholds.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod gate;
 pub mod models;
 pub mod report;
 

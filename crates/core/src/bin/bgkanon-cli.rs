@@ -49,9 +49,14 @@ const USAGE: &str = "usage:
   bgkanon-cli publish   --input FILE --model (kanon|ldiv|probldiv|tclose|bt|skyline)
                         [--k K] [--l L] [--t T] [--b B] [--skyline b:t,b:t,...]
                         [--delete-rows I,J,...] [--insert-rows FILE]
-                        [--format csv|adult-data] [--out FILE]
+                        [--format csv|adult-data] [--threads N|serial|auto] [--out FILE]
   bgkanon-cli audit     --input FILE --model ... [model flags] --b-prime B --t T
-                        [--delete-rows I,J,...] [--insert-rows FILE]
+                        [--delete-rows I,J,...] [--insert-rows FILE] [--threads ...]
+  bgkanon-cli serve     [--tenants N] [--rows N] [--deltas N] [--readers N]
+                        [--audits N] [--seed S] [--b-prime B] [--t T]
+                        [--model ... model flags] [--threads ...]
+                        (scripted multi-tenant SessionHub workload, verified
+                         against from-scratch publications)
   bgkanon-cli anonymize (legacy one-shot alias of publish, without deltas)
   bgkanon-cli mine      --input FILE [--min-support N] [--pairwise]";
 
@@ -63,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "publish" => publish(&flags),
         "anonymize" => anonymize(&flags),
         "audit" => audit(&flags),
+        "serve" => serve(&flags),
         "mine" => mine(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -126,13 +132,31 @@ fn load_table(flags: &HashMap<String, String>) -> Result<Table, String> {
     Ok(table)
 }
 
+/// Parse the `--threads` flag into the engine [`Parallelism`] knob:
+/// `serial` selects the single-threaded reference engines, `auto` (or the
+/// flag's absence) one worker per core, and a number an explicit count.
+fn parse_parallelism(flags: &HashMap<String, String>) -> Result<Parallelism, String> {
+    match flags.get("threads").map(String::as_str) {
+        None | Some("auto") => Ok(Parallelism::Auto),
+        Some("serial") => Ok(Parallelism::Serial),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Parallelism::threads(n)),
+            _ => Err(format!(
+                "invalid value `{v}` for --threads (serial | auto | a positive count)"
+            )),
+        },
+    }
+}
+
 fn build_publisher(flags: &HashMap<String, String>) -> Result<Publisher, String> {
     let model = flags.get("model").ok_or("--model is required")?.as_str();
     let k: usize = parse(flags, "k")?.unwrap_or(3);
     let l: usize = parse(flags, "l")?.unwrap_or(k);
     let t: f64 = parse(flags, "t")?.unwrap_or(0.25);
     let b: f64 = parse(flags, "b")?.unwrap_or(0.3);
-    let publisher = Publisher::new().k_anonymity(k);
+    let publisher = Publisher::new()
+        .k_anonymity(k)
+        .parallelism(parse_parallelism(flags)?);
     Ok(match model {
         "kanon" => publisher,
         "ldiv" => publisher.distinct_l_diversity(l),
@@ -291,6 +315,206 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// One scripted, deterministic churn delta for tenant table `table`:
+/// `half` deletes at arithmetically scattered indices plus `half` donor
+/// inserts, so the table size stays stable across steps.
+fn scripted_delta(table: &Table, half: usize, mix: u64) -> Result<Delta, String> {
+    let n = table.len();
+    let half = half.max(1).min(n.saturating_sub(1).max(1));
+    let mut builder = DeltaBuilder::new(Arc::clone(table.schema()));
+    for j in 0..half {
+        builder.delete(((mix as usize).wrapping_mul(31).wrapping_add(j * 37)) % n);
+    }
+    let donors = adult::generate(half, mix.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    for r in 0..half {
+        builder
+            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(builder.build())
+}
+
+/// Drive a scripted multi-tenant workload through a [`SessionHub`]: one
+/// writer thread per tenant applies churn deltas while `--readers` threads
+/// continuously audit every tenant's published snapshots through the hub's
+/// shared caches. Every tenant's final publication is then verified
+/// bit-identical to a from-scratch publish of its final table — the command
+/// fails if concurrency ever bought throughput with drift.
+fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tenants: usize = parse(flags, "tenants")?.unwrap_or(4).max(1);
+    let rows: usize = parse(flags, "rows")?.unwrap_or(2000).max(50);
+    let deltas: usize = parse(flags, "deltas")?.unwrap_or(4);
+    let readers: usize = parse(flags, "readers")?.unwrap_or(2);
+    let audit_rounds: usize = parse(flags, "audits")?.unwrap_or(6);
+    let seed: u64 = parse(flags, "seed")?.unwrap_or(42);
+    let b_prime: f64 = parse(flags, "b-prime")?.unwrap_or(0.3);
+    let t: f64 = parse(flags, "t")?.unwrap_or(0.25);
+    let publisher = if flags.contains_key("model") {
+        build_publisher(flags)?
+    } else {
+        Publisher::new()
+            .k_anonymity(parse(flags, "k")?.unwrap_or(4))
+            .parallelism(parse_parallelism(flags)?)
+    };
+
+    let hub = Arc::new(SessionHub::new());
+    let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        let table = adult::generate(rows, seed.wrapping_add(i as u64));
+        hub.register(name, &table, &publisher)
+            .map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "hub: {} tenants × {rows} rows under `{}` ({} shards)",
+        hub.len(),
+        hub.snapshot(&names[0])
+            .map_err(|e| e.to_string())?
+            .requirement_name(),
+        hub.shard_count()
+    );
+
+    // Frozen per-tenant kernel adversaries, estimated before serving starts
+    // (the Fig. 1 accounting: one prior model reused across releases).
+    let auditors: Arc<Vec<Auditor>> = Arc::new(
+        names
+            .iter()
+            .map(|name| {
+                let snap = hub.snapshot(name).expect("registered above");
+                let adversary = Arc::new(bgkanon::knowledge::Adversary::kernel(
+                    snap.table(),
+                    bgkanon::knowledge::Bandwidth::uniform(b_prime, snap.table().qi_count())
+                        .expect("positive bandwidth"),
+                ));
+                let measure: Arc<dyn BeliefDistance> = Arc::new(SmoothedJs::paper_default(
+                    snap.table().schema().sensitive_distance(),
+                ));
+                Auditor::new(adversary, measure)
+            })
+            .collect(),
+    );
+
+    let half = (rows / 200).max(1); // ~1% churn per delta
+    let started = std::time::Instant::now();
+    let total_audits = std::sync::atomic::AtomicUsize::new(0);
+    let writers_done = std::sync::atomic::AtomicBool::new(false);
+    let failure: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        for (i, name) in names.iter().enumerate() {
+            let hub = Arc::clone(&hub);
+            let failure = &failure;
+            scope.spawn(move || {
+                for step in 0..deltas {
+                    let result = hub
+                        .snapshot(name)
+                        .map_err(|e| e.to_string())
+                        .and_then(|snap| {
+                            scripted_delta(
+                                snap.table(),
+                                half,
+                                seed ^ ((i as u64) << 32) ^ step as u64,
+                            )
+                        })
+                        .and_then(|d| hub.apply(name, &d).map_err(|e| e.to_string()));
+                    if let Err(e) = result {
+                        failure
+                            .lock()
+                            .expect("failure lock")
+                            .get_or_insert_with(|| format!("writer {name}: {e}"));
+                        return;
+                    }
+                }
+            });
+        }
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let hub = Arc::clone(&hub);
+                let names = &names;
+                let auditors = Arc::clone(&auditors);
+                let total_audits = &total_audits;
+                let writers_done = &writers_done;
+                scope.spawn(move || {
+                    let mut rounds = 0usize;
+                    // Keep auditing until the writers finish, and then run
+                    // the scripted minimum so short workloads still measure.
+                    while rounds < audit_rounds
+                        || !writers_done.load(std::sync::atomic::Ordering::Relaxed)
+                    {
+                        let i = (r + rounds) % names.len();
+                        if let Ok(report) = hub.audit_with(&names[i], &auditors[i], t) {
+                            assert!(report.worst_case >= 0.0);
+                            total_audits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        rounds += 1;
+                    }
+                })
+            })
+            .collect();
+        // `scope` joins the writers implicitly; flag completion for readers
+        // once every writer handle would have finished — simplest is to
+        // join writers first via a dedicated watcher: writers are the
+        // unnamed spawns above, so instead poll tenant versions.
+        loop {
+            let done = names.iter().all(|n| {
+                hub.snapshot(n)
+                    .map(|s| s.version() as usize >= deltas)
+                    .unwrap_or(true)
+            });
+            if done || failure.lock().expect("failure lock").is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        writers_done.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in reader_handles {
+            let _ = h.join();
+        }
+    });
+    if let Some(e) = failure.lock().expect("failure lock").take() {
+        return Err(e);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let applied = tenants * deltas;
+    let audits = total_audits.load(std::sync::atomic::Ordering::Relaxed);
+    eprintln!(
+        "served {applied} deltas and {audits} audits in {elapsed:.2}s \
+         ({:.1} deltas/s, {:.1} audits/s, {readers} readers)",
+        applied as f64 / elapsed,
+        audits as f64 / elapsed,
+    );
+
+    // Verification: every tenant's final publication must be bit-identical
+    // to a from-scratch publish of its final table.
+    for name in &names {
+        let snap = hub.snapshot(name).map_err(|e| e.to_string())?;
+        let fresh = publisher
+            .publish(snap.table())
+            .map_err(|e| format!("{name}: {e}"))?;
+        if snap.anonymized().group_count() != fresh.anonymized.group_count() {
+            return Err(format!(
+                "{name}: group count drifted from from-scratch publish"
+            ));
+        }
+        for (a, b) in snap
+            .anonymized()
+            .groups()
+            .iter()
+            .zip(fresh.anonymized.groups())
+        {
+            if a.rows != b.rows || a.ranges != b.ranges {
+                return Err(format!("{name}: published groups drifted"));
+            }
+        }
+        eprintln!(
+            "  {name}: version {} · {} rows · {} groups · identical to from-scratch ✓",
+            snap.version(),
+            snap.len(),
+            snap.group_count()
+        );
+    }
+    println!("serve: {tenants} tenants verified identical to from-scratch publications");
+    Ok(())
+}
+
 fn mine(flags: &HashMap<String, String>) -> Result<(), String> {
     let table = load_table(flags)?;
     let config = MiningConfig {
@@ -367,6 +591,45 @@ mod tests {
         assert!(build_publisher(&unknown).is_err());
         let missing = flags(&[]);
         assert!(build_publisher(&missing).is_err());
+    }
+
+    #[test]
+    fn parse_parallelism_flag() {
+        assert_eq!(parse_parallelism(&flags(&[])).unwrap(), Parallelism::Auto);
+        assert_eq!(
+            parse_parallelism(&flags(&[("threads", "auto")])).unwrap(),
+            Parallelism::Auto
+        );
+        assert_eq!(
+            parse_parallelism(&flags(&[("threads", "serial")])).unwrap(),
+            Parallelism::Serial
+        );
+        assert_eq!(
+            parse_parallelism(&flags(&[("threads", "3")])).unwrap(),
+            Parallelism::threads(3)
+        );
+        assert!(parse_parallelism(&flags(&[("threads", "0")])).is_err());
+        assert!(parse_parallelism(&flags(&[("threads", "fast")])).is_err());
+    }
+
+    #[test]
+    fn serve_runs_a_small_verified_workload() {
+        run(&[
+            "serve".into(),
+            "--tenants".into(),
+            "2".into(),
+            "--rows".into(),
+            "120".into(),
+            "--deltas".into(),
+            "2".into(),
+            "--readers".into(),
+            "2".into(),
+            "--audits".into(),
+            "2".into(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! The concurrent multi-tenant serving layer: a [`SessionHub`] hosting many
+//! named, independently evolving [`PublishSession`]s at once.
+//!
+//! The paper's threat model (§V) is a publisher releasing microdata
+//! repeatedly as tables change; at serving scale that means **many** tables
+//! republished and audited concurrently. The hub is the piece that turns the
+//! single-owner `&mut` session of PR 3 into a shared service:
+//!
+//! * **Sharded registry** — tenants are spread over `hash(tenant-id) →
+//!   shard` buckets, each bucket a small mutex-guarded map. Registry
+//!   operations (lookup, register, remove) touch one shard for
+//!   microseconds; traffic to different tenants never contends on a global
+//!   lock.
+//! * **One writer per tenant** — every tenant owns a `Mutex<PublishSession>`;
+//!   [`apply`](SessionHub::apply) validates and routes the delta through the
+//!   retained partition tree under that lock only. Writers to different
+//!   tenants run fully in parallel.
+//! * **Lock-free readers** — each applied delta publishes an immutable
+//!   [`TenantSnapshot`] behind an `RwLock<Arc<…>>` that is only ever held
+//!   long enough to clone the `Arc`. Everything inside the snapshot is
+//!   O(1)-shared ([`Table`] row buffers, the [`AnonymizedTable`] group list,
+//!   the leaf stamps), so any number of reader threads audit and estimate
+//!   against pinned versions while the writer re-partitions the next one —
+//!   readers never wait on a delta, writers never wait on an audit.
+//! * **Shared audit caches** — reader audits go through
+//!   [`SharedAuditSession`]s (one per tenant × auditor configuration),
+//!   whose stamp caches are keyed by partition-tree leaf stamps. Stamps
+//!   survive deltas for every group the delta did not dirty, so a
+//!   steady-state audit recomputes Ω only for the churned slice of the
+//!   partition — the same incremental-audit economics PR 3 built for one
+//!   session, now shared by all readers of a tenant.
+//!
+//! Correctness bar (enforced by `tests/tests/hub.rs`): under any
+//! interleaving of writers and readers, every snapshot and every audit
+//! report is **bit-identical** to a serial replay of that tenant's delta
+//! sequence — concurrency buys throughput, never drift.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
+
+use bgkanon_anon::AnonymizedTable;
+use bgkanon_data::{Delta, Parallelism, Table};
+use bgkanon_knowledge::{Adversary, Bandwidth, PriorEstimator, PriorModel};
+use bgkanon_privacy::{AuditReport, Auditor, SharedAuditSession};
+use bgkanon_stats::SmoothedJs;
+
+use crate::publisher::Publisher;
+use crate::session::{PublishSession, SessionError};
+
+/// An immutable published version of one tenant's table: what hub readers
+/// audit against. Snapshots are handed out as `Arc`s and everything inside
+/// is structurally shared, so holding one pins a consistent version at zero
+/// copy cost for as long as a reader needs it — even while the writer
+/// publishes newer versions.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    tenant: String,
+    version: u64,
+    requirement_name: String,
+    table: Table,
+    anonymized: AnonymizedTable,
+    stamps: Arc<Vec<u64>>,
+}
+
+impl TenantSnapshot {
+    /// The tenant this snapshot belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Number of deltas applied before this version was published (0 for
+    /// the registration snapshot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Name of the tenant's privacy requirement.
+    pub fn requirement_name(&self) -> &str {
+        &self.requirement_name
+    }
+
+    /// The table this version was published from (shares its row buffers
+    /// with the session's table of the same version).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The published partition of this version.
+    pub fn anonymized(&self) -> &AnonymizedTable {
+        &self.anonymized
+    }
+
+    /// Partition-tree leaf stamps, aligned with
+    /// [`anonymized()`](Self::anonymized)`.groups()` — the cache tokens
+    /// [`audit_cached`](Self::audit_cached) passes to the shared session.
+    pub fn leaf_stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
+    /// Rows in this version.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the version has no rows (never — sessions reject deltas
+    /// that would empty the table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Groups in this version's publication.
+    pub fn group_count(&self) -> usize {
+        self.anonymized.group_count()
+    }
+
+    /// Audit this version through a [`SharedAuditSession`], replaying every
+    /// group the session has already solved (by leaf stamp, then by group
+    /// signature) — the hub's hot read path. Bit-identical to a fresh
+    /// [`Auditor::report`] of this version.
+    pub fn audit_cached(&self, shared: &SharedAuditSession, t: f64) -> AuditReport {
+        let groups: Vec<&[usize]> = self
+            .anonymized
+            .groups()
+            .iter()
+            .map(|g| g.rows.as_slice())
+            .collect();
+        shared.report_groups(&self.table, &groups, Some(&self.stamps), t)
+    }
+
+    /// Audit this version with `auditor`, uncached, on an explicit engine —
+    /// for one-off audits where retaining a cache is not worth it.
+    pub fn audit_fresh(&self, auditor: &Auditor, t: f64, parallelism: Parallelism) -> AuditReport {
+        auditor.report_with(&self.table, &self.anonymized.row_groups(), t, parallelism)
+    }
+
+    /// Estimate the kernel prior model `P̂pri` an adversary with uniform
+    /// bandwidth `b` would learn from this version — the reader-side
+    /// estimation path (runs entirely against the snapshot, no hub locks).
+    pub fn estimate_prior(&self, b: f64, parallelism: Parallelism) -> PriorModel {
+        let bandwidth = Bandwidth::uniform(b, self.table.qi_count()).expect("positive bandwidth");
+        PriorEstimator::new(Arc::clone(self.table.schema()), bandwidth)
+            .estimate_with(&self.table, parallelism)
+    }
+}
+
+/// Key of one retained reader-audit configuration of a tenant.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ReaderKey {
+    /// Externally supplied auditor: adversary + measure instance addresses
+    /// plus the exact-inference cutoff. Valid across versions — the
+    /// caller's model is frozen by definition, so stamp hits replay across
+    /// deltas (the Fig. 1 "reuse the prior across releases" accounting).
+    External(usize, usize, usize),
+    /// Hub-estimated `Adv(b')`, keyed by bandwidth bits **and the version
+    /// it was estimated from**: the adversary the current table implies
+    /// changes with the table, and risks cached under one model must never
+    /// be replayed for another.
+    Bandwidth(u64, u64),
+}
+
+/// One retained reader-audit configuration: the shared session whose caches
+/// all reader threads of this tenant go through.
+struct ReaderCache {
+    key: ReaderKey,
+    session: Arc<SharedAuditSession>,
+}
+
+/// One hosted tenant.
+struct Tenant {
+    name: String,
+    /// The single-writer evolving session. Held only by
+    /// [`SessionHub::apply`], for the duration of one delta.
+    writer: Mutex<PublishSession>,
+    /// The current published version. Write-locked only for the `Arc` swap
+    /// after a delta; read-locked only for an `Arc` clone.
+    published: RwLock<Arc<TenantSnapshot>>,
+    /// Reader-audit configurations, LRU-bounded like a session's caches.
+    readers: Mutex<Vec<ReaderCache>>,
+}
+
+impl Tenant {
+    fn snapshot(&self) -> Arc<TenantSnapshot> {
+        Arc::clone(&self.published.read().expect("published lock"))
+    }
+
+    /// Fetch or build the shared audit session for `key`; `build` runs
+    /// outside the lock (it may estimate a prior model).
+    fn reader_session(
+        &self,
+        key: ReaderKey,
+        build: impl FnOnce() -> SharedAuditSession,
+    ) -> Arc<SharedAuditSession> {
+        if let Some(found) = {
+            let mut readers = self.readers.lock().expect("readers lock");
+            match readers.iter().position(|c| c.key == key) {
+                Some(idx) => {
+                    // Move to the back: LRU order for eviction.
+                    let entry = readers.remove(idx);
+                    let session = Arc::clone(&entry.session);
+                    readers.push(entry);
+                    Some(session)
+                }
+                None => None,
+            }
+        } {
+            return found;
+        }
+        let session = Arc::new(build());
+        let mut readers = self.readers.lock().expect("readers lock");
+        // Recheck: another reader may have built it while we did.
+        if let Some(entry) = readers.iter().find(|c| c.key == key) {
+            return Arc::clone(&entry.session);
+        }
+        // A hub-estimated adversary for a newer version supersedes every
+        // older estimate at the same bandwidth.
+        if let ReaderKey::Bandwidth(bits, _) = key {
+            readers.retain(|c| !matches!(c.key, ReaderKey::Bandwidth(b, _) if b == bits));
+        }
+        if readers.len() >= SessionHub::MAX_READER_CACHES {
+            readers.remove(0);
+        }
+        readers.push(ReaderCache {
+            key,
+            session: Arc::clone(&session),
+        });
+        session
+    }
+}
+
+/// One registry shard.
+struct Shard {
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+/// A concurrent registry of named publishing sessions: many tenants, one
+/// writer lock per tenant, lock-free snapshot reads, shared audit caches.
+/// The hub is `Send + Sync` — wrap it in an `Arc` and hand it to as many
+/// writer and reader threads as the workload needs.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon::data::{adult, DeltaBuilder};
+/// use bgkanon::{Publisher, SessionHub};
+///
+/// let hub = SessionHub::new();
+/// let publisher = Publisher::new().k_anonymity(4);
+///
+/// // Host two independently evolving tables.
+/// for (name, seed) in [("clinic-a", 1u64), ("clinic-b", 2)] {
+///     let table = adult::generate(150, seed);
+///     hub.register(name, &table, &publisher)?;
+/// }
+/// assert_eq!(hub.len(), 2);
+///
+/// // A writer evolves one tenant; readers of the other are unaffected.
+/// let before_b = hub.snapshot("clinic-b")?;
+/// let table_a = hub.snapshot("clinic-a")?.table().clone();
+/// let mut delta = DeltaBuilder::new(Arc::clone(table_a.schema()));
+/// delta.delete(3).delete(17);
+/// let after_a = hub.apply("clinic-a", &delta.build())?;
+/// assert_eq!(after_a.version(), 1);
+/// assert_eq!(after_a.len(), 148);
+/// assert_eq!(hub.snapshot("clinic-b")?.version(), before_b.version());
+///
+/// // Readers audit published versions; caches replay untouched groups.
+/// let report = hub.audit_against("clinic-a", 0.3, 0.25)?;
+/// assert!(report.worst_case >= report.mean);
+/// # Ok::<(), bgkanon::SessionError>(())
+/// ```
+pub struct SessionHub {
+    shards: Vec<Shard>,
+}
+
+impl SessionHub {
+    /// Default number of registry shards.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Reader-audit configurations retained per tenant; beyond this the
+    /// least recently used shared session (and its caches) is dropped.
+    pub const MAX_READER_CACHES: usize = 8;
+
+    /// An empty hub with [`DEFAULT_SHARDS`](Self::DEFAULT_SHARDS) registry
+    /// shards.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// An empty hub with an explicit shard count (minimum 1). More shards
+    /// means less registry contention between tenants that hash together;
+    /// the per-tenant locks are unaffected.
+    pub fn with_shards(shards: usize) -> Self {
+        SessionHub {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    tenants: Mutex::new(HashMap::new()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of registry shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, tenant: &str) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant>, SessionError> {
+        self.shard(name)
+            .tenants
+            .lock()
+            .expect("shard lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SessionError::UnknownTenant(name.to_owned()))
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tenants.lock().expect("shard lock").len())
+            .sum()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is a tenant with this id registered?
+    pub fn contains(&self, tenant: &str) -> bool {
+        self.shard(tenant)
+            .tenants
+            .lock()
+            .expect("shard lock")
+            .contains_key(tenant)
+    }
+
+    /// All registered tenant ids, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.tenants
+                    .lock()
+                    .expect("shard lock")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Register a tenant: open a [`PublishSession`] on `table` with
+    /// `publisher`'s requirements and publish version 0. The expensive work
+    /// (planting the partition tree) runs outside every hub lock; only the
+    /// final registry insert briefly takes the tenant's shard.
+    pub fn register(
+        &self,
+        tenant: &str,
+        table: &Table,
+        publisher: &Publisher,
+    ) -> Result<Arc<TenantSnapshot>, SessionError> {
+        if self.contains(tenant) {
+            return Err(SessionError::TenantExists(tenant.to_owned()));
+        }
+        let session = publisher.open(table)?;
+        let snapshot = Arc::new(Self::snapshot_of(tenant, &session));
+        let entry = Arc::new(Tenant {
+            name: tenant.to_owned(),
+            writer: Mutex::new(session),
+            published: RwLock::new(Arc::clone(&snapshot)),
+            readers: Mutex::new(Vec::new()),
+        });
+        let mut tenants = self.shard(tenant).tenants.lock().expect("shard lock");
+        if tenants.contains_key(tenant) {
+            // Raced with another registration of the same id.
+            return Err(SessionError::TenantExists(tenant.to_owned()));
+        }
+        tenants.insert(tenant.to_owned(), entry);
+        Ok(snapshot)
+    }
+
+    /// Remove a tenant, dropping its session and caches. Readers holding
+    /// snapshot `Arc`s keep them — the versions they pinned stay valid.
+    pub fn remove(&self, tenant: &str) -> Result<(), SessionError> {
+        self.shard(tenant)
+            .tenants
+            .lock()
+            .expect("shard lock")
+            .remove(tenant)
+            .map(|_| ())
+            .ok_or_else(|| SessionError::UnknownTenant(tenant.to_owned()))
+    }
+
+    /// The tenant's current published version — an `Arc` clone behind a
+    /// read lock held for nanoseconds; never blocked by an in-flight delta.
+    pub fn snapshot(&self, tenant: &str) -> Result<Arc<TenantSnapshot>, SessionError> {
+        Ok(self.tenant(tenant)?.snapshot())
+    }
+
+    /// Apply one delta to a tenant under its writer lock and publish the
+    /// new version. Concurrent readers keep serving the previous version
+    /// until the swap; on error the tenant is unchanged and stays
+    /// registered.
+    pub fn apply(&self, tenant: &str, delta: &Delta) -> Result<Arc<TenantSnapshot>, SessionError> {
+        let entry = self.tenant(tenant)?;
+        let mut session = entry.writer.lock().expect("writer lock");
+        session.apply(delta)?;
+        let snapshot = Arc::new(Self::snapshot_of(&entry.name, &session));
+        *entry.published.write().expect("published lock") = Arc::clone(&snapshot);
+        Ok(snapshot)
+    }
+
+    /// Audit a tenant's current version with an externally supplied
+    /// (caller-frozen) auditor, through the tenant's shared reader caches:
+    /// any number of threads call this concurrently, and across deltas only
+    /// dirtied groups recompute Ω. Pass the same `Auditor` (or clones
+    /// sharing its `Arc`s) to hit the cache.
+    pub fn audit_with(
+        &self,
+        tenant: &str,
+        auditor: &Auditor,
+        t: f64,
+    ) -> Result<AuditReport, SessionError> {
+        let entry = self.tenant(tenant)?;
+        let snapshot = entry.snapshot();
+        let key = ReaderKey::External(
+            Arc::as_ptr(auditor.adversary()) as usize,
+            Arc::as_ptr(auditor.measure()) as *const () as usize,
+            auditor.exact_below(),
+        );
+        let shared = entry.reader_session(key, || SharedAuditSession::new(auditor.clone()));
+        Ok(snapshot.audit_cached(&shared, t))
+    }
+
+    /// Audit a tenant's current version against the adversary `Adv(b')`
+    /// with threshold `t`, using the paper's smoothed-JS distance. The
+    /// adversary's prior model is estimated **from the version being
+    /// audited** and cached per `(b', version)` — audits between deltas
+    /// replay it, a delta invalidates it, and the first audit of the new
+    /// version re-estimates (always measuring the adversary the current
+    /// table implies, like
+    /// [`PublishSession::audit_against`](crate::PublishSession::audit_against)).
+    pub fn audit_against(
+        &self,
+        tenant: &str,
+        b_prime: f64,
+        t: f64,
+    ) -> Result<AuditReport, SessionError> {
+        let entry = self.tenant(tenant)?;
+        let snapshot = entry.snapshot();
+        let key = ReaderKey::Bandwidth(b_prime.to_bits(), snapshot.version());
+        let shared = entry.reader_session(key, || {
+            let table = snapshot.table();
+            let bandwidth =
+                Bandwidth::uniform(b_prime, table.qi_count()).expect("positive bandwidth");
+            let model = PriorEstimator::new(Arc::clone(table.schema()), bandwidth.clone())
+                .estimate_with(table, Parallelism::Auto);
+            let adversary = Arc::new(Adversary::from_model(
+                &format!("Adv({bandwidth})"),
+                bandwidth,
+                Arc::new(model),
+            ));
+            let measure = Arc::new(SmoothedJs::paper_default(
+                table.schema().sensitive_distance(),
+            ));
+            SharedAuditSession::new(Auditor::new(adversary, measure))
+        });
+        Ok(snapshot.audit_cached(&shared, t))
+    }
+
+    fn snapshot_of(tenant: &str, session: &PublishSession) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: tenant.to_owned(),
+            version: session.deltas_applied() as u64,
+            requirement_name: session.requirement_name().to_owned(),
+            table: session.table().clone(),
+            anonymized: session.anonymized().clone(),
+            stamps: Arc::new(session.leaf_stamps().to_vec()),
+        }
+    }
+}
+
+impl Default for SessionHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SessionHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHub")
+            .field("shards", &self.shards.len())
+            .field("tenants", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgkanon_data::{adult, DeltaBuilder};
+
+    fn hub_with(tenants: &[(&str, u64)], rows: usize, k: usize) -> SessionHub {
+        let hub = SessionHub::new();
+        let publisher = Publisher::new().k_anonymity(k);
+        for &(name, seed) in tenants {
+            hub.register(name, &adult::generate(rows, seed), &publisher)
+                .unwrap();
+        }
+        hub
+    }
+
+    fn delta_for(table: &Table, deletes: &[usize], inserts: usize, donor_seed: u64) -> Delta {
+        let donors = adult::generate(inserts.max(1), donor_seed);
+        let mut b = DeltaBuilder::new(Arc::clone(table.schema()));
+        for &r in deletes {
+            b.delete(r);
+        }
+        for r in 0..inserts {
+            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hub_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionHub>();
+        assert_send_sync::<TenantSnapshot>();
+        assert_send_sync::<PublishSession>();
+    }
+
+    #[test]
+    fn register_snapshot_remove_roundtrip() {
+        let hub = hub_with(&[("a", 1), ("b", 2)], 120, 4);
+        assert_eq!(hub.len(), 2);
+        assert!(!hub.is_empty());
+        assert!(hub.contains("a"));
+        assert!(!hub.contains("c"));
+        assert_eq!(hub.tenant_names(), vec!["a".to_owned(), "b".to_owned()]);
+        let snap = hub.snapshot("a").unwrap();
+        assert_eq!(snap.tenant(), "a");
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.len(), 120);
+        assert!(!snap.is_empty());
+        assert!(snap.group_count() >= 1);
+        assert!(snap.requirement_name().contains("4-anonymity"));
+        assert_eq!(snap.leaf_stamps().len(), snap.group_count());
+        hub.remove("a").unwrap();
+        assert!(!hub.contains("a"));
+        assert!(matches!(
+            hub.snapshot("a"),
+            Err(SessionError::UnknownTenant(_))
+        ));
+        assert!(matches!(
+            hub.remove("a"),
+            Err(SessionError::UnknownTenant(_))
+        ));
+        // The pinned snapshot stays valid after removal.
+        assert_eq!(snap.len(), 120);
+        assert!(format!("{hub:?}").contains("SessionHub"));
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let hub = hub_with(&[("a", 1)], 100, 4);
+        let err = hub
+            .register(
+                "a",
+                &adult::generate(100, 3),
+                &Publisher::new().k_anonymity(4),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SessionError::TenantExists(_)));
+        assert!(err.to_string().contains('a'));
+        assert_eq!(hub.len(), 1);
+    }
+
+    #[test]
+    fn apply_publishes_matching_from_scratch_output() {
+        let hub = hub_with(&[("a", 7)], 300, 4);
+        let base = hub.snapshot("a").unwrap();
+        let d = delta_for(base.table(), &[3, 50, 211], 6, 42);
+        let snap = hub.apply("a", &d).unwrap();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.len(), 303);
+        // Old snapshot is still the old version, pinned.
+        assert_eq!(base.version(), 0);
+        assert_eq!(base.len(), 300);
+        let fresh = Publisher::new()
+            .k_anonymity(4)
+            .publish(snap.table())
+            .unwrap();
+        assert_eq!(
+            snap.anonymized().group_count(),
+            fresh.anonymized.group_count()
+        );
+        for (a, b) in snap
+            .anonymized()
+            .groups()
+            .iter()
+            .zip(fresh.anonymized.groups())
+        {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.ranges, b.ranges);
+        }
+    }
+
+    #[test]
+    fn apply_error_leaves_tenant_intact() {
+        let hub = hub_with(&[("a", 7)], 60, 4);
+        let base = hub.snapshot("a").unwrap();
+        let mut b = DeltaBuilder::new(Arc::clone(base.table().schema()));
+        b.delete(60); // out of range
+        assert!(matches!(
+            hub.apply("a", &b.build()),
+            Err(SessionError::Data(_))
+        ));
+        assert_eq!(hub.snapshot("a").unwrap().version(), 0);
+        assert!(matches!(
+            hub.apply("missing", &Delta::empty(Arc::clone(base.table().schema()))),
+            Err(SessionError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn audit_with_replays_cache_across_deltas_bit_identically() {
+        let hub = hub_with(&[("a", 12)], 300, 4);
+        let base = hub.snapshot("a").unwrap();
+        let adversary = Arc::new(Adversary::kernel(
+            base.table(),
+            Bandwidth::uniform(0.3, base.table().qi_count()).unwrap(),
+        ));
+        let measure: Arc<dyn bgkanon_stats::BeliefDistance> = Arc::new(SmoothedJs::paper_default(
+            base.table().schema().sensitive_distance(),
+        ));
+        let auditor = Auditor::new(adversary, measure);
+        let first = hub.audit_with("a", &auditor, 0.2).unwrap();
+        let d = delta_for(base.table(), &[5, 42], 4, 77);
+        hub.apply("a", &d).unwrap();
+        let cached = hub.audit_with("a", &auditor, 0.2).unwrap();
+        let snap = hub.snapshot("a").unwrap();
+        let reference = auditor.report(snap.table(), &snap.anonymized().row_groups(), 0.2);
+        assert_eq!(cached.worst_case.to_bits(), reference.worst_case.to_bits());
+        assert_eq!(cached.mean.to_bits(), reference.mean.to_bits());
+        assert_eq!(cached.vulnerable, reference.vulnerable);
+        for (a, b) in cached.risks.iter().zip(&reference.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(first.worst_case >= first.mean);
+    }
+
+    #[test]
+    fn audit_against_tracks_versions() {
+        let hub = hub_with(&[("a", 12)], 250, 4);
+        let before = hub.audit_against("a", 0.3, 0.2).unwrap();
+        let replay = hub.audit_against("a", 0.3, 0.2).unwrap();
+        assert_eq!(before.worst_case.to_bits(), replay.worst_case.to_bits());
+
+        let base = hub.snapshot("a").unwrap();
+        let d = delta_for(base.table(), &[5, 42, 77], 8, 99);
+        hub.apply("a", &d).unwrap();
+        let after = hub.audit_against("a", 0.3, 0.2).unwrap();
+        // Reference: what a fresh session on the evolved table measures.
+        let mut reference_session = Publisher::new()
+            .k_anonymity(4)
+            .open(hub.snapshot("a").unwrap().table())
+            .unwrap();
+        let reference = reference_session.audit_against(0.3, 0.2);
+        assert_eq!(after.worst_case.to_bits(), reference.worst_case.to_bits());
+        assert_eq!(after.mean.to_bits(), reference.mean.to_bits());
+        for (a, b) in after.risks.iter().zip(&reference.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(matches!(
+            hub.audit_against("missing", 0.3, 0.2),
+            Err(SessionError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_estimate_prior_matches_direct_estimation() {
+        let hub = hub_with(&[("a", 3)], 150, 4);
+        let snap = hub.snapshot("a").unwrap();
+        let model = snap.estimate_prior(0.3, Parallelism::Serial);
+        let bandwidth = Bandwidth::uniform(0.3, snap.table().qi_count()).unwrap();
+        let direct = PriorEstimator::new(Arc::clone(snap.table().schema()), bandwidth)
+            .estimate_with(snap.table(), Parallelism::Serial);
+        let q = snap.table().qi(0);
+        assert_eq!(
+            model.prior(q).unwrap().as_slice(),
+            direct.prior(q).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_stay_consistent() {
+        let tenants: Vec<(String, u64)> = (0..4).map(|i| (format!("t{i}"), i as u64)).collect();
+        let hub = Arc::new(SessionHub::with_shards(4));
+        let publisher = Publisher::new().k_anonymity(4);
+        for (name, seed) in &tenants {
+            hub.register(name, &adult::generate(150, *seed), &publisher)
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            // One writer per tenant, three deltas each.
+            for (name, seed) in &tenants {
+                let hub = Arc::clone(&hub);
+                scope.spawn(move || {
+                    for step in 0..3u64 {
+                        let table = hub.snapshot(name).unwrap().table().clone();
+                        let d = delta_for(&table, &[(step as usize) * 2, 40], 2, seed + step);
+                        hub.apply(name, &d).unwrap();
+                    }
+                });
+            }
+            // Readers hammer snapshots of every tenant meanwhile.
+            for _ in 0..2 {
+                let hub = Arc::clone(&hub);
+                let tenants = &tenants;
+                scope.spawn(move || {
+                    for round in 0..12 {
+                        let (name, _) = &tenants[round % tenants.len()];
+                        let snap = hub.snapshot(name).unwrap();
+                        // A snapshot is always internally consistent.
+                        assert_eq!(snap.leaf_stamps().len(), snap.group_count());
+                        let covered: usize =
+                            snap.anonymized().groups().iter().map(|g| g.len()).sum();
+                        assert_eq!(covered, snap.len());
+                    }
+                });
+            }
+        });
+        // Every tenant's final state matches a from-scratch publish.
+        for (name, _) in &tenants {
+            let snap = hub.snapshot(name).unwrap();
+            assert_eq!(snap.version(), 3);
+            let fresh = Publisher::new()
+                .k_anonymity(4)
+                .publish(snap.table())
+                .unwrap();
+            for (a, b) in snap
+                .anonymized()
+                .groups()
+                .iter()
+                .zip(fresh.anonymized.groups())
+            {
+                assert_eq!(a.rows, b.rows);
+            }
+        }
+    }
+}

@@ -49,11 +49,13 @@ pub use bgkanon_privacy as privacy;
 pub use bgkanon_stats as stats;
 pub use bgkanon_utility as utility;
 
+pub mod hub;
 pub mod params;
 pub mod publisher;
 pub mod session;
 
 pub use data::Parallelism;
+pub use hub::{SessionHub, TenantSnapshot};
 pub use publisher::{PublishError, PublishOutcome, Publisher};
 pub use session::{PublishSession, SessionError};
 
@@ -63,12 +65,13 @@ pub mod prelude {
     pub use crate::data::{
         Attribute, Delta, DeltaBuilder, Parallelism, Schema, Table, TableBuilder,
     };
+    pub use crate::hub::{SessionHub, TenantSnapshot};
     pub use crate::inference::{exact_posteriors, omega_posteriors, GroupPriors};
     pub use crate::knowledge::{Adversary, Bandwidth};
     pub use crate::params::PaperParams;
     pub use crate::privacy::{
         AuditSession, Auditor, BTPrivacy, DistinctLDiversity, KAnonymity, PrivacyRequirement,
-        ProbabilisticLDiversity, SkylineBTPrivacy, TCloseness,
+        ProbabilisticLDiversity, SharedAuditSession, SkylineBTPrivacy, TCloseness,
     };
     pub use crate::publisher::{PublishOutcome, Publisher};
     pub use crate::session::{PublishSession, SessionError};

@@ -39,7 +39,20 @@ use bgkanon_stats::SmoothedJs;
 
 use crate::publisher::{whole_table_satisfies, PublishError, PublishOutcome, Publisher};
 
-/// Errors from [`PublishSession::apply`].
+/// Errors from [`PublishSession::apply`] and the
+/// [`SessionHub`](crate::SessionHub) operations built on top of it.
+///
+/// `SessionError` is a [`std::error::Error`], so it composes with `?` and
+/// `Box<dyn Error>` pipelines and exposes its cause chain:
+///
+/// ```
+/// use bgkanon::SessionError;
+///
+/// let err = SessionError::UnknownTenant("acme".into());
+/// assert!(err.to_string().contains("acme"));
+/// let boxed: Box<dyn std::error::Error> = Box::new(err);
+/// assert!(boxed.source().is_none());
+/// ```
 #[derive(Debug, Clone)]
 pub enum SessionError {
     /// The delta could not be applied to the table (bad row index, invalid
@@ -48,6 +61,10 @@ pub enum SessionError {
     /// The post-delta table violates the session's requirement as a whole —
     /// no publication of it exists under this engine.
     Publish(PublishError),
+    /// No tenant with this id is registered in the hub.
+    UnknownTenant(String),
+    /// A tenant with this id is already registered in the hub.
+    TenantExists(String),
 }
 
 impl fmt::Display for SessionError {
@@ -55,6 +72,8 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Data(e) => write!(f, "delta rejected: {e}"),
             SessionError::Publish(e) => write!(f, "{e}"),
+            SessionError::UnknownTenant(t) => write!(f, "no tenant `{t}` is registered"),
+            SessionError::TenantExists(t) => write!(f, "tenant `{t}` is already registered"),
         }
     }
 }
@@ -64,6 +83,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Data(e) => Some(e),
             SessionError::Publish(e) => Some(e),
+            SessionError::UnknownTenant(_) | SessionError::TenantExists(_) => None,
         }
     }
 }
@@ -84,11 +104,14 @@ impl From<PublishError> for SessionError {
 /// identities (and therefore every cached risk) are tied to a concrete
 /// adversary model instance, so the cache is keyed by the instances in
 /// play, not by their parameters.
+/// (Addresses are stored as `usize`, not raw pointers: the key is only ever
+/// compared, and a raw-pointer field would make the whole session `!Send` —
+/// it has to live behind a hub tenant's mutex.)
 #[derive(PartialEq, Eq, Clone, Copy)]
 enum AuditKey {
     /// An externally supplied auditor: adversary + measure instance
     /// addresses plus the exact-inference cutoff.
-    External(*const (), *const (), usize),
+    External(usize, usize, usize),
     /// A session-built `Adv(b')` auditor, keyed by the bandwidth bits.
     Bandwidth(u64),
 }
@@ -266,6 +289,17 @@ impl PublishSession {
         &self.tree
     }
 
+    /// The partition-tree leaf stamps of the current publication, aligned
+    /// with [`anonymized()`](Self::anonymized)`.groups()`. A leaf's stamp
+    /// changes whenever its membership changes and never collides between
+    /// distinct memberships, which makes the stamps valid cache tokens for
+    /// [`AuditSession::report_groups`] /
+    /// [`SharedAuditSession`](bgkanon_privacy::SharedAuditSession) — across
+    /// deltas, only dirtied groups miss the cache.
+    pub fn leaf_stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
     /// Name of the requirement fixed at open time.
     pub fn requirement_name(&self) -> &str {
         &self.requirement_name
@@ -307,8 +341,8 @@ impl PublishSession {
     /// configurations, evicting the least recently used.
     pub fn audit_with(&mut self, auditor: &Auditor, t: f64) -> AuditReport {
         let key = AuditKey::External(
-            Arc::as_ptr(auditor.adversary()) as *const (),
-            Arc::as_ptr(auditor.measure()) as *const (),
+            Arc::as_ptr(auditor.adversary()) as usize,
+            Arc::as_ptr(auditor.measure()) as *const () as usize,
             auditor.exact_below(),
         );
         if !self.audits.iter().any(|c| c.key == key) {

@@ -34,7 +34,7 @@ pub use attribute::{Attribute, AttributeKind};
 pub use delta::{Delta, DeltaBuilder};
 pub use distance::DistanceMatrix;
 pub use error::DataError;
-pub use exec::Parallelism;
+pub use exec::{shared_pool, Parallelism, ThreadPool};
 pub use hierarchy::Hierarchy;
 pub use schema::Schema;
 pub use table::{Table, TableBuilder, TupleRef};

@@ -2,7 +2,10 @@
 //!
 //! Rows are stored row-major in a flat `Vec<u32>` (QI codes) plus a parallel
 //! `Vec<u32>` of sensitive codes, which keeps scans cache-friendly for the
-//! kernel estimator and Mondrian partitioner.
+//! kernel estimator and Mondrian partitioner. Both buffers sit behind `Arc`s:
+//! a table is immutable once built, so cloning one is O(1) — the serving
+//! layer hands every reader thread its own `Table` handle of the version it
+//! is auditing without copying row data.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -30,10 +33,11 @@ use crate::schema::Schema;
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    /// Row-major QI codes: `qi_data[row * d + attr]`.
-    qi_data: Vec<u32>,
-    /// Sensitive code per row.
-    sensitive: Vec<u32>,
+    /// Row-major QI codes: `qi_data[row * d + attr]`. Shared — tables are
+    /// immutable, so clones alias the buffer and cost O(1).
+    qi_data: Arc<Vec<u32>>,
+    /// Sensitive code per row. Shared like `qi_data`.
+    sensitive: Arc<Vec<u32>>,
 }
 
 /// A borrowed view of one tuple: its QI codes and sensitive code.
@@ -102,7 +106,7 @@ impl Table {
     /// (`counts[s]` = number of rows with sensitive code `s`).
     pub fn sensitive_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.schema.sensitive_domain_size()];
-        for &s in &self.sensitive {
+        for &s in self.sensitive.iter() {
             counts[s as usize] += 1;
         }
         counts
@@ -161,8 +165,8 @@ impl Table {
         }
         Table {
             schema: Arc::clone(&self.schema),
-            qi_data,
-            sensitive,
+            qi_data: Arc::new(qi_data),
+            sensitive: Arc::new(sensitive),
         }
     }
 
@@ -178,8 +182,8 @@ impl Table {
         debug_assert_eq!(qi_data.len(), sensitive.len() * schema.qi_count());
         Table {
             schema,
-            qi_data,
-            sensitive,
+            qi_data: Arc::new(qi_data),
+            sensitive: Arc::new(sensitive),
         }
     }
 
@@ -218,8 +222,8 @@ impl TableBuilder {
     pub fn from_table(table: &Table) -> Self {
         TableBuilder {
             schema: Arc::clone(&table.schema),
-            qi_data: table.qi_data.clone(),
-            sensitive: table.sensitive.clone(),
+            qi_data: table.qi_data.as_ref().clone(),
+            sensitive: table.sensitive.as_ref().clone(),
         }
     }
 
@@ -276,8 +280,8 @@ impl TableBuilder {
         }
         Ok(Table {
             schema: self.schema,
-            qi_data: self.qi_data,
-            sensitive: self.sensitive,
+            qi_data: Arc::new(self.qi_data),
+            sensitive: Arc::new(self.sensitive),
         })
     }
 }
@@ -376,6 +380,23 @@ mod tests {
         assert!(b.push_codes(&[0, 0], 9).is_err());
         assert!(b.is_empty());
         assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_aliases_storage() {
+        // The serving layer clones a table per published snapshot; that must
+        // share the row buffers, not copy them.
+        let t = sample();
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&t.qi_data, &c.qi_data));
+        assert!(Arc::ptr_eq(&t.sensitive, &c.sensitive));
+        // A builder seeded from the table gets its own buffers.
+        let mut b = TableBuilder::from_table(&t);
+        b.push_text(&["30", "F", "HIV"]).unwrap();
+        let u = b.build().unwrap();
+        assert!(!Arc::ptr_eq(&t.qi_data, &u.qi_data));
+        assert_eq!(t.len(), 4);
+        assert_eq!(u.len(), 5);
     }
 
     #[test]

@@ -1161,7 +1161,8 @@ impl PriorEstimator {
         if parallelism.is_serial() {
             return self.reference_from(folded);
         }
-        let fallback = folded.table_distribution();
+        let mut folded = folded;
+        let mut fallback = folded.table_distribution();
         let index = self.index(&folded);
         let n_points = folded.len();
         let threads = parallelism.effective_threads().min(n_points.max(1));
@@ -1182,27 +1183,52 @@ impl PriorEstimator {
                 ));
             }
         } else {
+            // Worker jobs run on the process-wide pool — an estimation
+            // issued by a serving thread reuses the same workers as every
+            // other engine call instead of spawning a scope per call. Jobs
+            // are `'static`: the per-call fold/index/fallback move in
+            // behind `Arc`s (recovered after the barrier — the jobs have
+            // all dropped their handles by then) and each job carries its
+            // own estimator clone.
             let chunk = n_points.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
-                    let folded = &folded;
-                    let index = &index;
-                    let fallback = &fallback;
-                    let this = &*self;
-                    scope.spawn(move || {
+            let shared_folded = Arc::new(folded);
+            let shared_index = Arc::new(index);
+            let shared_fallback = Arc::new(fallback);
+            let jobs: Vec<_> = (0..n_points.div_ceil(chunk))
+                .map(|t| {
+                    let this = self.clone();
+                    let folded = Arc::clone(&shared_folded);
+                    let index = Arc::clone(&shared_index);
+                    let fallback = Arc::clone(&shared_fallback);
+                    move || {
                         let mut buf = Vec::new();
                         let mut bits = Vec::new();
                         let mut numer = Vec::new();
                         let start = t * chunk;
-                        for (off, slot) in out_chunk.iter_mut().enumerate() {
-                            let q = folded.point_qi(start + off);
-                            *slot = Some(this.query(
-                                folded, index, q, fallback, &mut buf, &mut bits, &mut numer,
-                            ));
-                        }
-                    });
+                        (start..(start + chunk).min(folded.len()))
+                            .map(|i| {
+                                this.query(
+                                    &folded,
+                                    &index,
+                                    folded.point_qi(i),
+                                    &fallback,
+                                    &mut buf,
+                                    &mut bits,
+                                    &mut numer,
+                                )
+                            })
+                            .collect::<Vec<Dist>>()
+                    }
+                })
+                .collect();
+            let outputs = bgkanon_data::shared_pool().run(jobs);
+            for (t, chunk_out) in outputs.into_iter().enumerate() {
+                for (off, dist) in chunk_out.into_iter().enumerate() {
+                    results[t * chunk + off] = Some(dist);
                 }
-            });
+            }
+            folded = Arc::try_unwrap(shared_folded).expect("pool jobs have joined");
+            fallback = Arc::try_unwrap(shared_fallback).expect("pool jobs have joined");
         }
         let priors = (0..n_points)
             .zip(results)

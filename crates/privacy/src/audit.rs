@@ -12,7 +12,8 @@
 //! * [`Auditor::tuple_risks`] / [`Auditor::report`] — the per-group
 //!   **reference** path, a direct transcription of §V.A;
 //! * [`Auditor::tuple_risks_with`] / [`Auditor::report_with`] — the
-//!   **batched** engine: groups are distributed over scoped worker threads
+//!   **batched** engine: groups are distributed over worker jobs on the
+//!   process-wide [`shared_pool`](bgkanon_data::shared_pool)
 //!   that share the one `Arc<Adversary>` prior model, posterior/permanent
 //!   evaluations are memoized under a *group signature* (the sequence of
 //!   prior identities plus the sensitive histogram — two groups with the
@@ -241,31 +242,38 @@ impl Auditor {
         }
     }
 
-    /// The batched engine. Workers claim batches of groups from an atomic
-    /// cursor; each group's risks are either replayed from the signature
-    /// memo or computed once and published to it.
+    /// The batched engine. Worker jobs on the process-wide
+    /// [`shared_pool`](bgkanon_data::shared_pool) claim batches of groups
+    /// from an atomic cursor; each group's risks are either replayed from
+    /// the signature memo or computed once and published to it. Running on
+    /// the persistent pool (instead of a per-call `std::thread::scope`)
+    /// means a serving process that audits continuously across many
+    /// sessions pays thread spawns once, and concurrent audits interleave
+    /// on the same workers instead of oversubscribing the machine.
     fn tuple_risks_batched(
         &self,
         table: &Table,
         groups: &[Vec<usize>],
         workers: usize,
     ) -> Vec<f64> {
-        let cursor = AtomicUsize::new(0);
-        // Signature → per-prior-identity risks. Two groups share a signature
-        // exactly when they have the same multiset of priors and the same
-        // sensitive histogram, which determines every member's posterior and
-        // therefore its risk.
-        let memo: Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>> = Mutex::new(HashMap::new());
-        let mut risks = vec![f64::NAN; table.len()];
-        let outputs: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| self.audit_worker(table, groups, &cursor, &memo)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("audit worker panicked"))
-                .collect()
+        let shared = Arc::new(BatchState {
+            // O(1): tables share their row buffers.
+            table: table.clone(),
+            // One row-list copy per call — the same shape (and cost) the
+            // `row_groups()` callers already materialize per audit.
+            groups: groups.to_vec(),
+            cursor: AtomicUsize::new(0),
+            memo: Mutex::new(HashMap::new()),
         });
+        let jobs: Vec<_> = (0..workers)
+            .map(|_| {
+                let auditor = self.clone();
+                let state = Arc::clone(&shared);
+                move || auditor.audit_worker(&state)
+            })
+            .collect();
+        let outputs = bgkanon_data::shared_pool().run(jobs);
+        let mut risks = vec![f64::NAN; table.len()];
         for (row, risk) in outputs.into_iter().flatten() {
             risks[row] = risk;
         }
@@ -274,26 +282,20 @@ impl Auditor {
 
     /// One worker of the batched engine: claims group batches and returns
     /// `(row, risk)` pairs for the rows it audited.
-    fn audit_worker(
-        &self,
-        table: &Table,
-        groups: &[Vec<usize>],
-        cursor: &AtomicUsize,
-        memo: &Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>>,
-    ) -> Vec<(usize, f64)> {
-        let m = table.schema().sensitive_domain_size();
+    fn audit_worker(&self, state: &BatchState) -> Vec<(usize, f64)> {
+        let m = state.table.schema().sensitive_domain_size();
         let mut out: Vec<(usize, f64)> = Vec::new();
         let mut scratch = AuditScratch::default();
         loop {
-            let start = cursor.fetch_add(GROUP_BATCH, Ordering::Relaxed);
-            if start >= groups.len() {
+            let start = state.cursor.fetch_add(GROUP_BATCH, Ordering::Relaxed);
+            if start >= state.groups.len() {
                 return out;
             }
-            for rows in &groups[start..groups.len().min(start + GROUP_BATCH)] {
+            for rows in &state.groups[start..state.groups.len().min(start + GROUP_BATCH)] {
                 if rows.is_empty() {
                     continue;
                 }
-                self.audit_group(table, rows, m, memo, &mut scratch, &mut out);
+                self.audit_group(&state.table, rows, m, &state.memo, &mut scratch, &mut out);
             }
         }
     }
@@ -452,6 +454,20 @@ impl Auditor {
     }
 }
 
+/// State one batched-engine call shares across its pooled worker jobs. Jobs
+/// are `'static`, so the call's inputs move in by value: the table clone is
+/// O(1) (shared row buffers) and the auditor clone is two `Arc`s.
+struct BatchState {
+    table: Table,
+    groups: Vec<Vec<usize>>,
+    cursor: AtomicUsize,
+    /// Signature → per-prior-identity risks. Two groups share a signature
+    /// exactly when they have the same multiset of priors and the same
+    /// sensitive histogram, which determines every member's posterior and
+    /// therefore its risk.
+    memo: Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>>,
+}
+
 /// Per-worker scratch buffers of the batched audit engine, borrowing priors
 /// from the shared adversary model for the duration of one audit.
 #[derive(Default)]
@@ -581,6 +597,14 @@ impl AuditSession {
     /// The borrowed-slice form of [`report_stamped`](Self::report_stamped)
     /// — callers holding groups inside a larger structure (a published
     /// partition) can audit without deep-copying the row lists.
+    ///
+    /// NOTE: [`SharedAuditSession::report_groups`] implements the same
+    /// two-level stamp/signature replay for the concurrent read path; the
+    /// cache *lookup/solve* logic must stay equivalent between the two
+    /// (the eviction policies intentionally differ — single-owner evicts
+    /// stamps exactly, the shared form needs a grace window for
+    /// interleaved readers). Both are pinned by bit-identity tests against
+    /// [`Auditor::report`]; a change here needs its mirror there.
     pub fn report_groups(
         &mut self,
         table: &Table,
@@ -655,6 +679,237 @@ impl AuditSession {
             .retain(|_, e| e.generation + MEMO_GRACE >= generation);
         self.stamps.retain(|_, e| e.generation == generation);
         self.auditor.assemble_report(risks, t)
+    }
+}
+
+/// The caches a [`SharedAuditSession`] protects with its one mutex.
+struct SharedCaches {
+    memo: HashMap<Vec<u64>, CacheEntry>,
+    stamps: HashMap<u64, CacheEntry>,
+    generation: u64,
+}
+
+/// The `Send + Sync` form of [`AuditSession`]: a retained audit state that
+/// **any number of reader threads share through `&self`** — the read path
+/// of the serving hub, where audits run concurrently against immutable
+/// published snapshots while a writer keeps applying deltas.
+///
+/// Semantics match [`AuditSession`]: the wrapped [`Auditor`] embodies one
+/// fixed adversary model (prior identities stay valid for the session's
+/// lifetime), and two cache levels replay group risks **bit-identically**
+/// to a fresh audit — a signature memo and a caller-stamped fast path. The
+/// stamp contract carries over unchanged: a stamp must change whenever the
+/// group's membership changes and never collide between distinct
+/// memberships audited by this session. Partition-tree leaf stamps satisfy
+/// it *across versions of an evolving table*, which is exactly what makes
+/// the hub's read path fast — after a delta, only the groups the delta
+/// dirtied miss the cache, no matter which reader thread audited the
+/// previous version.
+///
+/// Group solving runs outside the lock; the mutex only guards cache
+/// lookups and inserts, so concurrent readers contend for microseconds,
+/// not for the Ω computation. Two readers racing on the same cold group
+/// may both solve it — they produce identical bits, and the first insert
+/// wins.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bgkanon_knowledge::{Adversary, Bandwidth};
+/// use bgkanon_privacy::{Auditor, SharedAuditSession};
+/// use bgkanon_stats::SmoothedJs;
+///
+/// let table = bgkanon_data::toy::hospital_table();
+/// let auditor = Auditor::new(
+///     Arc::new(Adversary::kernel(&table, Bandwidth::uniform(0.3, 2).unwrap())),
+///     Arc::new(SmoothedJs::paper_default(table.schema().sensitive_distance())),
+/// );
+/// let groups = bgkanon_data::toy::hospital_groups();
+/// let fresh = auditor.report(&table, &groups, 0.25);
+///
+/// let shared = Arc::new(SharedAuditSession::new(auditor));
+/// let slices: Vec<&[usize]> = groups.iter().map(|g| g.as_slice()).collect();
+/// // `report_groups` takes `&self`: clone the Arc into as many reader
+/// // threads as you like.
+/// let replay = shared.report_groups(&table, &slices, None, 0.25);
+/// assert_eq!(replay.worst_case.to_bits(), fresh.worst_case.to_bits());
+/// ```
+pub struct SharedAuditSession {
+    auditor: Auditor,
+    caches: Mutex<SharedCaches>,
+}
+
+impl SharedAuditSession {
+    /// Generations a signature-memo entry survives unused — the same grace
+    /// window [`AuditSession`] uses, so an equal-content group rebuilt by a
+    /// later delta replays instead of recomputing.
+    const MEMO_GRACE: u64 = 8;
+    /// Generations a stamp entry survives unused. Unlike the single-owner
+    /// session (which drops stamps the current report didn't produce),
+    /// concurrent readers may interleave reports of adjacent versions, so
+    /// a stamp another in-flight reader is about to hit again must not be
+    /// evicted the moment one report skips it.
+    const STAMP_GRACE: u64 = 4;
+
+    /// Open a shared session around `auditor`. The auditor's adversary
+    /// model is pinned for the session's lifetime.
+    pub fn new(auditor: Auditor) -> Self {
+        SharedAuditSession {
+            auditor,
+            caches: Mutex::new(SharedCaches {
+                memo: HashMap::new(),
+                stamps: HashMap::new(),
+                generation: 0,
+            }),
+        }
+    }
+
+    /// The wrapped auditor.
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Number of live signature-memo entries (diagnostics).
+    pub fn cached_signatures(&self) -> usize {
+        self.caches.lock().expect("audit caches").memo.len()
+    }
+
+    /// Number of live stamp-cache entries (diagnostics).
+    pub fn cached_stamps(&self) -> usize {
+        self.caches.lock().expect("audit caches").stamps.len()
+    }
+
+    /// Audit `groups` with threshold `t` through the shared caches —
+    /// bit-identical to [`Auditor::report`] on the same inputs, callable
+    /// from any number of threads concurrently. `stamps` follows the
+    /// [`AuditSession::report_stamped`] contract (one per group; hits skip
+    /// even the signature computation).
+    ///
+    /// NOTE: this mirrors [`AuditSession::report_groups`]'s stamp/signature
+    /// replay (see the note there); keep the lookup/solve logic equivalent
+    /// when changing either. Differences by design: graced stamp eviction
+    /// (interleaved readers), and no persistent prepared-prior cache (it
+    /// would serialize readers on the mutex; preparation is per-call).
+    pub fn report_groups(
+        &self,
+        table: &Table,
+        groups: &[&[usize]],
+        stamps: Option<&[u64]>,
+        t: f64,
+    ) -> AuditReport {
+        if let Some(stamps) = stamps {
+            assert_eq!(stamps.len(), groups.len(), "one stamp per group");
+        }
+        let m = table.schema().sensitive_domain_size();
+        let mut risks = vec![f64::NAN; table.len()];
+
+        // Pass 1 (one short lock): bump the generation and collect every
+        // stamp hit as an `Arc` clone. Only pointer bumps happen under the
+        // lock — the per-row copies run after it is released, so readers in
+        // the all-hits steady state contend for microseconds, not for the
+        // O(n) risk scatter.
+        let generation;
+        let mut missed: Vec<usize> = Vec::new();
+        let mut hits: Vec<(usize, Arc<Vec<f64>>)> = Vec::new();
+        {
+            let mut caches = self.caches.lock().expect("audit caches");
+            caches.generation += 1;
+            generation = caches.generation;
+            for (gi, rows) in groups.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                match stamps
+                    .map(|s| s[gi])
+                    .and_then(|s| caches.stamps.get_mut(&s))
+                {
+                    Some(entry) => {
+                        entry.generation = generation;
+                        hits.push((gi, Arc::clone(&entry.risks)));
+                    }
+                    None => missed.push(gi),
+                }
+            }
+        }
+        for (gi, solved) in hits {
+            for (&row, &risk) in groups[gi].iter().zip(solved.iter()) {
+                risks[row] = risk;
+            }
+        }
+
+        // Pass 2: solve the misses outside the lock, consulting the
+        // signature memo under brief locks.
+        let mut scratch = AuditScratch::default();
+        for gi in missed {
+            let rows = groups[gi];
+            self.auditor.prepare_group(table, rows, &mut scratch);
+            let cached = {
+                let mut caches = self.caches.lock().expect("audit caches");
+                caches.memo.get_mut(&scratch.signature).map(|entry| {
+                    entry.generation = generation;
+                    Arc::clone(&entry.risks)
+                })
+            };
+            let solved = match cached {
+                Some(solved) => solved,
+                None => {
+                    let solved = Arc::new(self.auditor.solve_group(rows, m, &mut scratch));
+                    let mut caches = self.caches.lock().expect("audit caches");
+                    Arc::clone(
+                        &caches
+                            .memo
+                            .entry(scratch.signature.clone())
+                            .or_insert(CacheEntry {
+                                generation,
+                                risks: solved,
+                            })
+                            .risks,
+                    )
+                }
+            };
+            if let Some(stamp) = stamps.map(|s| s[gi]) {
+                let mut caches = self.caches.lock().expect("audit caches");
+                caches
+                    .stamps
+                    .entry(stamp)
+                    .and_modify(|e| e.generation = generation)
+                    .or_insert(CacheEntry {
+                        generation,
+                        risks: Arc::clone(&solved),
+                    });
+            }
+            for (&row, &risk) in rows.iter().zip(solved.iter()) {
+                risks[row] = risk;
+            }
+        }
+
+        // Graced invalidation: entries no recent report touched are gone —
+        // dissolved groups do not accumulate, while groups a concurrent
+        // reader of an adjacent version still replays survive the window.
+        {
+            let mut caches = self.caches.lock().expect("audit caches");
+            let generation = caches.generation;
+            caches
+                .memo
+                .retain(|_, e| e.generation + Self::MEMO_GRACE >= generation);
+            caches
+                .stamps
+                .retain(|_, e| e.generation + Self::STAMP_GRACE >= generation);
+        }
+        self.auditor.assemble_report(risks, t)
+    }
+}
+
+impl std::fmt::Debug for SharedAuditSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (memo, stamps) = {
+            let caches = self.caches.lock().expect("audit caches");
+            (caches.memo.len(), caches.stamps.len())
+        };
+        f.debug_struct("SharedAuditSession")
+            .field("auditor", &self.auditor)
+            .field("cached_signatures", &memo)
+            .field("cached_stamps", &stamps)
+            .finish()
     }
 }
 
@@ -873,6 +1128,84 @@ mod tests {
                 assert_eq!(f.to_bits(), s.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn shared_session_is_send_sync_and_replays_bit_identically() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedAuditSession>();
+
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        let slices: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
+        let a = auditor(&t, 0.3);
+        let fresh = a.report(&t, &groups, 0.1);
+        let shared = SharedAuditSession::new(a);
+        let stamps = [7u64, 8, 9];
+        let first = shared.report_groups(&t, &slices, Some(&stamps), 0.1);
+        assert_eq!(shared.cached_stamps(), 3);
+        assert!(shared.cached_signatures() > 0);
+        let replay = shared.report_groups(&t, &slices, Some(&stamps), 0.1);
+        for ((f, a), b) in fresh.risks.iter().zip(&first.risks).zip(&replay.risks) {
+            assert_eq!(f.to_bits(), a.to_bits());
+            assert_eq!(f.to_bits(), b.to_bits());
+        }
+        assert!(format!("{shared:?}").contains("SharedAuditSession"));
+    }
+
+    #[test]
+    fn shared_session_concurrent_readers_match_reference() {
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        let a = auditor(&t, 0.3);
+        let fresh = a.report(&t, &groups, 0.1);
+        let shared = Arc::new(SharedAuditSession::new(a));
+        let stamps = [1u64, 2, 3];
+        let reports: Vec<AuditReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    let t = &t;
+                    let groups = &groups;
+                    let stamps = &stamps;
+                    scope.spawn(move || {
+                        let slices: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
+                        (0..8)
+                            .map(|_| shared.report_groups(t, &slices, Some(stamps), 0.1))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("reader thread"))
+                .collect()
+        });
+        assert_eq!(reports.len(), 32);
+        for rep in &reports {
+            for (f, r) in fresh.risks.iter().zip(&rep.risks) {
+                assert_eq!(f.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_session_evicts_unused_entries_after_grace() {
+        let t = toy::hospital_table();
+        let groups = toy::hospital_groups();
+        let slices: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
+        let shared = SharedAuditSession::new(auditor(&t, 0.3));
+        let _ = shared.report_groups(&t, &slices, Some(&[1, 2, 3]), 0.1);
+        let full_stamps = shared.cached_stamps();
+        assert_eq!(full_stamps, 3);
+        // Keep auditing only the first group; the other two groups' stamps
+        // (and eventually signatures) age out of the grace windows.
+        for _ in 0..(SharedAuditSession::MEMO_GRACE + SharedAuditSession::STAMP_GRACE) {
+            let partial = shared.report_groups(&t, &slices[..1], Some(&[1]), 0.1);
+            assert!(partial.risks[groups[0][0]].is_finite());
+        }
+        assert_eq!(shared.cached_stamps(), 1);
+        assert!(shared.cached_signatures() <= 1);
     }
 
     #[test]

@@ -100,6 +100,10 @@ proptest! {
                         "unexpected data error: {e}"
                     );
                 }
+                Err(other) => prop_assert!(
+                    false,
+                    "apply returned a hub-registry error: {other}"
+                ),
             }
         }
     }
