@@ -1,0 +1,20 @@
+//! R1 positive fixture: descending lock order and an expensive call
+//! under a held guard. Analyzed under a synthetic library path — this file
+//! never compiles into the workspace.
+
+impl Hub {
+    fn descending(&self) {
+        let mut readers = self.readers.lock().expect("reader caches");
+        // Rank 4 held while taking rank 1: violates shard -> tenant-writer
+        // -> published -> caches.
+        let shard = self.tenants.lock().expect("shard registry");
+        readers.push(shard.len());
+    }
+
+    fn expensive_under_guard(&self, table: &Table) -> Report {
+        let session = self.writer.lock().expect("publish session");
+        // The whole audit runs while the tenant-writer guard is held.
+        let report = report_groups(table, &session.groups);
+        report
+    }
+}

@@ -1,0 +1,27 @@
+//! R1 negative fixture: the sanctioned ascending order, block-scoped
+//! guards, and expensive work done outside every lock.
+
+impl Hub {
+    fn ascending(&self, snapshot: Snapshot) {
+        let mut session = self.writer.lock().expect("publish session");
+        session.generation += 1;
+        *self.published.write().expect("published snapshot") = snapshot;
+    }
+
+    fn scoped(&self, table: &Table) -> Report {
+        let groups = {
+            let session = self.writer.lock().expect("publish session");
+            session.groups.clone()
+        };
+        // Guard died at the block above; the audit runs lock-free.
+        report_groups(table, &groups)
+    }
+
+    fn dropped(&self) -> usize {
+        let tenants = self.tenants.lock().expect("shard registry");
+        let n = tenants.len();
+        drop(tenants);
+        let readers = self.readers.lock().expect("reader caches");
+        n + readers.len()
+    }
+}

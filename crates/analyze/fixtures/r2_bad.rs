@@ -1,0 +1,15 @@
+//! R2 positive fixture: per-call OS threads instead of the shared pool.
+
+fn fan_out(chunks: Vec<Chunk>) -> Vec<Out> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(|| process(chunk)))
+            .collect();
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
+    })
+}
+
+fn fire_and_forget(job: Job) {
+    std::thread::spawn(move || job.run());
+}

@@ -1,0 +1,14 @@
+//! R2 negative fixture: jobs submitted to the process-wide pool. The
+//! string and comment below mention std::thread::spawn without tripping
+//! the lexical scan.
+
+fn fan_out(chunks: Vec<Chunk>) -> Vec<Out> {
+    // Unlike std::thread::scope, the pool amortizes spawn cost.
+    let jobs: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| move || process(&chunk))
+        .collect();
+    let banned = "std::thread::spawn";
+    assert!(!banned.is_empty());
+    bgkanon_data::shared_pool().run(jobs)
+}

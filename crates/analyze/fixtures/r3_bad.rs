@@ -1,0 +1,15 @@
+//! R3 positive fixture: hash-ordered iteration and a wall-clock read in
+//! library code.
+
+fn histogram(rows: &[Row]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for row in rows {
+        *counts.entry(row.value).or_insert(0) += 1;
+    }
+    // Emission order depends on the hash seed.
+    counts.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+fn stamp() -> Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,17 @@
+//! R3 negative fixture: BTree collections iterate in key order, and the
+//! one remaining hash iteration is sorted and annotated.
+
+fn histogram(rows: &[Row]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for row in rows {
+        *counts.entry(row.value).or_insert(0) += 1;
+    }
+    counts.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+fn keys(index: &HashMap<u32, usize>) -> Vec<u32> {
+    // bgk-allow: R3 collected then sorted before return
+    let mut out: Vec<u32> = index.keys().copied().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,12 @@
+//! R4 positive fixture: a memo field that only ever grows — no
+//! accounting, no eviction.
+
+struct RiskMemo {
+    memo_by_signature: HashMap<Vec<u64>, Arc<Vec<f64>>>,
+}
+
+impl RiskMemo {
+    fn put(&mut self, signature: Vec<u64>, risks: Arc<Vec<f64>>) {
+        self.memo_by_signature.insert(signature, risks);
+    }
+}

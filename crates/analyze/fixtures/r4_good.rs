@@ -1,0 +1,21 @@
+//! R4 negative fixture: the cache accounts its bytes and can evict, so
+//! inserts are sanctioned.
+
+struct RiskCache {
+    risk_cache: HashMap<Vec<u64>, Arc<Vec<f64>>>,
+    bytes_accounted: usize,
+}
+
+impl RiskCache {
+    fn put(&mut self, signature: Vec<u64>, risks: Arc<Vec<f64>>) {
+        self.bytes_accounted += risks.len() * 8;
+        self.risk_cache.insert(signature, risks);
+    }
+
+    fn evict_until(&mut self, budget: usize) {
+        while self.bytes_accounted > budget {
+            self.risk_cache.clear();
+            self.bytes_accounted = 0;
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! R5 positive fixture: a parallel entry point with no serial twin and no
+//! bit-identity suite coverage.
+
+impl Engine {
+    pub fn solve_risks_with(&self, table: &Table, parallelism: Parallelism) -> Vec<f64> {
+        run_parallel(table, parallelism)
+    }
+}

@@ -1,0 +1,17 @@
+//! R5 negative fixture: the `_with` entry point keeps a serial reference
+//! in the same file (suite coverage is supplied by the test harness).
+
+impl Engine {
+    /// Single-threaded reference the parallel path is property-tested
+    /// against, bit for bit.
+    pub fn solve_risks(&self, table: &Table) -> Vec<f64> {
+        run_serial(table)
+    }
+
+    pub fn solve_risks_with(&self, table: &Table, parallelism: Parallelism) -> Vec<f64> {
+        match parallelism {
+            Parallelism::Serial => self.solve_risks(table),
+            _ => run_parallel(table, parallelism),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! R6 positive fixture: three panic paths in library code.
+
+fn pick(values: &[f64], at: Option<usize>) -> f64 {
+    let index = at.unwrap();
+    if index >= values.len() {
+        panic!("index {index} out of range");
+    }
+    *values.get(index).expect("checked above")
+}

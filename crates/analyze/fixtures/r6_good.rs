@@ -1,0 +1,20 @@
+//! R6 negative fixture: recoverable error paths, panics confined to
+//! tests, and one annotated invariant.
+
+fn pick(values: &[f64], at: Option<usize>) -> Option<f64> {
+    values.get(at?).copied()
+}
+
+fn invariant(values: &[f64]) -> f64 {
+    // bgk-allow: R6 non-empty by construction in every caller
+    *values.first().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let none: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| none.unwrap()).is_err());
+    }
+}

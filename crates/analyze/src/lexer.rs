@@ -1,0 +1,384 @@
+//! A minimal Rust lexer: just enough fidelity for invariant scanning.
+//!
+//! The rule engine needs a token stream where **comments and string
+//! contents can never masquerade as code** — `"std::thread::spawn"` inside
+//! a doc comment or a test fixture string must not trip rule R2. The lexer
+//! therefore handles the full comment/literal surface of the language
+//! (nested block comments, raw strings with arbitrary `#` fences, byte and
+//! char literals, lifetimes) while deliberately not distinguishing keywords
+//! from identifiers — the rules match on identifier text directly.
+//!
+//! Suppression comments are the one place comment *content* matters:
+//! `// bgk-allow: R3 <reason>` records an allowance for the named rules on
+//! the comment's line and the line after it (so the annotation can sit
+//! above the flagged statement).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `spawn`, `HashMap`, …).
+    Ident,
+    /// Any single punctuation character (`.`, `(`, `{`, `;`, …).
+    Punct,
+    /// String/char/byte/numeric literal (content discarded beyond text).
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's text (for `Punct`, a single character).
+    pub text: String,
+    /// Classification used by the rule engine.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A fully lexed source file: the token stream plus the per-line rule
+/// allowances harvested from `bgk-allow` comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Line → rules allowed on that line (each `bgk-allow` comment covers
+    /// its own line and the next, so an annotation can precede the code).
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl Lexed {
+    /// Is `rule` suppressed on `line` by a `bgk-allow` comment?
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .map(|rules| rules.contains(rule))
+            .unwrap_or(false)
+    }
+}
+
+/// Lex `source` into tokens and allow-directives.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let push = |text: String, kind: TokenKind, line: u32, out: &mut Lexed| {
+        out.tokens.push(Token { text, kind, line });
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc `///` / `//!`): scan for bgk-allow.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            record_allow(&text, line, &mut out.allows);
+            continue;
+        }
+        // Block comment, nested per the language.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# / br##"..."## (any fence width).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+            let start_line = line;
+            // Skip the b/r prefix characters.
+            while i < n && (bytes[i] == 'r' || bytes[i] == 'b') {
+                i += 1;
+            }
+            let mut fence = 0usize;
+            while i < n && bytes[i] == '#' {
+                fence += 1;
+                i += 1;
+            }
+            debug_assert!(i < n && bytes[i] == '"');
+            i += 1; // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if bytes[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if bytes[i] == '"' {
+                    let mut closed = true;
+                    for k in 0..fence {
+                        if i + 1 + k >= n || bytes[i + 1 + k] != '#' {
+                            closed = false;
+                            break;
+                        }
+                    }
+                    if closed {
+                        i += 1 + fence;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            push(
+                String::from("\"raw\""),
+                TokenKind::Literal,
+                start_line,
+                &mut out,
+            );
+            continue;
+        }
+        // Ordinary string (or byte string; the b was consumed as an ident
+        // only if not directly followed by a quote — handle b"..." here).
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let start_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                match bytes[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            push(
+                String::from("\"str\""),
+                TokenKind::Literal,
+                start_line,
+                &mut out,
+            );
+            continue;
+        }
+        // Lifetime vs char literal. After a quote: identifier-start not
+        // followed by a closing quote → lifetime; anything else → char.
+        if c == '\'' {
+            let is_lifetime = i + 1 < n
+                && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_')
+                && !(i + 2 < n && bytes[i + 2] == '\'');
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                push(text, TokenKind::Lifetime, line, &mut out);
+            } else {
+                i += 1; // opening quote
+                while i < n {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            // Unterminated char (shouldn't happen in valid
+                            // Rust); bail to keep lexing.
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push(String::from("'c'"), TokenKind::Literal, line, &mut out);
+            }
+            continue;
+        }
+        // Number literal (decimal/hex/float/suffixed); stop before `..`.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let d = bytes[i];
+                if d == '.' {
+                    // `0..n` is a range, not a float.
+                    if i + 1 < n && bytes[i + 1] == '.' {
+                        break;
+                    }
+                    if i + 1 < n && !bytes[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    i += 1;
+                } else if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if (d == '+' || d == '-')
+                    && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')
+                    && bytes[start..i]
+                        .iter()
+                        .any(|&x| x == '.' || x.is_ascii_digit())
+                {
+                    i += 1; // exponent sign
+                } else {
+                    break;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            push(text, TokenKind::Literal, line, &mut out);
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            push(text, TokenKind::Ident, line, &mut out);
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        push(c.to_string(), TokenKind::Punct, line, &mut out);
+        i += 1;
+    }
+    out
+}
+
+/// Does a raw-string literal start at `i` (`r"`, `r#`, `br"`, `rb#`…)?
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    // Allow the br / rb prefix orderings.
+    while j < bytes.len() && (bytes[j] == 'r' || bytes[j] == 'b') && j - i < 2 {
+        saw_r |= bytes[j] == 'r';
+        j += 1;
+    }
+    if !saw_r {
+        return false;
+    }
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+/// Parse a `bgk-allow: R3, R6 reason…` directive out of one line comment.
+fn record_allow(comment: &str, line: u32, allows: &mut BTreeMap<u32, BTreeSet<String>>) {
+    let Some(pos) = comment.find("bgk-allow:") else {
+        return;
+    };
+    let rest = &comment[pos + "bgk-allow:".len()..];
+    let mut rules = BTreeSet::new();
+    for word in rest.split([',', ' ', '\t']) {
+        let word = word.trim();
+        if word.len() == 2 && word.starts_with('R') && word[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            rules.insert(word.to_owned());
+        } else if !word.is_empty() && !rules.is_empty() {
+            // First non-rule word starts the free-form reason.
+            break;
+        }
+    }
+    if rules.is_empty() {
+        return;
+    }
+    // The allowance covers the comment's own line and the next line, so the
+    // annotation can trail the flagged code or sit on its own line above.
+    for l in [line, line + 1] {
+        allows.entry(l).or_default().extend(rules.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let lexed = lex("// std::thread::spawn in a comment\n\
+             /* and /* nested */ here */\n\
+             let s = \"std::thread::spawn\";\n\
+             let r = r#\"thread::scope\"#;\n\
+             real_ident();\n");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("spawn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("scope")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("real_ident")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn allow_directive_covers_two_lines() {
+        let lexed = lex("// bgk-allow: R3 sorted two lines down\nx.iter();\ny.iter();\n");
+        assert!(lexed.is_allowed("R3", 1));
+        assert!(lexed.is_allowed("R3", 2));
+        assert!(!lexed.is_allowed("R3", 3));
+        assert!(!lexed.is_allowed("R6", 2));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lexed = lex("for i in 0..10 { a[i] = 1.5e-3; }");
+        assert!(lexed.tokens.iter().any(|t| t.text == "0"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "10"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let lexed = lex("/* a\nb\nc */\nfn f() {}\n");
+        let f = lexed.tokens.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+}

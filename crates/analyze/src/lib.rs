@@ -1,0 +1,263 @@
+//! `bgkanon-analyze` — the repo-invariant static-analysis gate.
+//!
+//! Walks every `crates/*/src/**.rs` file in the workspace with a lightweight
+//! comment/string-aware Rust lexer and a brace-scope tracker, and enforces
+//! six rules (see [`rules::explain`] or `cargo run -p bgkanon-analyze --
+//! --explain R1`):
+//!
+//! - **R1 lock discipline** — classified `SessionHub`/`SharedAuditSession`
+//!   guards acquire in the sanctioned shard → tenant-writer → published →
+//!   caches order, and no expensive engine call runs under a held guard.
+//! - **R2 pool usage** — `std::thread::{spawn,scope}` only inside
+//!   `crates/data/src/exec.rs`; everything else submits to `shared_pool()`.
+//! - **R3 determinism** — no hash-ordered iteration or wall-clock reads in
+//!   library crates (annotate sanctioned sites `// bgk-allow: R3 …`).
+//! - **R4 cache growth** — inserts into `*cache*`/`*memo*` fields require an
+//!   accounting/eviction hook on the owning type.
+//! - **R5 bit-identity pairing** — every public `*_with(…, Parallelism…)`
+//!   entry point keeps a serial twin and appears in the `tests/tests/`
+//!   bit-identity suites.
+//! - **R6 panic audit** — `.unwrap()`/`.expect(`/`panic!` inventory may only
+//!   ratchet down against the committed baseline.
+//!
+//! Findings diff against `crates/analyze/baseline.json` the same way the
+//! bench perfgate diffs against its floor: **new findings fail the gate, and
+//! fixed findings must be removed from the baseline**.
+
+pub mod json;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use json::Json;
+pub use rules::{analyze_file, explain, FileAnalysis, Finding, LockSite};
+
+/// Everything the gate learned about one workspace tree.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings across all files, sorted by key.
+    pub findings: Vec<Finding>,
+    /// The R1 classified-lock inventory (`--locks`).
+    pub lock_sites: Vec<LockSite>,
+    /// Files scanned, workspace-relative, sorted.
+    pub files: Vec<String>,
+}
+
+/// Analyze a workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src/`, with `tests/tests/*.rs` read as the R5 suite corpus.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let mut suite_text = String::new();
+    let suites_dir = root.join("tests").join("tests");
+    if suites_dir.is_dir() {
+        for path in sorted_entries(&suites_dir)? {
+            if path.extension().is_some_and(|e| e == "rs") {
+                suite_text.push_str(&fs::read_to_string(&path)?);
+                suite_text.push('\n');
+            }
+        }
+    }
+
+    let mut analysis = Analysis::default();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_entries(&crates_dir)? {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path)?;
+            let file_analysis = analyze_file(&rel, &source, &suite_text);
+            analysis.findings.extend(file_analysis.findings);
+            analysis.lock_sites.extend(file_analysis.lock_sites);
+            analysis.files.push(rel);
+        }
+    }
+    analysis.findings.sort();
+    analysis
+        .lock_sites
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(analysis)
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for path in sorted_entries(dir)? {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The committed debt register: finding keys accepted by a previous
+/// `--update-baseline` run, with their last-known lines and messages for
+/// human readers.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Key → (line, message) as recorded at baseline time.
+    pub entries: BTreeMap<String, (u32, String)>,
+}
+
+impl Baseline {
+    /// Load a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let version = doc.get("version").and_then(Json::as_f64).unwrap_or(0.0);
+        if version != 1.0 {
+            return Err(format!(
+                "{}: unsupported baseline version {version}",
+                path.display()
+            ));
+        }
+        let mut entries = BTreeMap::new();
+        for item in doc.get("findings").and_then(Json::as_arr).unwrap_or(&[]) {
+            let key = item
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{}: finding without key", path.display()))?;
+            let line = item.get("line").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+            let message = item
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            entries.insert(key.to_owned(), (line, message));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Serialize findings as a fresh baseline document.
+    pub fn render(findings: &[Finding]) -> String {
+        let items: Vec<Json> = findings
+            .iter()
+            .map(|f| {
+                let mut m = BTreeMap::new();
+                m.insert("rule".into(), Json::Str(f.rule.into()));
+                m.insert("key".into(), Json::Str(f.key.clone()));
+                m.insert("file".into(), Json::Str(f.file.clone()));
+                m.insert("line".into(), Json::Num(f.line as f64));
+                m.insert("message".into(), Json::Str(f.message.clone()));
+                Json::Obj(m)
+            })
+            .collect();
+        let mut doc = BTreeMap::new();
+        doc.insert("version".into(), Json::Num(1.0));
+        doc.insert("findings".into(), Json::Arr(items));
+        Json::Obj(doc).pretty()
+    }
+}
+
+/// The gate verdict: findings not in the baseline (fail), and baseline
+/// entries no longer found (also fail — the register must ratchet down).
+#[derive(Debug)]
+pub struct Diff<'a> {
+    /// Findings absent from the baseline.
+    pub new: Vec<&'a Finding>,
+    /// Baseline keys with no current finding, with recorded (line, message).
+    pub stale: Vec<(String, u32, String)>,
+}
+
+impl<'a> Diff<'a> {
+    /// Compare current findings against the committed baseline.
+    pub fn compute(findings: &'a [Finding], baseline: &Baseline) -> Self {
+        let current: BTreeSet<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+        let new = findings
+            .iter()
+            .filter(|f| !baseline.entries.contains_key(&f.key))
+            .collect();
+        let stale = baseline
+            .entries
+            .iter()
+            .filter(|(key, _)| !current.contains(key.as_str()))
+            .map(|(key, (line, message))| (key.clone(), *line, message.clone()))
+            .collect();
+        Self { new, stale }
+    }
+
+    /// True when the tree matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(key: &str) -> Finding {
+        Finding {
+            rule: "R6",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            key: key.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let findings = vec![finding("R6|a|f|unwrap:0"), finding("R6|a|f|unwrap:1")];
+        let rendered = Baseline::render(&findings);
+        let dir = std::env::temp_dir().join("bgkanon-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, &rendered).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+
+        // Identical tree: clean.
+        let diff = Diff::compute(&findings, &loaded);
+        assert!(diff.is_clean());
+
+        // A new finding fails…
+        let grown = vec![
+            finding("R6|a|f|unwrap:0"),
+            finding("R6|a|f|unwrap:1"),
+            finding("R6|b|g|panic!:0"),
+        ];
+        let diff = Diff::compute(&grown, &loaded);
+        assert_eq!(diff.new.len(), 1);
+        assert!(diff.stale.is_empty());
+
+        // …and so does a fixed-but-not-removed baseline entry.
+        let shrunk = vec![finding("R6|a|f|unwrap:0")];
+        let diff = Diff::compute(&shrunk, &loaded);
+        assert!(diff.new.is_empty());
+        assert_eq!(diff.stale.len(), 1);
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let loaded = Baseline::load(Path::new("/nonexistent/baseline.json")).unwrap();
+        assert!(loaded.entries.is_empty());
+        let findings = vec![finding("R6|a|f|unwrap:0")];
+        assert!(!Diff::compute(&findings, &loaded).is_clean());
+    }
+}

@@ -1,0 +1,79 @@
+//! The gate, applied to the workspace that ships it: the committed tree
+//! must match `crates/analyze/baseline.json` exactly, and an injected
+//! violation in a library crate must fail the gate. This is the same check
+//! CI runs via `cargo run -p bgkanon-analyze`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bgkanon_analyze::{analyze_workspace, Baseline, Diff};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+#[test]
+fn workspace_matches_committed_baseline() {
+    let root = workspace_root();
+    let analysis = analyze_workspace(&root).expect("walk workspace");
+    assert!(
+        analysis.files.len() > 50,
+        "expected the full crate tree, scanned only {} files",
+        analysis.files.len()
+    );
+    let baseline = Baseline::load(&root.join("crates/analyze/baseline.json")).expect("baseline");
+    let diff = Diff::compute(&analysis.findings, &baseline);
+    assert!(
+        diff.is_clean(),
+        "gate out of sync with baseline — {} new, {} stale\nnew: {:#?}\nstale: {:#?}\n\
+         fix the findings (or annotate `// bgk-allow: Rn reason`) or rerun \
+         `cargo run -p bgkanon-analyze -- --update-baseline` after review",
+        diff.new.len(),
+        diff.stale.len(),
+        diff.new,
+        diff.stale,
+    );
+}
+
+#[test]
+fn workspace_baseline_has_no_library_r2_findings() {
+    // The pool-usage rule is fully burned down in library crates: the only
+    // carried R2 debt is the two sanctioned bin targets.
+    let root = workspace_root();
+    let baseline = Baseline::load(&root.join("crates/analyze/baseline.json")).expect("baseline");
+    let library_r2: Vec<&String> = baseline
+        .entries
+        .keys()
+        .filter(|key| key.starts_with("R2|") && !key.contains("/src/bin/"))
+        .collect();
+    assert!(
+        library_r2.is_empty(),
+        "library crates must not spawn threads directly: {library_r2:?}"
+    );
+}
+
+#[test]
+fn injected_violation_fails_the_gate() {
+    // A synthetic workspace with one violating library file must produce
+    // findings that an empty baseline rejects — the non-zero-exit path of
+    // the CLI, exercised at the library layer.
+    let dir = std::env::temp_dir().join(format!("bgkanon-analyze-inject-{}", std::process::id()));
+    let src = dir.join("crates").join("demo").join("src");
+    fs::create_dir_all(&src).expect("temp workspace");
+    fs::write(
+        src.join("lib.rs"),
+        "pub fn fan_out() {\n    std::thread::spawn(|| {});\n}\n",
+    )
+    .expect("write violation");
+
+    let analysis = analyze_workspace(&dir).expect("walk temp workspace");
+    let diff = Diff::compute(&analysis.findings, &Baseline::default());
+    assert!(!diff.is_clean(), "injected R2 violation must fail the gate");
+    assert!(diff.new.iter().any(|f| f.rule == "R2"));
+
+    fs::remove_dir_all(&dir).ok();
+    // And the committed baseline never absorbs a file that does not exist.
+    assert!(!Path::new("crates/demo").exists());
+}

@@ -17,7 +17,7 @@
 //! ℓ-diversity): coarsening only merges groups. For non-monotone
 //! requirements ((B,t), t-closeness) the lattice is searched exhaustively.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bgkanon_data::{AttributeKind, Table};
@@ -106,7 +106,10 @@ impl FullDomain {
     pub fn partition(table: &Table, levels: &Levels) -> Vec<Vec<usize>> {
         assert_eq!(levels.len(), table.qi_count(), "one level per attribute");
         let d = table.qi_count();
-        let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        // BTreeMap, not HashMap: this is an output path — `into_values`
+        // below walks the map, and group order must never depend on a
+        // hash seed (analyzer rule R3; same fix as `Table::group_by_qi`).
+        let mut map: BTreeMap<Vec<u32>, Vec<usize>> = BTreeMap::new();
         let mut sig = vec![0u32; d];
         for row in 0..table.len() {
             for (i, s) in sig.iter_mut().enumerate() {
@@ -209,6 +212,24 @@ mod tests {
     use super::*;
     use bgkanon_data::{adult, toy};
     use bgkanon_privacy::{And, DistinctLDiversity, KAnonymity};
+
+    #[test]
+    fn partition_iteration_order_is_stable() {
+        // Regression guard for the R3 determinism contract: the partition
+        // is built in a `BTreeMap` (lexicographic signature order), then
+        // sorted by lowest contained row — repeated runs of the same input
+        // must produce the identical group sequence, with no hash-seed
+        // dependence anywhere in the path.
+        let t = adult::generate(200, 9);
+        let levels = vec![2u32, 1, 1, 1, 1, 1];
+        let first = FullDomain::partition(&t, &levels);
+        for _ in 0..3 {
+            assert_eq!(FullDomain::partition(&t, &levels), first);
+        }
+        // Each row lives in exactly one group, so first-row keys are
+        // distinct and the output order is strictly increasing.
+        assert!(first.windows(2).all(|w| w[0][0] < w[1][0]));
+    }
 
     #[test]
     fn lattice_enumeration_counts() {

@@ -39,7 +39,7 @@
 //! requirement checks on both halves) is replayed in `O(domain · m)` time,
 //! without touching the node's `O(n)` rows at all.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bgkanon_data::Table;
 
@@ -487,7 +487,7 @@ struct Removed {
     ids: Vec<u32>,
     qi: Vec<u32>,
     sensitive: Vec<u32>,
-    index_of: HashMap<u32, usize>,
+    index_of: BTreeMap<u32, usize>,
 }
 
 impl Removed {
@@ -498,7 +498,7 @@ impl Removed {
             ids: Vec::with_capacity(deletes.len()),
             qi: Vec::with_capacity(deletes.len() * d),
             sensitive: Vec::with_capacity(deletes.len()),
-            index_of: HashMap::with_capacity(deletes.len()),
+            index_of: BTreeMap::new(),
         };
         for &row in deletes {
             let id = tree.id_of[row];
@@ -674,7 +674,7 @@ impl Mondrian {
             ids: Vec::new(),
             qi: Vec::new(),
             sensitive: Vec::new(),
-            index_of: HashMap::new(),
+            index_of: BTreeMap::new(),
         };
         let ctx = RefreshCtx {
             mondrian: self,
@@ -730,14 +730,14 @@ fn process(
 
 /// Is `id` gone from a gathered membership — deleted outright, or listed
 /// in the subtree's outgoing `dels`?
-fn is_gone(row_of: &[usize], dels: &HashSet<u32>, id: u32) -> bool {
+fn is_gone(row_of: &[usize], dels: &BTreeSet<u32>, id: u32) -> bool {
     row_of[id as usize] == DEAD_ROW || dels.contains(&id)
 }
 
 /// Index the *live* ids of `dels` (deleted ids are recognized by
 /// `row_of` directly; only migrating live rows need the lookup).
-fn live_dels_set(tree: &PartitionTree, dels: &[u32]) -> HashSet<u32> {
-    let mut set = HashSet::new();
+fn live_dels_set(tree: &PartitionTree, dels: &[u32]) -> BTreeSet<u32> {
+    let mut set = BTreeSet::new();
     for &id in dels {
         if tree.row_of[id as usize] != DEAD_ROW {
             set.insert(id);
@@ -760,7 +760,7 @@ fn refresh_internal(
     // O(n) row path expensive, from the materialized rows otherwise.
     let use_stats = ctx.counts_ok && new_size >= STATS_THRESHOLD;
     if use_stats {
-        let t0 = ctx.profile_on.then(std::time::Instant::now);
+        let t0 = ctx.profile_on.then(std::time::Instant::now); // bgk-allow: R3 profile-only timer, feeds refresh metrics
         ensure_stats(ctx, tree, node);
         if let Some(t0) = t0 {
             ctx.profile.borrow_mut().ensure_ns += t0.elapsed().as_nanos();
@@ -793,7 +793,7 @@ fn refresh_internal(
     // so their replay materializes the exact from-scratch order.
     let mut gathered: Option<Vec<u32>> = None;
     let replay = if use_stats {
-        let t0 = ctx.profile_on.then(std::time::Instant::now);
+        let t0 = ctx.profile_on.then(std::time::Instant::now); // bgk-allow: R3 profile-only timer, feeds refresh metrics
         let r = replay_from_stats(ctx, tree, node, new_size);
         if let Some(t0) = t0 {
             let mut p = ctx.profile.borrow_mut();
@@ -802,13 +802,13 @@ fn refresh_internal(
         }
         r
     } else {
-        let t0 = ctx.profile_on.then(std::time::Instant::now);
+        let t0 = ctx.profile_on.then(std::time::Instant::now); // bgk-allow: R3 profile-only timer, feeds refresh metrics
         let mut ids = gather_live(tree, node, &ins, &dels);
         if !ctx.counts_ok {
             let chain = tree.input_chain(node);
             tree.sort_into_input_order(ctx.table, &chain, &mut ids);
         }
-        let t1 = ctx.profile_on.then(std::time::Instant::now);
+        let t1 = ctx.profile_on.then(std::time::Instant::now); // bgk-allow: R3 profile-only timer, feeds refresh metrics
         let replay = replay_from_rows(ctx, tree, &ids);
         if let (Some(t0), Some(t1)) = (t0, t1) {
             let mut p = ctx.profile.borrow_mut();
@@ -982,7 +982,7 @@ fn refresh_leaf(
     // making the comparator a strict total order — each insert lands at
     // its exact from-scratch position). No full re-sort needed; the leaf's
     // own buffer is updated in place.
-    let t0 = ctx.profile_on.then(std::time::Instant::now);
+    let t0 = ctx.profile_on.then(std::time::Instant::now); // bgk-allow: R3 profile-only timer, feeds refresh metrics
     let dels_set = live_dels_set(tree, &dels);
     let mut ids: Vec<u32> = match &mut tree.nodes[node as usize].kind {
         NodeKind::Leaf(leaf) => std::mem::take(&mut leaf.rows),

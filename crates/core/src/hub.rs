@@ -715,35 +715,38 @@ mod tests {
             hub.register(name, &adult::generate(150, *seed), &publisher)
                 .unwrap();
         }
-        std::thread::scope(|scope| {
-            // One writer per tenant, three deltas each.
-            for (name, seed) in &tenants {
-                let hub = Arc::clone(&hub);
-                scope.spawn(move || {
-                    for step in 0..3u64 {
-                        let table = hub.snapshot(name).unwrap().table().clone();
-                        let d = delta_for(&table, &[(step as usize) * 2, 40], 2, seed + step);
-                        hub.apply(name, &d).unwrap();
-                    }
-                });
-            }
-            // Readers hammer snapshots of every tenant meanwhile.
-            for _ in 0..2 {
-                let hub = Arc::clone(&hub);
-                let tenants = &tenants;
-                scope.spawn(move || {
-                    for round in 0..12 {
-                        let (name, _) = &tenants[round % tenants.len()];
-                        let snap = hub.snapshot(name).unwrap();
-                        // A snapshot is always internally consistent.
-                        assert_eq!(snap.leaf_stamps().len(), snap.group_count());
-                        let covered: usize =
-                            snap.anonymized().groups().iter().map(|g| g.len()).sum();
-                        assert_eq!(covered, snap.len());
-                    }
-                });
-            }
-        });
+        // Writers and readers run as shared-pool jobs (R2: no per-call
+        // scopes). The jobs must stay pool leaves: `apply` here never
+        // reaches a parallel engine (no tracked priors on these sessions),
+        // and snapshot reads are pure — neither submits pool work.
+        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        // One writer per tenant, three deltas each.
+        for (name, seed) in tenants.clone() {
+            let hub = Arc::clone(&hub);
+            jobs.push(Box::new(move || {
+                for step in 0..3u64 {
+                    let table = hub.snapshot(&name).unwrap().table().clone();
+                    let d = delta_for(&table, &[(step as usize) * 2, 40], 2, seed + step);
+                    hub.apply(&name, &d).unwrap();
+                }
+            }));
+        }
+        // Readers hammer snapshots of every tenant meanwhile.
+        for _ in 0..2 {
+            let hub = Arc::clone(&hub);
+            let tenants = tenants.clone();
+            jobs.push(Box::new(move || {
+                for round in 0..12 {
+                    let (name, _) = &tenants[round % tenants.len()];
+                    let snap = hub.snapshot(name).unwrap();
+                    // A snapshot is always internally consistent.
+                    assert_eq!(snap.leaf_stamps().len(), snap.group_count());
+                    let covered: usize = snap.anonymized().groups().iter().map(|g| g.len()).sum();
+                    assert_eq!(covered, snap.len());
+                }
+            }));
+        }
+        bgkanon_data::shared_pool().run(jobs);
         // Every tenant's final state matches a from-scratch publish.
         for (name, _) in &tenants {
             let snap = hub.snapshot(name).unwrap();

@@ -189,7 +189,7 @@ impl PublishSession {
         }
         let parallelism = publisher.parallelism_knob();
         let mondrian = Mondrian::new(Arc::clone(&requirement));
-        let started = Instant::now();
+        let started = Instant::now(); // bgk-allow: R3 telemetry only: elapsed is reported, never branches
         let mut tree = mondrian.plant_with(table, parallelism);
         let last_elapsed = started.elapsed();
         // Amortize the refresh engine's per-node histograms up front so the
@@ -220,34 +220,34 @@ impl PublishSession {
             // Identity delta: the current publication is already the answer.
             return Ok(self.snapshot());
         }
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         let next = self.table.apply_delta(delta)?;
-        let t1 = Instant::now();
+        let t1 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         if !whole_table_satisfies(&next, &self.requirement) {
             return Err(PublishError::Unsatisfiable {
                 requirement: self.requirement.name(),
             }
             .into());
         }
-        let t1b = Instant::now();
-        // Session-built adversary models track the evolving table: refresh
-        // each one's dirty kernel neighborhood against the pre-delta table
-        // it currently reflects (external auditors stay caller-frozen).
+        let t1b = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
+                                  // Session-built adversary models track the evolving table: refresh
+                                  // each one's dirty kernel neighborhood against the pre-delta table
+                                  // it currently reflects (external auditors stay caller-frozen).
         self.refresh_tracked_priors(delta);
-        let t2 = Instant::now();
-        let started = Instant::now();
+        let t2 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
+        let started = Instant::now(); // bgk-allow: R3 telemetry only: elapsed is reported, never branches
         self.mondrian
             .refresh(&mut self.tree, &self.table, &next, delta.deletes());
         self.last_elapsed = started.elapsed();
-        let t3 = Instant::now();
+        let t3 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         let (anonymized, stamps) = self.tree.snapshot(&next);
-        let t4 = Instant::now();
+        let t4 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         self.table = next;
         self.anonymized = anonymized;
         self.stamps = stamps;
         self.deltas_applied += 1;
         let out = Ok(self.snapshot());
-        let t5 = Instant::now();
+        let t5 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         if std::env::var("BGK_PROFILE").is_ok() {
             eprintln!(
                 "apply: delta={:?} check={:?} priors={:?} refresh={:?} snapshot={:?} clone={:?}",

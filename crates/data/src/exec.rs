@@ -17,9 +17,9 @@
 //! [`shared_pool`] is a process-wide pool sized to the machine, created on
 //! first use and reused by every engine call of every session thereafter
 //! (Mondrian planting, the batched Ω-audit, and the kernel estimator's
-//! `estimate` path run on it; the estimator's delta-`refresh` path still
-//! opens a short per-call scope because its worker outputs are chunk-borrowed
-//! from the model being mutated). Submitting more worker jobs than the pool
+//! `estimate` and delta-`refresh` paths all run on it — `bgkanon-analyze`
+//! rule R2 forbids per-call scopes everywhere else). Submitting more worker
+//! jobs than the pool
 //! has threads is fine — the engines' workers all drain shared
 //! cursors/deques, so extra jobs simply find nothing left to do — and
 //! concurrent engine calls from different sessions interleave their jobs on

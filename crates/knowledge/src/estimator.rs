@@ -752,7 +752,7 @@ impl PriorModel {
 
     /// Iterate over `(qi, prior)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], &Dist)> {
-        self.priors.iter().map(|(k, v)| (k.as_ref(), v))
+        self.priors.iter().map(|(k, v)| (k.as_ref(), v)) // bgk-allow: R3 callers sort before emission (persist::save_model)
     }
 }
 
@@ -1361,9 +1361,9 @@ impl PriorEstimator {
         delta: &Delta,
         parallelism: Parallelism,
     ) {
-        let t0 = std::time::Instant::now();
-        // Checked here, before the fold is taken out of the model, so a
-        // panic leaves the model fully intact.
+        let t0 = std::time::Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
+                                            // Checked here, before the fold is taken out of the model, so a
+                                            // panic leaves the model fully intact.
         assert!(
             table.len() + delta.insert_count() > delta.delete_count(),
             "delta would empty the table"
@@ -1377,10 +1377,10 @@ impl PriorEstimator {
             model.folded = Some(folded);
             return;
         }
-        let t1 = std::time::Instant::now();
-        let fallback = folded.table_distribution();
+        let t1 = std::time::Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
+        let mut fallback = folded.table_distribution();
         let index = self.index(&folded);
-        let t2 = std::time::Instant::now();
+        let t2 = std::time::Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
 
         // Mark the dirty neighborhood: every point within the (symmetric)
         // product-kernel support of a changed QI combination.
@@ -1405,12 +1405,12 @@ impl PriorEstimator {
                 model.priors.remove(key);
             }
         }
-        let dirty_ids: Vec<u32> = dirty
+        let mut dirty_ids: Vec<u32> = dirty
             .iter()
             .enumerate()
             .filter_map(|(id, &d)| d.then_some(id as u32))
             .collect();
-        let t3 = std::time::Instant::now();
+        let t3 = std::time::Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
 
         // Recompute exactly the dirty points, in deterministic order.
         let threads = parallelism.effective_threads().min(dirty_ids.len().max(1));
@@ -1429,27 +1429,55 @@ impl PriorEstimator {
                 ));
             }
         } else {
+            // Worker jobs run on the process-wide pool, same as the
+            // `estimate` path — a serving thread's refresh never opens a
+            // per-call scope. Jobs are `'static`: the fold/index/fallback
+            // and the dirty-id list move in behind `Arc`s (recovered after
+            // the barrier — the jobs have all dropped their handles by
+            // then) and each job carries its own estimator clone.
             let chunk = dirty_ids.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (out_chunk, id_chunk) in results.chunks_mut(chunk).zip(dirty_ids.chunks(chunk))
-                {
-                    let folded = &folded;
-                    let index = &index;
-                    let fallback = &fallback;
-                    let this = &*self;
-                    scope.spawn(move || {
+            let shared_folded = Arc::new(folded);
+            let shared_index = Arc::new(index);
+            let shared_fallback = Arc::new(fallback);
+            let shared_ids = Arc::new(dirty_ids);
+            let jobs: Vec<_> = (0..shared_ids.len().div_ceil(chunk))
+                .map(|t| {
+                    let this = self.clone();
+                    let folded = Arc::clone(&shared_folded);
+                    let index = Arc::clone(&shared_index);
+                    let fallback = Arc::clone(&shared_fallback);
+                    let ids = Arc::clone(&shared_ids);
+                    move || {
                         let mut buf = Vec::new();
                         let mut bits = Vec::new();
                         let mut numer = Vec::new();
-                        for (slot, &id) in out_chunk.iter_mut().zip(id_chunk) {
-                            let q = folded.point_qi(id as usize);
-                            *slot = Some(this.query(
-                                folded, index, q, fallback, &mut buf, &mut bits, &mut numer,
-                            ));
-                        }
-                    });
+                        let start = t * chunk;
+                        ids[start..(start + chunk).min(ids.len())]
+                            .iter()
+                            .map(|&id| {
+                                this.query(
+                                    &folded,
+                                    &index,
+                                    folded.point_qi(id as usize),
+                                    &fallback,
+                                    &mut buf,
+                                    &mut bits,
+                                    &mut numer,
+                                )
+                            })
+                            .collect::<Vec<Dist>>()
+                    }
+                })
+                .collect();
+            let outputs = bgkanon_data::shared_pool().run(jobs);
+            for (t, chunk_out) in outputs.into_iter().enumerate() {
+                for (off, dist) in chunk_out.into_iter().enumerate() {
+                    results[t * chunk + off] = Some(dist);
                 }
-            });
+            }
+            folded = Arc::try_unwrap(shared_folded).expect("pool jobs have joined");
+            fallback = Arc::try_unwrap(shared_fallback).expect("pool jobs have joined");
+            dirty_ids = Arc::try_unwrap(shared_ids).expect("pool jobs have joined");
         }
         for (&id, dist) in dirty_ids.iter().zip(results) {
             model.priors.insert(

@@ -147,7 +147,7 @@ pub fn mine_negative_rules(table: &Table, config: &MiningConfig) -> Vec<Negative
                     entry.0 += 1;
                     entry.1[table.sensitive_value(row) as usize] += 1;
                 }
-                let mut keys: Vec<(u32, u32)> = counts.keys().copied().collect();
+                let mut keys: Vec<(u32, u32)> = counts.keys().copied().collect(); // bgk-allow: R3 keys collected then sorted on the next line
                 keys.sort_unstable();
                 for key in keys {
                     let (support, with_value) = &counts[&key];

@@ -1161,26 +1161,27 @@ mod tests {
         let fresh = a.report(&t, &groups, 0.1);
         let shared = Arc::new(SharedAuditSession::new(a));
         let stamps = [1u64, 2, 3];
-        let reports: Vec<AuditReport> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    let shared = Arc::clone(&shared);
-                    let t = &t;
-                    let groups = &groups;
-                    let stamps = &stamps;
-                    scope.spawn(move || {
-                        let slices: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
-                        (0..8)
-                            .map(|_| shared.report_groups(t, &slices, Some(stamps), 0.1))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("reader thread"))
-                .collect()
-        });
+        // Concurrent readers run as shared-pool jobs (R2: no per-call
+        // scopes). The jobs are pool leaves — `report_groups` computes
+        // inline and never submits pool work itself.
+        let jobs: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let t = t.clone();
+                let groups = groups.clone();
+                move || {
+                    let slices: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
+                    (0..8)
+                        .map(|_| shared.report_groups(&t, &slices, Some(&stamps), 0.1))
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let reports: Vec<AuditReport> = bgkanon_data::shared_pool()
+            .run(jobs)
+            .into_iter()
+            .flatten()
+            .collect();
         assert_eq!(reports.len(), 32);
         for rep in &reports {
             for (f, r) in fresh.risks.iter().zip(&rep.risks) {

@@ -111,6 +111,71 @@ proptest! {
     }
 
     #[test]
+    fn parallel_plant_equals_serial_tree(
+        rows in 40usize..300,
+        seed in 0u64..500,
+        k in 2usize..8,
+        workers in 1usize..5,
+    ) {
+        // `plant_with` is the retained-state sibling of `anonymize_with`:
+        // the persistent trees both engines grow must induce the identical
+        // partition. (Leaf stamps are per-tree cache tokens in allocation
+        // order — engine-specific by design — so only their shape is
+        // asserted: one unique stamp per group.)
+        let table = adult::generate(rows, seed);
+        let mondrian = Mondrian::new(Arc::new(KAnonymity::new(k)));
+        let serial = mondrian.plant_with(&table, Parallelism::Serial);
+        let parallel = mondrian.plant_with(&table, Parallelism::threads(workers));
+        let (sa, s_stamps) = serial.snapshot(&table);
+        let (pa, p_stamps) = parallel.snapshot(&table);
+        assert_same_partition(
+            &sa,
+            &pa,
+            &format!("rows={rows} seed={seed} k={k} workers={workers}"),
+        )?;
+        prop_assert_eq!(s_stamps.len(), sa.group_count());
+        prop_assert_eq!(p_stamps.len(), pa.group_count());
+        let mut unique: Vec<u64> = p_stamps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), p_stamps.len());
+    }
+
+    #[test]
+    fn batched_report_equals_serial_report_bitwise(
+        rows in 40usize..200,
+        seed in 0u64..400,
+        k in 2usize..7,
+        workers in 1usize..4,
+    ) {
+        // `report_with` aggregates `tuple_risks_with`; the assembled
+        // worst-case/mean/vulnerable numbers must be bit-identical too.
+        let table = adult::generate(rows, seed);
+        let outcome = Publisher::new()
+            .k_anonymity(k)
+            .parallelism(Parallelism::Serial)
+            .publish(&table)
+            .expect("satisfiable");
+        let groups = outcome.anonymized.row_groups();
+        let adversary = Arc::new(Adversary::kernel(
+            &table,
+            Bandwidth::uniform(0.3, table.qi_count()).unwrap(),
+        ));
+        let measure = Arc::new(SmoothedJs::paper_default(
+            table.schema().sensitive_distance(),
+        ));
+        let auditor = Auditor::new(adversary, measure);
+        let serial = auditor.report_with(&table, &groups, 0.2, Parallelism::Serial);
+        let batched = auditor.report_with(&table, &groups, 0.2, Parallelism::threads(workers));
+        prop_assert_eq!(serial.worst_case.to_bits(), batched.worst_case.to_bits());
+        prop_assert_eq!(serial.mean.to_bits(), batched.mean.to_bits());
+        prop_assert_eq!(serial.vulnerable, batched.vulnerable);
+        for (s, b) in serial.risks.iter().zip(&batched.risks) {
+            prop_assert!(s.to_bits() == b.to_bits());
+        }
+    }
+
+    #[test]
     fn audit_memoization_equals_unmemoized_with_exact_inference(
         rows in 40usize..160,
         seed in 0u64..300,
