@@ -17,4 +17,13 @@ impl Hub {
         let report = report_groups(table, &session.groups);
         report
     }
+
+    fn wal_after_publish(&self, snapshot: Snapshot) {
+        let mut published = self.published.write().expect("published snapshot");
+        // Rank 5 held while taking rank 4: appending to the WAL after the
+        // published swap would ack a snapshot the log may never record.
+        let mut wal = self.wal.lock().expect("tenant wal");
+        wal.append(0);
+        *published = snapshot;
+    }
 }

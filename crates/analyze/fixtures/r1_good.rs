@@ -24,4 +24,15 @@ impl Hub {
         let readers = self.readers.lock().expect("reader caches");
         n + readers.len()
     }
+
+    fn durable_apply(&self, snapshot: Snapshot) {
+        // The durable write path: tenant-writer, then the WAL guard, then
+        // the published swap — strictly ascending ranks.
+        let mut session = self.writer.lock().expect("publish session");
+        session.generation += 1;
+        let mut wal = self.wal.lock().expect("tenant wal");
+        wal.append(session.generation);
+        drop(wal);
+        *self.published.write().expect("published snapshot") = snapshot;
+    }
 }

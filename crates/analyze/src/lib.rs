@@ -6,8 +6,9 @@
 //! --explain R1`):
 //!
 //! - **R1 lock discipline** — classified `SessionHub`/`SharedAuditSession`
-//!   guards acquire in the sanctioned shard → tenant-writer → published →
-//!   caches order, and no expensive engine call runs under a held guard.
+//!   guards acquire in the sanctioned registration → shard → tenant-writer →
+//!   wal → published → caches order, and no expensive engine call runs
+//!   under a held guard.
 //! - **R2 pool usage** — `std::thread::{spawn,scope}` only inside
 //!   `crates/data/src/exec.rs`; everything else submits to `shared_pool()`.
 //! - **R3 determinism** — no hash-ordered iteration or wall-clock reads in

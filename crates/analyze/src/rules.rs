@@ -57,15 +57,18 @@ pub struct FileAnalysis {
 
 /// The sanctioned lock order: a thread may only acquire a classified lock
 /// with a **strictly higher rank** than every classified guard it already
-/// holds (shard → tenant-writer → published → caches), and never two locks
-/// of the same class at once. Receiver field name → (class, rank).
+/// holds (registration → shard → tenant-writer → wal → published →
+/// caches), and never two locks of the same class at once. Receiver field
+/// name → (class, rank).
 pub const LOCK_CLASSES: &[(&str, &str, u8)] = &[
-    ("tenants", "shard", 1),
-    ("writer", "tenant-writer", 2),
-    ("published", "published", 3),
-    ("readers", "reader-caches", 4),
-    ("caches", "audit-caches", 4),
-    ("memo", "audit-caches", 4),
+    ("registration", "registration", 1),
+    ("tenants", "shard", 2),
+    ("writer", "tenant-writer", 3),
+    ("wal", "wal", 4),
+    ("published", "published", 5),
+    ("readers", "reader-caches", 6),
+    ("caches", "audit-caches", 6),
+    ("memo", "audit-caches", 6),
 ];
 
 /// Call-name prefixes considered expensive enough that holding any
@@ -353,7 +356,8 @@ fn rule_r1(ctx: &FileCtx<'_>, out: &mut FileAnalysis) {
                             Some(format!(
                                 "acquires `{class}` (rank {rank}) while holding `{held}` \
                                  (rank {held_rank}) — sanctioned order is \
-                                 shard → tenant-writer → published → caches",
+                                 registration → shard → tenant-writer → wal → \
+                                 published → caches",
                                 held = g.class,
                                 held_rank = g.rank,
                             ))
@@ -886,8 +890,10 @@ pub fn explain(rule: &str) -> Option<&'static str> {
     Some(match rule {
         "R1" => {
             "R1 lock discipline — the hub's correctness story is one sanctioned \
-             acquisition order: shard (registry bucket) → tenant-writer → published \
-             (snapshot swap) → caches (reader-audit / audit-session caches). Within a \
+             acquisition order: registration (durable tenant creation) → shard \
+             (registry bucket) → tenant-writer → wal (durable log + checkpoint) → \
+             published (snapshot swap) → caches (reader-audit / audit-session \
+             caches). Within a \
              function, acquiring a classified lock at a rank ≤ any held classified \
              guard, or two guards of one class, is a deadlock in waiting; calling an \
              expensive engine symbol (omega_*/estimate_*/anonymize_*/report_*) under \

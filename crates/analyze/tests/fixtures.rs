@@ -41,6 +41,11 @@ fn r1_fixtures() {
             .any(|(rule, key)| rule == "R1" && key.contains("expensive:report_groups")),
         "expensive call under guard must be flagged: {bad:?}"
     );
+    assert!(
+        bad.iter()
+            .any(|(rule, key)| rule == "R1" && key.contains("order:wal")),
+        "taking the wal guard under the published guard must be flagged: {bad:?}"
+    );
     let good = run("r1_good.rs", "");
     assert!(
         !rules_of(&good).contains(&"R1"),

@@ -31,4 +31,4 @@ pub use anonymized::{AnonymizedTable, Group, QiRange};
 pub use bucketize::bucketize;
 pub use fulldomain::{FullDomain, FullDomainOutcome};
 pub use mondrian::{Mondrian, SplitDecision};
-pub use tree::PartitionTree;
+pub use tree::{PartitionTree, TreeNodeRecord};

@@ -479,6 +479,114 @@ impl PartitionTree {
     }
 }
 
+/// One node of an exported [`PartitionTree`], addressed by compact slot
+/// number. [`PartitionTree::export_records`] emits nodes in preorder
+/// (root first, left subtree before right), so the root is always slot 0
+/// and child slots always follow their parent. Leaf membership is exported
+/// as **current row indices** of the table the tree describes — the stable
+/// internal row ids are an in-memory detail that a rebuilt tree re-derives.
+///
+/// This is the serialization boundary the durability layer
+/// (`bgkanon-core`'s checkpoint files) stands on: a tree round-tripped
+/// through `export_records` → [`PartitionTree::from_exported`] projects to
+/// the bit-identical [`AnonymizedTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNodeRecord {
+    /// An internal node: the retained split decision plus child slots.
+    Internal {
+        /// The retained split decision the incremental refresh replays.
+        decision: SplitDecision,
+        /// Slot of the left child.
+        left: usize,
+        /// Slot of the right child.
+        right: usize,
+        /// Number of rows under this node.
+        size: usize,
+    },
+    /// A leaf: its member rows, in the engine's emission order.
+    Leaf {
+        /// Member rows as current row indices of the described table.
+        rows: Vec<usize>,
+    },
+}
+
+impl PartitionTree {
+    /// Export the live tree as a compact record list (see
+    /// [`TreeNodeRecord`] for the layout contract). Recycled slots are not
+    /// emitted; slot numbers in the output are preorder positions, not the
+    /// tree's internal indices.
+    pub fn export_records(&self) -> Vec<TreeNodeRecord> {
+        // First pass: assign compact preorder slots to live nodes.
+        let mut order: Vec<u32> = Vec::with_capacity(self.nodes.len() - self.free.len());
+        let mut slot_of = vec![usize::MAX; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            slot_of[node as usize] = order.len();
+            order.push(node);
+            if let NodeKind::Internal(i) = &self.nodes[node as usize].kind {
+                stack.push(i.right);
+                stack.push(i.left);
+            }
+        }
+        // Second pass: emit records with child links rewritten to slots.
+        order
+            .iter()
+            .map(|&node| {
+                let n = &self.nodes[node as usize];
+                match &n.kind {
+                    NodeKind::Internal(i) => TreeNodeRecord::Internal {
+                        decision: i.decision.clone(),
+                        left: slot_of[i.left as usize],
+                        right: slot_of[i.right as usize],
+                        size: n.size,
+                    },
+                    NodeKind::Leaf(leaf) => TreeNodeRecord::Leaf {
+                        rows: leaf
+                            .rows
+                            .iter()
+                            .map(|&id| self.row_of[id as usize])
+                            .collect(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from exported records against the table it described
+    /// at export time. Leaf ranges and sensitive histograms are recomputed
+    /// from `table`, and per-node replay histograms rebuild lazily — the
+    /// result projects to the bit-identical snapshot and refreshes exactly
+    /// like the original (leaf stamps restart from zero, which only resets
+    /// caches keyed on them).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the records do not describe a well-formed partition of
+    /// `table` (out-of-range slots or rows, empty leaves, unreferenced
+    /// slots). Callers deserializing untrusted bytes must validate first —
+    /// `bgkanon-core`'s recovery path does.
+    pub fn from_exported(table: &Table, records: Vec<TreeNodeRecord>) -> Self {
+        let slots = records.len();
+        let records: Vec<(usize, NodeRec)> = records
+            .into_iter()
+            .enumerate()
+            .map(|(slot, rec)| {
+                let rec = match rec {
+                    TreeNodeRecord::Internal {
+                        decision,
+                        left,
+                        right,
+                        size,
+                    } => NodeRec::internal(decision, left, right, size),
+                    TreeNodeRecord::Leaf { rows } => NodeRec::leaf_from_rows(table, rows),
+                };
+                (slot, rec)
+            })
+            .collect();
+        PartitionTree::from_records(table, slots, records)
+    }
+}
+
 /// The QI codes and sensitive codes of the rows a delta removed, captured
 /// from the pre-delta table so the refresh can route the removals down the
 /// retained tree after the table itself has moved on.
@@ -1528,6 +1636,51 @@ mod tests {
             after.group_count()
         );
         assert!(kept < after.group_count(), "the dirty leaf must re-stamp");
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_bit_identical() {
+        // Evolve a tree through mixed deltas (so ids ≠ rows and slots have
+        // been recycled), export, rebuild, and compare snapshots bit for
+        // bit. The rebuilt tree must also keep refreshing bit-identically.
+        let mut table = adult::generate(400, 17);
+        let donors = adult::generate(120, 23);
+        let m = mondrian_k(5);
+        let mut tree = m.plant(&table);
+        let mut donor_row = 0usize;
+        for step in 0..3 {
+            let deletes: Vec<usize> = (step..table.len()).step_by(13 + step).collect();
+            let inserts: Vec<(Vec<u32>, u32)> = (0..9)
+                .map(|_| {
+                    let r = donor_row % donors.len();
+                    donor_row += 1;
+                    (donors.qi(r).to_vec(), donors.sensitive_value(r))
+                })
+                .collect();
+            let delta = delta_of(&table, &deletes, &inserts);
+            let next = table.apply_delta(&delta).unwrap();
+            m.refresh(&mut tree, &table, &next, delta.deletes());
+            table = next;
+        }
+        let records = tree.export_records();
+        assert!(matches!(records[0], TreeNodeRecord::Internal { .. }));
+        let mut rebuilt = PartitionTree::from_exported(&table, records);
+        let (a, _) = tree.snapshot(&table);
+        let (b, _) = rebuilt.snapshot(&table);
+        assert_eq!(a.group_count(), b.group_count());
+        for (ga, gb) in a.groups().iter().zip(b.groups()) {
+            assert_eq!(ga.rows, gb.rows);
+            assert_eq!(ga.ranges, gb.ranges);
+            assert_eq!(ga.sensitive_counts, gb.sensitive_counts);
+        }
+        // A further delta refreshes the rebuilt tree exactly like a
+        // from-scratch plant of the final table.
+        let deletes: Vec<usize> = (0..table.len()).step_by(29).collect();
+        let delta = delta_of(&table, &deletes, &[]);
+        let next = table.apply_delta(&delta).unwrap();
+        m.warm_stats(&mut rebuilt, &table);
+        m.refresh(&mut rebuilt, &table, &next, delta.deletes());
+        assert_trees_agree(&m, &rebuilt, &next);
     }
 
     #[test]

@@ -45,6 +45,19 @@
 //! cargo run --release -p bgkanon-bench --bin baseline -- --concurrent --smoke
 //! ```
 //!
+//! `--recovery` switches to the **durable cold-start** benchmark, written
+//! to `BENCH_recovery.json`: durable [`SessionHub`](bgkanon::SessionHub)s
+//! absorb scripted churn, are dropped, and re-opened cold — timing
+//! `SessionHub::open` under WAL-only replay vs checkpoint + WAL-tail
+//! resume across tenant-count × WAL-length size points. Every re-opened
+//! tenant must publish bit-identically to the hub that was dropped before
+//! any number is recorded.
+//!
+//! ```text
+//! cargo run --release -p bgkanon-bench --bin baseline -- --recovery
+//! cargo run --release -p bgkanon-bench --bin baseline -- --recovery --smoke
+//! ```
+//!
 //! Methodology:
 //!
 //! * **publish** — Mondrian under 10-anonymity (the partitioning cost the
@@ -1212,19 +1225,203 @@ fn run_concurrent_mode(smoke: bool, out_path: &str) {
     );
 }
 
+/// Cold-start recovery cost: durable hubs are written once per size point
+/// (same scripted churn as the concurrent bench), dropped, and re-opened
+/// cold under two durability configurations — WAL-only (every delta
+/// replayed through the incremental engine) and checkpoint+WAL-tail (the
+/// partition tree resumes from the latest checkpoint). Every re-opened
+/// tenant must publish bit-identically to the hub that was dropped.
+fn run_recovery_mode(smoke: bool, out_path: &str) {
+    use bgkanon::{DurabilityOptions, SessionHub, SyncPolicy};
+
+    let rows = if smoke { 1_000usize } else { 5_000usize };
+    let size_points: &[(usize, usize)] = if smoke {
+        &[(1, 4), (2, 8)]
+    } else {
+        &[(2, 8), (4, 16), (8, 32)]
+    };
+    let checkpoint_every = 4u64;
+    let delta_half = (rows / 200).max(1);
+
+    let delta_for = |table: &Table, tenant: usize, step: usize| -> Delta {
+        let mut rng =
+            SmallRng::seed_from_u64(SEED ^ ((tenant as u64) << 24) ^ ((step as u64) << 8));
+        let workload = if (tenant + step).is_multiple_of(2) {
+            Workload::Clustered
+        } else {
+            Workload::Scattered
+        };
+        workload_delta(
+            table,
+            &mut rng,
+            workload,
+            delta_half,
+            SEED + (tenant * 1_000 + step) as u64,
+        )
+    };
+
+    struct RecoveryPoint {
+        tenants: usize,
+        deltas: usize,
+        wal_open_ms: f64,
+        wal_replayed: usize,
+        checkpoint_open_ms: f64,
+        checkpoint_replayed: usize,
+        identical: bool,
+    }
+
+    // Captured publication of one tenant: (version, per-group rows/ranges/
+    // sensitive counts) — enough to assert bit-identity after a cold open.
+    type Captured = (
+        u64,
+        Vec<(Vec<usize>, Vec<bgkanon::anon::QiRange>, Vec<u32>)>,
+    );
+    let capture = |hub: &SessionHub, name: &str| -> Captured {
+        let snap = hub.snapshot(name).expect("registered");
+        let groups = snap
+            .anonymized()
+            .groups()
+            .iter()
+            .map(|g| (g.rows.clone(), g.ranges.clone(), g.sensitive_counts.clone()))
+            .collect();
+        (snap.version(), groups)
+    };
+
+    let publisher = Publisher::new().k_anonymity(K);
+    let mut points: Vec<RecoveryPoint> = Vec::with_capacity(size_points.len());
+    for (point, &(tenants, deltas)) in size_points.iter().enumerate() {
+        let mut open_ms = [0.0f64; 2];
+        let mut replayed = [0usize; 2];
+        let mut identical = true;
+        for (cfg, every) in [0u64, checkpoint_every].into_iter().enumerate() {
+            let dir = std::env::temp_dir().join(format!(
+                "bgkanon_bench_recovery_{}_{point}_{cfg}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let options = DurabilityOptions {
+                sync: SyncPolicy::Always,
+                checkpoint_every: every,
+                verify_on_open: false,
+            };
+            // Write phase: register + scripted churn, then capture and drop.
+            let expected: Vec<Captured> = {
+                let (hub, _) = SessionHub::open_with(&dir, options).expect("create durable hub");
+                let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
+                for (i, name) in names.iter().enumerate() {
+                    let table = adult::generate(rows, SEED + i as u64);
+                    hub.register(name, &table, &publisher).expect("satisfiable");
+                }
+                for (i, name) in names.iter().enumerate() {
+                    for step in 0..deltas {
+                        let snap = hub.snapshot(name).expect("registered");
+                        let d = delta_for(snap.table(), i, step);
+                        hub.apply(name, &d).expect("valid scripted delta");
+                    }
+                }
+                names.iter().map(|n| capture(&hub, n)).collect()
+            };
+            // Cold open: the only timed region.
+            let ((hub, report), ms) =
+                time_ms(|| SessionHub::open_with(&dir, options).expect("recover"));
+            assert!(report.is_clean(), "recovery bench hit unrecoverable state");
+            open_ms[cfg] = ms;
+            replayed[cfg] = report.tenants.iter().map(|t| t.replayed).sum();
+            for (i, want) in expected.iter().enumerate() {
+                let got = capture(&hub, &format!("tenant-{i}"));
+                identical &= *want == got;
+            }
+            drop(hub);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        points.push(RecoveryPoint {
+            tenants,
+            deltas,
+            wal_open_ms: open_ms[0],
+            wal_replayed: replayed[0],
+            checkpoint_open_ms: open_ms[1],
+            checkpoint_replayed: replayed[1],
+            identical,
+        });
+    }
+    let all_identical = points.iter().all(|p| p.identical);
+
+    let mut report = Report::new(
+        "Recovery: cold-start SessionHub::open, WAL replay vs checkpoint resume",
+        &[
+            "deltas/tenant",
+            "WAL-only open",
+            "ckpt+tail open",
+            "replayed",
+        ],
+    );
+    for p in &points {
+        report.row(
+            &format!("{} tenant(s)", p.tenants),
+            vec![
+                format!("{}", p.deltas),
+                format!("{:.1}ms", p.wal_open_ms),
+                format!("{:.1}ms", p.checkpoint_open_ms),
+                format!("{} vs {}", p.wal_replayed, p.checkpoint_replayed),
+            ],
+        );
+    }
+    report.note(&format!(
+        "{rows} rows/tenant, fsync always, checkpoint every {checkpoint_every} deltas; \
+         every re-opened tenant verified bit-identical to the dropped hub: {all_identical}"
+    ));
+    println!("{}", report.render());
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"recovery\",\n");
+    out.push_str(&format!("  \"requirement\": \"{K}-anonymity\",\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"rows_per_tenant\": {rows},\n"));
+    out.push_str("  \"sync\": \"always\",\n");
+    out.push_str(&format!("  \"checkpoint_every\": {checkpoint_every},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tenants\": {}, \"deltas_per_tenant\": {}, \"wal_open_ms\": {:.3}, \
+             \"wal_replayed\": {}, \"checkpoint_open_ms\": {:.3}, \
+             \"checkpoint_replayed\": {}, \"identical_output\": {}}}{}\n",
+            p.tenants,
+            p.deltas,
+            p.wal_open_ms,
+            p.wal_replayed,
+            p.checkpoint_open_ms,
+            p.checkpoint_replayed,
+            p.identical,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"identical_output\": {all_identical}\n"));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(out_path).expect("create recovery json");
+    file.write_all(out.as_bytes()).expect("write recovery json");
+    println!("wrote {out_path}");
+    assert!(
+        all_identical,
+        "recovered state drifted from the dropped hub — see {out_path}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let incremental = args.iter().any(|a| a == "--incremental");
     let estimate = args.iter().any(|a| a == "--estimate");
     let concurrent = args.iter().any(|a| a == "--concurrent");
+    let recovery = args.iter().any(|a| a == "--recovery");
     assert!(
-        [incremental, estimate, concurrent]
+        [incremental, estimate, concurrent, recovery]
             .iter()
             .filter(|b| **b)
             .count()
             <= 1,
-        "--incremental, --estimate and --concurrent are mutually exclusive"
+        "--incremental, --estimate, --concurrent and --recovery are mutually exclusive"
     );
     let arg_after = |flag: &str| {
         args.iter()
@@ -1239,12 +1436,18 @@ fn main() {
             "BENCH_estimate.json".to_owned()
         } else if concurrent {
             "BENCH_concurrent.json".to_owned()
+        } else if recovery {
+            "BENCH_recovery.json".to_owned()
         } else {
             "BENCH_baseline.json".to_owned()
         }
     });
     if concurrent {
         run_concurrent_mode(smoke, &out_path);
+        return;
+    }
+    if recovery {
+        run_recovery_mode(smoke, &out_path);
         return;
     }
     let reps: usize = arg_after("--reps")

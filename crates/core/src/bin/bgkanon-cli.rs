@@ -55,8 +55,11 @@ const USAGE: &str = "usage:
   bgkanon-cli serve     [--tenants N] [--rows N] [--deltas N] [--readers N]
                         [--audits N] [--seed S] [--b-prime B] [--t T]
                         [--model ... model flags] [--threads ...]
+                        [--data-dir DIR]
                         (scripted multi-tenant SessionHub workload, verified
-                         against from-scratch publications)
+                         against from-scratch publications; with --data-dir the
+                         hub is durable: state is recovered on start and the
+                         final state is re-verified through a cold reopen)
   bgkanon-cli anonymize (legacy one-shot alias of publish, without deltas)
   bgkanon-cli mine      --input FILE [--min-support N] [--pairwise]";
 
@@ -357,9 +360,40 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .parallelism(parse_parallelism(flags)?)
     };
 
-    let hub = Arc::new(SessionHub::new());
+    let data_dir = flags.get("data-dir").cloned();
+    let hub = match &data_dir {
+        Some(dir) => {
+            let (hub, report) = SessionHub::open(dir).map_err(|e| e.to_string())?;
+            for tenant in &report.tenants {
+                match &tenant.error {
+                    None => eprintln!(
+                        "  recovered `{}` at version {} ({} WAL records replayed{})",
+                        tenant.tenant,
+                        tenant.version,
+                        tenant.replayed,
+                        if tenant.truncated_tail {
+                            ", torn tail discarded"
+                        } else {
+                            ""
+                        }
+                    ),
+                    Some(reason) => {
+                        return Err(format!(
+                            "tenant `{}` unrecoverable: {reason}",
+                            tenant.tenant
+                        ))
+                    }
+                }
+            }
+            Arc::new(hub)
+        }
+        None => Arc::new(SessionHub::new()),
+    };
     let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
     for (i, name) in names.iter().enumerate() {
+        if hub.contains(name) {
+            continue; // recovered from --data-dir; keep its evolved state
+        }
         let table = adult::generate(rows, seed.wrapping_add(i as u64));
         hub.register(name, &table, &publisher)
             .map_err(|e| e.to_string())?;
@@ -511,6 +545,42 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             snap.group_count()
         );
     }
+    // Durable mode: re-open the data directory cold and prove that the
+    // recovered hub publishes exactly what the live hub was serving.
+    if let Some(dir) = &data_dir {
+        let (reopened, report) = SessionHub::open(dir).map_err(|e| e.to_string())?;
+        if !report.is_clean() {
+            return Err(format!(
+                "reopen left {} tenant(s) unrecoverable",
+                report.unrecoverable().len()
+            ));
+        }
+        for name in &names {
+            let live = hub.snapshot(name).map_err(|e| e.to_string())?;
+            let cold = reopened.snapshot(name).map_err(|e| e.to_string())?;
+            if cold.version() != live.version() {
+                return Err(format!(
+                    "{name}: recovered version {} != served version {}",
+                    cold.version(),
+                    live.version()
+                ));
+            }
+            let (a, b) = (live.anonymized(), cold.anonymized());
+            if a.group_count() != b.group_count()
+                || a.groups().iter().zip(b.groups()).any(|(x, y)| {
+                    x.rows != y.rows
+                        || x.ranges != y.ranges
+                        || x.sensitive_counts != y.sensitive_counts
+                })
+            {
+                return Err(format!("{name}: recovered publication drifted"));
+            }
+        }
+        eprintln!(
+            "  durability: {} tenant(s) reopened from `{dir}` bit-identical to served state ✓",
+            names.len()
+        );
+    }
     println!("serve: {tenants} tenants verified identical to from-scratch publications");
     Ok(())
 }
@@ -630,6 +700,40 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn serve_with_data_dir_recovers_across_runs() {
+        let dir =
+            std::env::temp_dir().join(format!("bgkanon_cli_serve_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = |dir: &std::path::Path| -> Vec<String> {
+            [
+                "serve",
+                "--tenants",
+                "2",
+                "--rows",
+                "120",
+                "--deltas",
+                "2",
+                "--readers",
+                "1",
+                "--audits",
+                "1",
+                "--threads",
+                "2",
+                "--data-dir",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .chain([dir.to_string_lossy().into_owned()])
+            .collect()
+        };
+        // First run registers durably; second run recovers the evolved
+        // tenants and keeps applying deltas on top of the recovered state.
+        run(&args(&dir)).unwrap();
+        run(&args(&dir)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

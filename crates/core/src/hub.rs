@@ -30,14 +30,24 @@
 //!   partition — the same incremental-audit economics PR 3 built for one
 //!   session, now shared by all readers of a tenant.
 //!
-//! Correctness bar (enforced by `tests/tests/hub.rs`): under any
-//! interleaving of writers and readers, every snapshot and every audit
-//! report is **bit-identical** to a serial replay of that tenant's delta
-//! sequence — concurrency buys throughput, never drift.
+//! * **Optional durability** — a hub opened with [`SessionHub::open`] gives
+//!   each tenant a directory under its data root: a genesis file, periodic
+//!   checkpoints, and an append-only delta WAL ([`crate::wal`]).
+//!   [`apply`](SessionHub::apply) appends (and by default fsyncs) the delta
+//!   **before** publishing or acknowledging it, so a crash at any moment
+//!   recovers every acked version ([`crate::recover`]).
+//!
+//! Correctness bar (enforced by `tests/tests/hub.rs` and
+//! `tests/tests/recovery.rs`): under any interleaving of writers and
+//! readers — and across any crash/reopen — every snapshot and every audit
+//! report is **bit-identical** to a serial replay of that tenant's acked
+//! delta sequence — concurrency and durability buy throughput and safety,
+//! never drift.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 use bgkanon_anon::AnonymizedTable;
@@ -47,7 +57,9 @@ use bgkanon_privacy::{AuditReport, Auditor, SharedAuditSession};
 use bgkanon_stats::SmoothedJs;
 
 use crate::publisher::Publisher;
+use crate::recover::{self, RecoveryReport, TenantRecovery};
 use crate::session::{PublishSession, SessionError};
+use crate::wal::{encode_record, DurabilityOptions, WalWriter};
 
 /// An immutable published version of one tenant's table: what hub readers
 /// audit against. Snapshots are handed out as `Arc`s and everything inside
@@ -167,12 +179,28 @@ struct ReaderCache {
     session: Arc<SharedAuditSession>,
 }
 
+/// Durable-apply state of one tenant: the open WAL writer plus checkpoint
+/// cadence tracking. Once `healthy` drops (an append or checkpoint did not
+/// reach stable storage), every further apply is refused — the in-memory
+/// session may be ahead of the log, and publishing unlogged state would
+/// break the recovery contract. Reopening the hub recovers to the last
+/// durable version.
+struct TenantWal {
+    dir: PathBuf,
+    writer: WalWriter,
+    since_checkpoint: u64,
+    healthy: bool,
+}
+
 /// One hosted tenant.
 struct Tenant {
     name: String,
     /// The single-writer evolving session. Held only by
     /// [`SessionHub::apply`], for the duration of one delta.
     writer: Mutex<PublishSession>,
+    /// Durable-apply state; `None` on in-memory hubs. Nests inside the
+    /// `writer` lock and is released before `published` is written.
+    wal: Option<Mutex<TenantWal>>,
     /// The current published version. Write-locked only for the `Arc` swap
     /// after a delta; read-locked only for an `Arc` clone.
     published: RwLock<Arc<TenantSnapshot>>,
@@ -234,6 +262,18 @@ struct Shard {
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
 }
 
+/// Hub-level durability configuration (present only on hubs opened with
+/// [`SessionHub::open`]/[`SessionHub::open_with`]).
+struct Durability {
+    root: PathBuf,
+    options: DurabilityOptions,
+    /// Serializes durable registrations: a registration writes the tenant's
+    /// genesis and WAL before inserting it into the registry, and two
+    /// racing registrations of the same name must not interleave those file
+    /// writes. Held first, before any shard lock.
+    registration: Mutex<()>,
+}
+
 /// A concurrent registry of named publishing sessions: many tenants, one
 /// writer lock per tenant, lock-free snapshot reads, shared audit caches.
 /// The hub is `Send + Sync` — wrap it in an `Arc` and hand it to as many
@@ -271,6 +311,7 @@ struct Shard {
 /// ```
 pub struct SessionHub {
     shards: Vec<Shard>,
+    durability: Option<Durability>,
 }
 
 impl SessionHub {
@@ -297,7 +338,120 @@ impl SessionHub {
                     tenants: Mutex::new(HashMap::new()),
                 })
                 .collect(),
+            durability: None,
         }
+    }
+
+    /// Open a **durable** hub rooted at `dir` with default
+    /// [`DurabilityOptions`], recovering every tenant directory found
+    /// there: each tenant resumes from its latest checkpoint (or its
+    /// genesis table) plus a replay of its WAL tail, with a torn final
+    /// record detected by checksum and discarded. The returned
+    /// [`RecoveryReport`] lists every directory's outcome; a tenant that
+    /// cannot be recovered consistently is reported and **not** served.
+    ///
+    /// An empty or missing `dir` opens an empty durable hub — `open` is
+    /// also how a durable hub is created in the first place.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(SessionHub, RecoveryReport), SessionError> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit [`DurabilityOptions`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: DurabilityOptions,
+    ) -> Result<(SessionHub, RecoveryReport), SessionError> {
+        let root = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| {
+            SessionError::Durability(format!("could not create data dir {root:?}: {e}"))
+        })?;
+        let hub = SessionHub {
+            shards: Self::with_shards(Self::DEFAULT_SHARDS).shards,
+            durability: Some(Durability {
+                root: root.clone(),
+                options,
+                registration: Mutex::new(()),
+            }),
+        };
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&root)
+            .map_err(|e| SessionError::Durability(format!("could not list {root:?}: {e}")))?
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .filter(|path| path.is_dir())
+            .collect();
+        dirs.sort();
+        let mut report = RecoveryReport {
+            tenants: Vec::new(),
+        };
+        for tenant_dir in dirs {
+            let dir_label = tenant_dir
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let failed = |reason: String| TenantRecovery {
+                tenant: dir_label.clone(),
+                version: 0,
+                from_checkpoint: None,
+                replayed: 0,
+                truncated_tail: false,
+                error: Some(reason),
+            };
+            let recovered = match recover::recover_tenant_dir(&tenant_dir, &options) {
+                Ok(recovered) => recovered,
+                Err(reason) => {
+                    report.tenants.push(failed(reason));
+                    continue;
+                }
+            };
+            let writer = match recover::reopen_wal(&tenant_dir, options.sync) {
+                Ok(writer) => writer,
+                Err(e) => {
+                    report
+                        .tenants
+                        .push(failed(format!("could not reopen wal.log for appends: {e}")));
+                    continue;
+                }
+            };
+            if hub.contains(&recovered.name) {
+                report.tenants.push(failed(format!(
+                    "another directory already recovered tenant `{}`",
+                    recovered.name
+                )));
+                continue;
+            }
+            report.tenants.push(TenantRecovery {
+                tenant: recovered.name.clone(),
+                version: recovered.version,
+                from_checkpoint: recovered.from_checkpoint,
+                replayed: recovered.replayed,
+                truncated_tail: recovered.truncated_tail,
+                error: None,
+            });
+            let snapshot = Arc::new(Self::snapshot_of(&recovered.name, &recovered.session));
+            let entry = Arc::new(Tenant {
+                name: recovered.name.clone(),
+                writer: Mutex::new(recovered.session),
+                wal: Some(Mutex::new(TenantWal {
+                    dir: tenant_dir,
+                    writer,
+                    since_checkpoint: recovered.replayed as u64,
+                    healthy: true,
+                })),
+                published: RwLock::new(snapshot),
+                readers: Mutex::new(Vec::new()),
+            });
+            hub.shard(&recovered.name)
+                .tenants
+                .lock()
+                .expect("shard lock")
+                .insert(recovered.name, entry);
+        }
+        Ok((hub, report))
+    }
+
+    /// Is this a durable hub (opened via [`open`](Self::open))?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     /// Number of registry shards.
@@ -371,20 +525,48 @@ impl SessionHub {
         table: &Table,
         publisher: &Publisher,
     ) -> Result<Arc<TenantSnapshot>, SessionError> {
+        // On a durable hub, registrations are serialized: the genesis and
+        // WAL files must be written exactly once per name, and the racing
+        // loser must lose *before* touching the winner's files.
+        let _registration = self
+            .durability
+            .as_ref()
+            .map(|d| d.registration.lock().expect("registration lock"));
         if self.contains(tenant) {
             return Err(SessionError::TenantExists(tenant.to_owned()));
         }
         let session = publisher.open(table)?;
+        let wal = if let Some(durability) = &self.durability {
+            let dir = durability.root.join(recover::dir_name_for(tenant));
+            let durable = |e: std::io::Error, what: &str| {
+                SessionError::Durability(format!("{what} for tenant `{tenant}` failed: {e}"))
+            };
+            std::fs::create_dir_all(&dir).map_err(|e| durable(e, "creating the directory"))?;
+            recover::write_genesis(&dir, tenant, publisher, table)
+                .map_err(|e| durable(e, "writing the genesis file"))?;
+            let writer = recover::create_wal(&dir, 0, durability.options.sync)
+                .map_err(|e| durable(e, "creating the WAL"))?;
+            Some(Mutex::new(TenantWal {
+                dir,
+                writer,
+                since_checkpoint: 0,
+                healthy: true,
+            }))
+        } else {
+            None
+        };
         let snapshot = Arc::new(Self::snapshot_of(tenant, &session));
         let entry = Arc::new(Tenant {
             name: tenant.to_owned(),
             writer: Mutex::new(session),
+            wal,
             published: RwLock::new(Arc::clone(&snapshot)),
             readers: Mutex::new(Vec::new()),
         });
         let mut tenants = self.shard(tenant).tenants.lock().expect("shard lock");
         if tenants.contains_key(tenant) {
-            // Raced with another registration of the same id.
+            // Raced with another registration of the same id (in-memory
+            // hubs only — durable registrations hold the registration lock).
             return Err(SessionError::TenantExists(tenant.to_owned()));
         }
         tenants.insert(tenant.to_owned(), entry);
@@ -392,15 +574,27 @@ impl SessionHub {
     }
 
     /// Remove a tenant, dropping its session and caches. Readers holding
-    /// snapshot `Arc`s keep them — the versions they pinned stay valid.
+    /// snapshot `Arc`s keep them — the versions they pinned stay valid. On
+    /// a durable hub the tenant's directory is deleted too, so a reopen
+    /// does not resurrect it.
     pub fn remove(&self, tenant: &str) -> Result<(), SessionError> {
-        self.shard(tenant)
+        let removed = self
+            .shard(tenant)
             .tenants
             .lock()
             .expect("shard lock")
             .remove(tenant)
-            .map(|_| ())
-            .ok_or_else(|| SessionError::UnknownTenant(tenant.to_owned()))
+            .ok_or_else(|| SessionError::UnknownTenant(tenant.to_owned()))?;
+        if let Some(wal) = &removed.wal {
+            let dir = wal.lock().expect("wal lock").dir.clone();
+            std::fs::remove_dir_all(&dir).map_err(|e| {
+                SessionError::Durability(format!(
+                    "tenant `{tenant}` was removed from the hub but its directory \
+                     {dir:?} could not be deleted: {e}"
+                ))
+            })?;
+        }
+        Ok(())
     }
 
     /// The tenant's current published version — an `Arc` clone behind a
@@ -413,10 +607,60 @@ impl SessionHub {
     /// new version. Concurrent readers keep serving the previous version
     /// until the swap; on error the tenant is unchanged and stays
     /// registered.
+    ///
+    /// On a durable hub the validated delta is appended to the tenant's
+    /// WAL (and, under the default [`crate::wal::SyncPolicy::Always`],
+    /// fsynced) **before** the new version is published or this call
+    /// returns — an acked apply survives any crash. Every
+    /// [`checkpoint_every`](DurabilityOptions::checkpoint_every) applies,
+    /// the session is checkpointed and the WAL rotated. If an append or
+    /// checkpoint fails, the error is returned, nothing new is published,
+    /// and the tenant refuses further applies until the hub is reopened
+    /// (recovering to the last durable version) — it never serves state
+    /// the log does not back.
     pub fn apply(&self, tenant: &str, delta: &Delta) -> Result<Arc<TenantSnapshot>, SessionError> {
         let entry = self.tenant(tenant)?;
         let mut session = entry.writer.lock().expect("writer lock");
-        session.apply(delta)?;
+        match (&entry.wal, &self.durability) {
+            (Some(wal), Some(durability)) => {
+                let mut wal = wal.lock().expect("wal lock");
+                if !wal.healthy {
+                    return Err(SessionError::Durability(format!(
+                        "tenant `{tenant}` refused the delta: its WAL hit an earlier \
+                         failure; reopen the hub to recover"
+                    )));
+                }
+                session.apply(delta)?;
+                let seq = session.deltas_applied() as u64;
+                if let Err(e) = wal.writer.append(&encode_record(seq, delta)) {
+                    wal.healthy = false;
+                    return Err(SessionError::Durability(format!(
+                        "WAL append of version {seq} failed: {e}"
+                    )));
+                }
+                wal.since_checkpoint += 1;
+                let every = durability.options.checkpoint_every;
+                if every > 0 && wal.since_checkpoint >= every {
+                    let rotated = recover::write_checkpoint(&wal.dir, seq, &session)
+                        .and_then(|()| recover::rotate_wal(&wal.dir, seq, durability.options.sync));
+                    match rotated {
+                        Ok(writer) => {
+                            wal.writer = writer;
+                            wal.since_checkpoint = 0;
+                        }
+                        Err(e) => {
+                            wal.healthy = false;
+                            return Err(SessionError::Durability(format!(
+                                "checkpoint at version {seq} failed: {e}"
+                            )));
+                        }
+                    }
+                }
+            }
+            _ => {
+                session.apply(delta)?;
+            }
+        }
         let snapshot = Arc::new(Self::snapshot_of(&entry.name, &session));
         *entry.published.write().expect("published lock") = Arc::clone(&snapshot);
         Ok(snapshot)

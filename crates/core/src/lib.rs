@@ -52,12 +52,16 @@ pub use bgkanon_utility as utility;
 pub mod hub;
 pub mod params;
 pub mod publisher;
+pub mod recover;
 pub mod session;
+pub mod wal;
 
 pub use data::Parallelism;
 pub use hub::{SessionHub, TenantSnapshot};
 pub use publisher::{PublishError, PublishOutcome, Publisher};
+pub use recover::{RecoveryReport, TenantRecovery};
 pub use session::{PublishSession, SessionError};
+pub use wal::{DurabilityOptions, SyncPolicy, WalError};
 
 /// Convenient glob-import surface: the types most programs need.
 pub mod prelude {

@@ -244,6 +244,108 @@ impl Publisher {
     pub(crate) fn parallelism_knob(&self) -> Parallelism {
         self.parallelism
     }
+
+    /// Serialize the declarative specs as one text line each, for the
+    /// durable hub's genesis file ([`crate::recover`]). Floats use `{:.17e}`
+    /// so [`from_spec_lines`](Self::from_spec_lines) reconstructs them
+    /// bit-for-bit; the parallelism knob is deliberately *not* recorded —
+    /// engines are bit-identical across it, so recovered sessions run with
+    /// the default.
+    pub(crate) fn spec_lines(&self) -> Vec<String> {
+        self.specs
+            .iter()
+            .map(|spec| match spec {
+                Spec::K(k) => format!("spec k {k}"),
+                Spec::DistinctL(l) => format!("spec distinct-l {l}"),
+                Spec::ProbabilisticL(l) => format!("spec probabilistic-l {l}"),
+                Spec::TCloseness(t) => format!("spec t-closeness {t:.17e}"),
+                Spec::Bt {
+                    bandwidth: BandwidthSpec::Uniform(b),
+                    t,
+                } => format!("spec bt-uniform {b:.17e} {t:.17e}"),
+                Spec::Bt {
+                    bandwidth: BandwidthSpec::Vector(v),
+                    t,
+                } => {
+                    let mut line = format!("spec bt-vector {t:.17e}");
+                    for b in v {
+                        line.push_str(&format!(" {b:.17e}"));
+                    }
+                    line
+                }
+                Spec::Skyline(pairs) => {
+                    let mut line = String::from("spec skyline");
+                    for (b, t) in pairs {
+                        line.push_str(&format!(" {b:.17e} {t:.17e}"));
+                    }
+                    line
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuild a publisher from [`spec_lines`](Self::spec_lines) output.
+    /// Errors carry a human-readable reason; recovery surfaces them as the
+    /// tenant's unrecoverability cause.
+    pub(crate) fn from_spec_lines<'a>(
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Publisher, String> {
+        fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+            tok.ok_or_else(|| format!("missing {what}"))?
+                .parse::<T>()
+                .map_err(|_| format!("unparseable {what}"))
+        }
+        let mut publisher = Publisher::new();
+        for line in lines {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.first() != Some(&"spec") || toks.len() < 2 {
+                return Err(format!("expected a `spec <kind> ...` line, got `{line}`"));
+            }
+            let (kind, rest) = (toks[1], &toks[2..]);
+            let arity_ok = match kind {
+                "k" | "distinct-l" | "probabilistic-l" | "t-closeness" => rest.len() == 1,
+                "bt-uniform" => rest.len() == 2,
+                "bt-vector" => rest.len() >= 2,
+                "skyline" => !rest.is_empty() && rest.len() % 2 == 0,
+                other => return Err(format!("unknown spec kind `{other}`")),
+            };
+            if !arity_ok {
+                return Err(format!("wrong number of values on `{line}`"));
+            }
+            publisher = match kind {
+                "k" => publisher.k_anonymity(num(rest.first().copied(), "k")?),
+                "distinct-l" => publisher.distinct_l_diversity(num(rest.first().copied(), "l")?),
+                "probabilistic-l" => {
+                    publisher.probabilistic_l_diversity(num(rest.first().copied(), "l")?)
+                }
+                "t-closeness" => publisher.t_closeness(num(rest.first().copied(), "t")?),
+                "bt-uniform" => {
+                    let b = num(Some(rest[0]), "bandwidth")?;
+                    publisher.bt_privacy(b, num(Some(rest[1]), "t")?)
+                }
+                "bt-vector" => {
+                    let t = num(Some(rest[0]), "t")?;
+                    let v = rest[1..]
+                        .iter()
+                        .map(|tok| num(Some(tok), "bandwidth component"))
+                        .collect::<Result<Vec<f64>, String>>()?;
+                    publisher.bt_privacy_vector(v, t)
+                }
+                "skyline" => {
+                    let flat = rest
+                        .iter()
+                        .map(|tok| num(Some(tok), "skyline value"))
+                        .collect::<Result<Vec<f64>, String>>()?;
+                    publisher.skyline(flat.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+                }
+                _ => unreachable!("kind validated above"),
+            };
+        }
+        if publisher.specs.is_empty() {
+            return Err("genesis file declares no specs".into());
+        }
+        Ok(publisher)
+    }
 }
 
 /// Does the whole `table` satisfy `requirement`? The pre-check sessions run
@@ -427,6 +529,55 @@ mod tests {
         {
             assert_eq!(a.rows, b.rows);
         }
+    }
+
+    #[test]
+    fn spec_lines_roundtrip_bit_identically() {
+        let t = adult::generate(300, 54);
+        let original = Publisher::new()
+            .k_anonymity(3)
+            .distinct_l_diversity(2)
+            .probabilistic_l_diversity(2)
+            .t_closeness(0.31)
+            .bt_privacy(0.3, 0.25)
+            .bt_privacy_vector(vec![0.25, 0.5, 0.125, 0.75, 0.3, 0.6], 0.2)
+            .skyline(vec![(0.2, 0.4), (0.4, 0.3)]);
+        let lines = original.spec_lines();
+        let rebuilt =
+            Publisher::from_spec_lines(lines.iter().map(String::as_str)).expect("roundtrip");
+        assert_eq!(rebuilt.spec_lines(), lines);
+        // The rebuilt publisher produces the same publication bit-for-bit.
+        let a = original.publish(&t).expect("satisfiable");
+        let b = rebuilt.publish(&t).expect("satisfiable");
+        assert_eq!(a.requirement_name, b.requirement_name);
+        for (ga, gb) in a.anonymized.groups().iter().zip(b.anonymized.groups()) {
+            assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
+    fn malformed_spec_lines_are_rejected() {
+        for bad in [
+            "speck 3",
+            "spec",
+            "spec k",
+            "spec k 3 4",
+            "spec k three",
+            "spec warp 9",
+            "spec bt-uniform 0.3",
+            "spec bt-vector 0.2",
+            "spec skyline 0.2",
+            "spec skyline",
+        ] {
+            assert!(
+                Publisher::from_spec_lines([bad]).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+        assert!(
+            Publisher::from_spec_lines(std::iter::empty::<&str>()).is_err(),
+            "empty spec list should be rejected"
+        );
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub enum SessionError {
     UnknownTenant(String),
     /// A tenant with this id is already registered in the hub.
     TenantExists(String),
+    /// The durability layer failed: a WAL append or checkpoint write did
+    /// not reach stable storage, or a durable open hit an unusable data
+    /// directory. The message carries the cause (the variant keeps a
+    /// `String` so `SessionError` stays `Clone`).
+    Durability(String),
 }
 
 impl fmt::Display for SessionError {
@@ -74,6 +79,7 @@ impl fmt::Display for SessionError {
             SessionError::Publish(e) => write!(f, "{e}"),
             SessionError::UnknownTenant(t) => write!(f, "no tenant `{t}` is registered"),
             SessionError::TenantExists(t) => write!(f, "tenant `{t}` is already registered"),
+            SessionError::Durability(reason) => write!(f, "durability failure: {reason}"),
         }
     }
 }
@@ -83,7 +89,9 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Data(e) => Some(e),
             SessionError::Publish(e) => Some(e),
-            SessionError::UnknownTenant(_) | SessionError::TenantExists(_) => None,
+            SessionError::UnknownTenant(_)
+            | SessionError::TenantExists(_)
+            | SessionError::Durability(_) => None,
         }
     }
 }
@@ -209,6 +217,98 @@ impl PublishSession {
             last_elapsed,
             deltas_applied: 0,
         })
+    }
+
+    /// Rebuild a session from recovered durable state ([`crate::recover`]):
+    /// a checkpointed `table` + partition `tree` pair and the requirement
+    /// re-instantiated from the genesis table. The tree is adopted as-is —
+    /// no re-partitioning — so the resumed publication is bit-identical to
+    /// the one the checkpoint captured; `warm_stats` only rebuilds the
+    /// refresh engine's per-node histograms (they are derived state).
+    ///
+    /// Audit caches start empty; tracked priors are restored separately via
+    /// [`restore_tracked_prior`](Self::restore_tracked_prior).
+    pub(crate) fn resume(
+        table: Table,
+        requirement: Arc<dyn PrivacyRequirement>,
+        parallelism: Parallelism,
+        mut tree: PartitionTree,
+        deltas_applied: usize,
+    ) -> Self {
+        let mondrian = Mondrian::new(Arc::clone(&requirement));
+        mondrian.warm_stats(&mut tree, &table);
+        let (anonymized, stamps) = tree.snapshot(&table);
+        PublishSession {
+            requirement_name: requirement.name(),
+            requirement,
+            mondrian,
+            parallelism,
+            table,
+            tree,
+            anonymized,
+            stamps,
+            audits: Vec::new(),
+            last_elapsed: Duration::ZERO,
+            deltas_applied,
+        }
+    }
+
+    /// The session-built tracked adversary models, as `(b', model)` pairs —
+    /// what a checkpoint persists so recovered sessions audit identically.
+    pub(crate) fn tracked_priors(&self) -> Vec<(f64, Arc<PriorModel>)> {
+        self.audits
+            .iter()
+            .filter_map(|cache| match (&cache.key, &cache.tracked) {
+                (AuditKey::Bandwidth(bits), Some(tracked)) => {
+                    Some((f64::from_bits(*bits), Arc::clone(&tracked.model)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reinstall a persisted tracked adversary model for `Adv(b')`,
+    /// mirroring [`audit_against`](Self::audit_against)'s construction
+    /// exactly (estimator rebuilt from the model's own provenance, fresh
+    /// risk caches) so subsequent applies refresh it and audits replay it
+    /// bit-identically to a never-persisted session. Returns `false` —
+    /// installing nothing — when the model carries no refresh provenance or
+    /// its bandwidth is unusable; recovery treats that as corruption.
+    pub(crate) fn restore_tracked_prior(&mut self, b_prime: f64, model: PriorModel) -> bool {
+        let Some(bandwidth) = model.bandwidth().cloned() else {
+            return false;
+        };
+        if self
+            .audits
+            .iter()
+            .any(|c| c.key == AuditKey::Bandwidth(b_prime.to_bits()))
+        {
+            return false;
+        }
+        let estimator = PriorEstimator::with_family(
+            Arc::clone(self.table.schema()),
+            bandwidth.clone(),
+            model.family(),
+        );
+        let model = Arc::new(model);
+        let adversary = Arc::new(Adversary::from_model(
+            &format!("Adv({bandwidth})"),
+            bandwidth.clone(),
+            Arc::clone(&model),
+        ));
+        let measure = Arc::new(SmoothedJs::paper_default(
+            self.table.schema().sensitive_distance(),
+        ));
+        self.insert_audit_cache(
+            AuditKey::Bandwidth(b_prime.to_bits()),
+            AuditSession::new(Auditor::new(adversary, measure)),
+            Some(TrackedPrior {
+                bandwidth,
+                estimator,
+                model,
+            }),
+        );
+        true
     }
 
     /// Apply one delta: evolve the table, route the changes through the

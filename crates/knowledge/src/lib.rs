@@ -32,4 +32,4 @@ pub use estimator::{
     FoldedPoint, FoldedTable, KernelFamily, PriorEstimator, PriorModel, SparseWeights, SupportIndex,
 };
 pub use mining::{mine_negative_rules, MiningConfig, NegativeRule, Pattern};
-pub use persist::{load_model, save_model};
+pub use persist::{load_model, load_model_str, save_model, save_model_string};

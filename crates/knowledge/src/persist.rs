@@ -137,6 +137,24 @@ pub fn save_model<W: Write>(model: &PriorModel, mut writer: W) -> std::io::Resul
     Ok(())
 }
 
+/// Serialize `model` to an owned string in the same format [`save_model`]
+/// writes. This is the embeddable flavor: containers that persist a model
+/// *inside* a larger versioned file (`bgkanon-core`'s tenant checkpoints)
+/// splice these lines into their own stream instead of owning a whole file.
+pub fn save_model_string(model: &PriorModel) -> String {
+    let mut buf = Vec::new();
+    save_model(model, &mut buf).expect("writing to an in-memory buffer cannot fail");
+    String::from_utf8(buf).expect("persist output is ASCII")
+}
+
+/// Parse a model from text previously produced by [`save_model`] /
+/// [`save_model_string`] — the embeddable counterpart of [`load_model`],
+/// for callers that already hold the model's lines carved out of a larger
+/// file. Line numbers in errors are relative to `text`.
+pub fn load_model_str(text: &str) -> Result<PriorModel, PersistError> {
+    load_model(text.as_bytes())
+}
+
 fn parse_dist(toks: &[&str], line: usize) -> Result<Dist, PersistError> {
     let p: Result<Vec<f64>, _> = toks.iter().map(|t| t.parse::<f64>()).collect();
     let p = p.map_err(|_| PersistError::Format {
@@ -457,6 +475,27 @@ mod tests {
             let q = loaded.prior(qi).unwrap();
             for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "drift at {qi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_helpers_match_writer_api() {
+        // The embeddable flavor must be byte-identical to the writer API
+        // (checkpoint files splice these lines verbatim) and round-trip to
+        // an equal, refreshable model.
+        let m = model();
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        let text = save_model_string(&m);
+        assert_eq!(text.as_bytes(), buf.as_slice());
+        let loaded = load_model_str(&text).unwrap();
+        assert!(loaded.is_refreshable());
+        assert_eq!(loaded.len(), m.len());
+        for (qi, p) in m.iter() {
+            let q = loaded.prior(qi).unwrap();
+            for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }
