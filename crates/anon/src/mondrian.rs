@@ -474,15 +474,20 @@ impl Mondrian {
         let m = schema.sensitive_domain_size();
         scratch.lo.clear();
         scratch.hi.clear();
-        let first = table.qi(rows[0]);
-        scratch.lo.extend_from_slice(first);
-        scratch.hi.extend_from_slice(first);
-        for &r in &rows[1..] {
-            let q = table.qi(r);
-            for (i, &v) in q.iter().enumerate() {
-                scratch.lo[i] = scratch.lo[i].min(v);
-                scratch.hi[i] = scratch.hi[i].max(v);
+        // One min/max pass per attribute: each pass gathers from a single
+        // code vector (contiguous on columnar tables) instead of striding
+        // across whole rows.
+        for a in 0..d {
+            let col = table.qi_col(a);
+            let mut lo = col.get(rows[0]);
+            let mut hi = lo;
+            for &r in &rows[1..] {
+                let v = col.get(r);
+                lo = lo.min(v);
+                hi = hi.max(v);
             }
+            scratch.lo.push(lo);
+            scratch.hi.push(hi);
         }
         scratch.widths.clear();
         for i in 0..d {
@@ -502,10 +507,11 @@ impl Mondrian {
             let (dim, _) = scratch.widths[wi];
             attempts.push(dim);
             let dom = schema.qi_attribute(dim).domain_size() as usize;
+            let col = table.qi_col(dim);
             scratch.value_counts.clear();
             scratch.value_counts.resize(dom, 0);
             for &r in rows {
-                scratch.value_counts[table.qi_value(r, dim) as usize] += 1;
+                scratch.value_counts[col.get(r) as usize] += 1;
             }
             // The value at sorted position n/2 — the reference's median row.
             let target = n / 2;
@@ -535,9 +541,10 @@ impl Mondrian {
             };
             scratch.counts_left.clear();
             scratch.counts_left.resize(m, 0);
+            let sens = table.sensitive_col();
             for &r in rows {
-                if table.qi_value(r, dim) < bound {
-                    scratch.counts_left[table.sensitive_value(r) as usize] += 1;
+                if col.get(r) < bound {
+                    scratch.counts_left[sens[r] as usize] += 1;
                 }
             }
             scratch.counts_right.clear();
@@ -587,25 +594,30 @@ impl Mondrian {
         // Dead dimensions are constant: their range is the first row's value.
         scratch.lo.clear();
         scratch.hi.clear();
-        let first = table.qi(rows[0]);
-        scratch.lo.extend_from_slice(first);
-        scratch.hi.extend_from_slice(first);
+        table.qi_into(rows[0], &mut scratch.lo);
+        scratch.hi.extend_from_slice(&scratch.lo);
         if rows.len() < 2 {
             return None;
         }
 
-        // Fused min/max scan over the live dimensions.
+        // One min/max pass per live dimension — each pass reads a single
+        // code vector (contiguous on columnar tables) instead of striding
+        // across whole rows.
         scratch.live.clear();
         scratch
             .live
             .extend((0..d).filter(|i| region.live_dims & (1 << i) != 0));
-        for &r in rows.iter() {
-            let q = table.qi(r);
-            for &i in &scratch.live {
-                let v = q[i];
-                scratch.lo[i] = scratch.lo[i].min(v);
-                scratch.hi[i] = scratch.hi[i].max(v);
+        for &i in &scratch.live {
+            let col = table.qi_col(i);
+            let mut lo = scratch.lo[i];
+            let mut hi = scratch.hi[i];
+            for &r in rows.iter() {
+                let v = col.get(r);
+                lo = lo.min(v);
+                hi = hi.max(v);
             }
+            scratch.lo[i] = lo;
+            scratch.hi[i] = hi;
         }
         scratch.widths.clear();
         let mut child_live = 0u64;
@@ -633,12 +645,14 @@ impl Mondrian {
         for wi in 0..scratch.widths.len() {
             let (dim, _) = scratch.widths[wi];
             attempts.push(dim);
-            // Stable counting sort of `sorted` by the dimension's code.
+            // Stable counting sort of `sorted` by the dimension's code,
+            // gathering from that dimension's code vector alone.
             let dom = schema.qi_attribute(dim).domain_size() as usize;
+            let col = table.qi_col(dim);
             scratch.value_counts.clear();
             scratch.value_counts.resize(dom, 0);
             for &r in &scratch.sorted {
-                scratch.value_counts[table.qi_value(r, dim) as usize] += 1;
+                scratch.value_counts[col.get(r) as usize] += 1;
             }
             scratch.cursors.clear();
             scratch.cursors.resize(dom, 0);
@@ -649,7 +663,7 @@ impl Mondrian {
             }
             scratch.tmp.resize(n, 0);
             for &r in &scratch.sorted {
-                let v = table.qi_value(r, dim) as usize;
+                let v = col.get(r) as usize;
                 scratch.tmp[scratch.cursors[v]] = r;
                 scratch.cursors[v] += 1;
             }
@@ -657,7 +671,7 @@ impl Mondrian {
 
             // Median rule, answered from the histogram: `lt` rows sort
             // strictly below the median value, `le` at or below it.
-            let median_value = table.qi_value(scratch.sorted[n / 2], dim) as usize;
+            let median_value = col.get(scratch.sorted[n / 2]) as usize;
             let lt: usize = scratch.value_counts[..median_value]
                 .iter()
                 .map(|&c| c as usize)

@@ -612,7 +612,9 @@ impl Removed {
             let id = tree.id_of[row];
             removed.index_of.insert(id, removed.ids.len());
             removed.ids.push(id);
-            removed.qi.extend_from_slice(old_table.qi(row));
+            for a in 0..d {
+                removed.qi.push(old_table.qi_value(row, a));
+            }
             removed.sensitive.push(old_table.sensitive_value(row));
         }
         removed
@@ -628,19 +630,28 @@ impl<'a> RefreshCtx<'a> {
     /// post-delta table, deleted rows from the captured values. (An id in a
     /// `dels` list can be *alive* — a row migrating to a sibling subtree
     /// after a threshold drift — so both cases are routine here.)
-    fn values_of(&self, row_of: &[usize], id: u32) -> (&'a [u32], u32) {
+    fn values_into(&self, row_of: &[usize], id: u32, buf: &mut Vec<u32>) -> u32 {
         let row = row_of[id as usize];
         if row == DEAD_ROW {
             let di = self.removed.index_of[&id];
-            (self.removed.qi(di), self.removed.sensitive[di])
+            buf.clear();
+            buf.extend_from_slice(self.removed.qi(di));
+            self.removed.sensitive[di]
         } else {
-            (self.table.qi(row), self.table.sensitive_value(row))
+            self.table.qi_into(row, buf);
+            self.table.sensitive_value(row)
         }
     }
 
     /// Code of `id` on `dim` (for threshold routing).
     fn value_on(&self, row_of: &[usize], id: u32, dim: usize) -> u32 {
-        self.values_of(row_of, id).0[dim]
+        let row = row_of[id as usize];
+        if row == DEAD_ROW {
+            let di = self.removed.index_of[&id];
+            self.removed.qi(di)[dim]
+        } else {
+            self.table.qi_value(row, dim)
+        }
     }
 }
 
@@ -879,13 +890,14 @@ fn refresh_internal(
         let (nodes, row_of, dim_off) = (&mut tree.nodes, &tree.row_of, &tree.dim_off);
         if let NodeKind::Internal(internal) = &mut nodes[node as usize].kind {
             if let Some(stats) = internal.stats.as_deref_mut() {
+                let mut qi = Vec::new();
                 for &id in &ins {
-                    let (qi, s) = ctx.values_of(row_of, id);
-                    update_stats(stats, dim_off, m, qi, s, true);
+                    let s = ctx.values_into(row_of, id, &mut qi);
+                    update_stats(stats, dim_off, m, &qi, s, true);
                 }
                 for &id in &dels {
-                    let (qi, s) = ctx.values_of(row_of, id);
-                    update_stats(stats, dim_off, m, qi, s, false);
+                    let s = ctx.values_into(row_of, id, &mut qi);
+                    update_stats(stats, dim_off, m, &qi, s, false);
                 }
             }
         }
@@ -1356,9 +1368,10 @@ fn ensure_stats(ctx: &RefreshCtx<'_>, tree: &mut PartitionTree, node: u32) {
             let mut ids = Vec::with_capacity(tree.nodes[child as usize].size);
             tree.collect_ids(child, &mut ids);
             let mut stats = NodeStats { joint };
+            let mut qi = Vec::new();
             for &id in &ids {
-                let (qi, s) = ctx.values_of(&tree.row_of, id);
-                update_stats(&mut stats, &tree.dim_off, tree.m, qi, s, true);
+                let s = ctx.values_into(&tree.row_of, id, &mut qi);
+                update_stats(&mut stats, &tree.dim_off, tree.m, &qi, s, true);
             }
             joint = stats.joint;
         }

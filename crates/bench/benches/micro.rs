@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bgkanon::data::DeltaBuilder;
+use bgkanon::data::{DeltaBuilder, Layout};
 use bgkanon::inference::{exact_posteriors, omega_posteriors, GroupPriors};
 use bgkanon::knowledge::{Adversary, Bandwidth, FoldedTable, PriorEstimator};
 use bgkanon::prelude::*;
@@ -46,7 +46,7 @@ fn bench_estimator_stages(c: &mut Criterion) {
     for r in 0..25 {
         delta.delete(r * 100);
         delta
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .unwrap();
     }
     let delta = delta.build();
@@ -60,7 +60,8 @@ fn bench_estimator_stages(c: &mut Criterion) {
         b.iter(|| estimator.index(&folded));
     });
     group.bench_function("single_point_query", |b| {
-        b.iter(|| estimator.estimate_indexed(&folded, &index, table.qi(0)));
+        let q = table.qi(0);
+        b.iter(|| estimator.estimate_indexed(&folded, &index, &q));
     });
     group.bench_function("refresh_1pct_delta", |b| {
         // Each iteration refreshes a fresh clone of the model (the clone is
@@ -88,6 +89,36 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("exact_k10", |b| {
         b.iter(|| exact_posteriors(&group_priors));
     });
+    group.finish();
+}
+
+fn bench_layout(c: &mut Criterion) {
+    // Column-scan vs row-stride in isolation: the attribute-wise hot
+    // passes — the group-by-QI signature pass (and its counting-sort
+    // spine `qi_sorted_rows`), Mondrian's counting-sort split, and the
+    // estimator's fold — on the same 100k-row table in both physical
+    // layouts. Engine code is identical; only the stride differs.
+    let columnar = bgkanon::data::adult::generate(100_000, 42);
+    let rowmajor = columnar.to_layout(Layout::RowMajor);
+    let mut group = c.benchmark_group("layout");
+    group.sample_size(10);
+    for (name, table) in [("columnar", &columnar), ("rowmajor", &rowmajor)] {
+        group.bench_function(BenchmarkId::new("group_by_qi", name), |b| {
+            b.iter(|| table.group_by_qi());
+        });
+        group.bench_function(BenchmarkId::new("qi_sorted_rows", name), |b| {
+            b.iter(|| table.qi_sorted_rows());
+        });
+        group.bench_function(BenchmarkId::new("mondrian_split_k10", name), |b| {
+            b.iter(|| {
+                let m = Mondrian::new(Arc::new(KAnonymity::new(10)));
+                m.anonymize(table)
+            });
+        });
+        group.bench_function(BenchmarkId::new("fold", name), |b| {
+            b.iter(|| FoldedTable::new(table));
+        });
+    }
     group.finish();
 }
 
@@ -151,6 +182,7 @@ criterion_group!(
     bench_prior_estimation,
     bench_estimator_stages,
     bench_inference,
+    bench_layout,
     bench_mondrian,
     bench_distances,
     bench_permanent

@@ -64,12 +64,10 @@ pub fn kernel_family(cfg: &ExperimentConfig) -> String {
         );
         // How far do the estimated priors drift from the Epanechnikov ones?
         let mut max_shift = 0.0f64;
+        let mut qi = Vec::with_capacity(table.qi_count());
         for r in (0..table.len()).step_by(11) {
-            max_shift = max_shift.max(
-                adversary
-                    .prior(table.qi(r))
-                    .max_abs_diff(reference.prior(table.qi(r))),
-            );
+            table.qi_into(r, &mut qi);
+            max_shift = max_shift.max(adversary.prior(&qi).max_abs_diff(reference.prior(&qi)));
         }
         // Ω accuracy under this prior family.
         let mut rng = SmallRng::seed_from_u64(cfg.seed);

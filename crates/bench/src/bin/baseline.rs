@@ -58,6 +58,21 @@
 //! cargo run --release -p bgkanon-bench --bin baseline -- --recovery --smoke
 //! ```
 //!
+//! `--scale` switches to the **layout A/B scale** benchmark, written to
+//! `BENCH_scale.json`: the full serial publish → prior-estimate → audit
+//! pipeline (plus isolated group-by-QI and estimator-fold passes) at 1M
+//! and 10M rows, run once on the columnar table and once on
+//! [`Table::to_layout(RowMajor)`](bgkanon::data::Table::to_layout) of the
+//! *same* table — identical engine code, equal thread count, only the
+//! physical layout differs. Partitions, risks, group-by maps and folds are
+//! verified bit-identical between the two lanes before any number is
+//! recorded.
+//!
+//! ```text
+//! cargo run --release -p bgkanon-bench --bin baseline -- --scale
+//! cargo run --release -p bgkanon-bench --bin baseline -- --scale --smoke
+//! ```
+//!
 //! Methodology:
 //!
 //! * **publish** — Mondrian under 10-anonymity (the partitioning cost the
@@ -80,8 +95,8 @@ use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bgkanon::data::{adult, Delta, DeltaBuilder, Parallelism, Table};
-use bgkanon::knowledge::{Adversary, Bandwidth, PriorEstimator, PriorModel};
+use bgkanon::data::{adult, Delta, DeltaBuilder, Layout, Parallelism, Table};
+use bgkanon::knowledge::{Adversary, Bandwidth, FoldedTable, PriorEstimator, PriorModel};
 use bgkanon::privacy::Auditor;
 use bgkanon::stats::SmoothedJs;
 use bgkanon::Publisher;
@@ -336,7 +351,7 @@ fn workload_delta(
             }
             for r in 0..delta_half {
                 builder
-                    .insert_codes(donors.qi(r), donors.sensitive_value(r))
+                    .insert_codes(&donors.qi(r), donors.sensitive_value(r))
                     .expect("donors share the schema");
             }
         }
@@ -863,6 +878,278 @@ fn run_estimate_mode(sizes: &[usize], reps: usize, out_path: &str, smoke: bool) 
     let mut file = std::fs::File::create(out_path).expect("create estimate json");
     file.write_all(payload.as_bytes())
         .expect("write estimate json");
+    println!("wrote {out_path}");
+}
+
+/// Serial wall-clock of one physical layout through the identical engine
+/// code — the layout A/B lane of the `--scale` benchmark.
+struct LayoutLane {
+    publish_ms: f64,
+    estimate_ms: f64,
+    audit_kernel_ms: f64,
+    audit_tcloseness_ms: f64,
+    group_by_ms: f64,
+    fold_ms: f64,
+}
+
+impl LayoutLane {
+    /// The end-to-end publish+audit path the acceptance criterion names:
+    /// partition the table, estimate the auditing adversary's prior model,
+    /// audit against both reference adversaries.
+    fn pipeline_ms(&self) -> f64 {
+        self.publish_ms + self.estimate_ms + self.audit_kernel_ms + self.audit_tcloseness_ms
+    }
+}
+
+/// Everything one lane produced, kept long enough for the cross-layout
+/// identity checks.
+struct LaneOutput {
+    lane: LayoutLane,
+    groups: Vec<Vec<usize>>,
+    kernel_risks: Vec<f64>,
+    tcl_risks: Vec<f64>,
+    group_map: std::collections::BTreeMap<Box<[u32]>, Vec<usize>>,
+    folded: FoldedTable,
+}
+
+/// Run the full serial publish→estimate→audit pipeline (plus the isolated
+/// group-by-QI and fold passes) on one table, whatever its layout.
+fn run_scale_lane(table: &Table, reps: usize) -> LaneOutput {
+    let publisher = Publisher::new()
+        .k_anonymity(K)
+        .parallelism(Parallelism::Serial);
+    let (outcome, publish_ms) = best_ms(reps, || publisher.publish(table).expect("satisfiable"));
+    let groups = outcome.anonymized.row_groups();
+
+    let (group_map, group_by_ms) = best_ms(reps, || table.group_by_qi());
+    let (folded, fold_ms) = best_ms(reps, || FoldedTable::new(table));
+
+    let measure: Arc<dyn bgkanon::stats::BeliefDistance> = Arc::new(SmoothedJs::paper_default(
+        table.schema().sensitive_distance(),
+    ));
+    let (kernel_auditor, estimate_ms) = best_ms(reps, || {
+        let adversary = Arc::new(Adversary::kernel(
+            table,
+            Bandwidth::uniform(B_PRIME, table.qi_count()).expect("positive bandwidth"),
+        ));
+        Auditor::new(adversary, Arc::clone(&measure))
+    });
+    let (kernel_risks, audit_kernel_ms) = best_ms(reps, || {
+        kernel_auditor.tuple_risks_with(table, &groups, Parallelism::Serial)
+    });
+
+    let tcl_auditor = Auditor::new(Arc::new(Adversary::t_closeness(table)), measure);
+    let (tcl_risks, audit_tcloseness_ms) = best_ms(reps, || {
+        tcl_auditor.tuple_risks_with(table, &groups, Parallelism::Serial)
+    });
+
+    LaneOutput {
+        lane: LayoutLane {
+            publish_ms,
+            estimate_ms,
+            audit_kernel_ms,
+            audit_tcloseness_ms,
+            group_by_ms,
+            fold_ms,
+        },
+        groups,
+        kernel_risks,
+        tcl_risks,
+        group_map,
+        folded,
+    }
+}
+
+/// One size point of the layout A/B scale benchmark.
+struct ScaleResult {
+    rows: usize,
+    groups: usize,
+    distinct_points: usize,
+    vulnerable: usize,
+    columnar: LayoutLane,
+    rowmajor: LayoutLane,
+}
+
+impl ScaleResult {
+    /// Row-major over columnar on the publish+audit pipeline — the number
+    /// the acceptance criterion gates (≥1.5× at 1M rows).
+    fn layout_speedup(&self) -> f64 {
+        self.rowmajor.pipeline_ms() / self.columnar.pipeline_ms()
+    }
+}
+
+fn run_scale(rows: usize, reps: usize) -> ScaleResult {
+    let columnar = adult::generate(rows, SEED);
+    assert_eq!(
+        columnar.layout(),
+        Layout::Columnar,
+        "generator emits columnar"
+    );
+    let rowmajor = columnar.to_layout(Layout::RowMajor);
+
+    let c = run_scale_lane(&columnar, reps);
+    let r = run_scale_lane(&rowmajor, reps);
+
+    // The recorded layout speedup must never be bought with drift: both
+    // lanes ran the identical engine code, so every artifact — partition,
+    // audits, group-by fold, estimator fold — must agree bit-for-bit.
+    assert_eq!(
+        c.groups.len(),
+        r.groups.len(),
+        "layouts disagree on group count"
+    );
+    for (a, b) in c.groups.iter().zip(&r.groups) {
+        assert_eq!(a, b, "layouts disagree on a group's rows");
+    }
+    for (row, (a, b)) in c.kernel_risks.iter().zip(&r.kernel_risks).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "kernel audit diverges between layouts at row {row}"
+        );
+    }
+    for (row, (a, b)) in c.tcl_risks.iter().zip(&r.tcl_risks).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "t-closeness audit diverges between layouts at row {row}"
+        );
+    }
+    assert!(
+        c.group_map == r.group_map,
+        "group_by_qi diverges between layouts"
+    );
+    assert_eq!(c.folded.len(), r.folded.len(), "fold sizes diverge");
+    assert_eq!(c.folded.rows(), r.folded.rows(), "fold row totals diverge");
+    for (a, b) in c.folded.points().zip(r.folded.points()) {
+        assert_eq!(a.qi(), b.qi(), "fold keys diverge between layouts");
+        assert_eq!(a.count(), b.count(), "fold counts diverge between layouts");
+        assert_eq!(
+            a.sensitive_counts(),
+            b.sensitive_counts(),
+            "fold histograms diverge between layouts"
+        );
+    }
+
+    let vulnerable = c
+        .kernel_risks
+        .iter()
+        .filter(|x| !x.is_nan() && **x > THRESHOLD)
+        .count();
+    ScaleResult {
+        rows,
+        groups: c.groups.len(),
+        distinct_points: c.folded.len(),
+        vulnerable,
+        columnar: c.lane,
+        rowmajor: r.lane,
+    }
+}
+
+fn scale_json(results: &[ScaleResult], smoke: bool, reps: usize) -> String {
+    let lane = |l: &LayoutLane| {
+        format!(
+            "{{\"publish_ms\": {:.3}, \"estimate_ms\": {:.3}, \
+             \"audit_kernel_ms\": {:.3}, \"audit_tcloseness_ms\": {:.3}, \
+             \"group_by_ms\": {:.3}, \"fold_ms\": {:.3}, \"pipeline_ms\": {:.3}}}",
+            l.publish_ms,
+            l.estimate_ms,
+            l.audit_kernel_ms,
+            l.audit_tcloseness_ms,
+            l.group_by_ms,
+            l.fold_ms,
+            l.pipeline_ms(),
+        )
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"scale\",\n");
+    out.push_str(&format!("  \"requirement\": \"{K}-anonymity\",\n"));
+    out.push_str(&format!("  \"adversary_bandwidth\": {B_PRIME},\n"));
+    out.push_str(&format!("  \"audit_threshold\": {THRESHOLD},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str("  \"threads\": 1,\n");
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"groups\": {}, \"distinct_points\": {}, \
+             \"vulnerable\": {},\n     \"columnar\": {},\n     \"rowmajor\": {},\n     \
+             \"publish_speedup\": {:.3}, \"estimate_speedup\": {:.3}, \
+             \"audit_speedup\": {:.3}, \"group_by_speedup\": {:.3}, \
+             \"fold_speedup\": {:.3}, \"layout_speedup\": {:.3}, \
+             \"identical_output\": true}}{}\n",
+            r.rows,
+            r.groups,
+            r.distinct_points,
+            r.vulnerable,
+            lane(&r.columnar),
+            lane(&r.rowmajor),
+            r.rowmajor.publish_ms / r.columnar.publish_ms,
+            r.rowmajor.estimate_ms / r.columnar.estimate_ms,
+            (r.rowmajor.audit_kernel_ms + r.rowmajor.audit_tcloseness_ms)
+                / (r.columnar.audit_kernel_ms + r.columnar.audit_tcloseness_ms),
+            r.rowmajor.group_by_ms / r.columnar.group_by_ms,
+            r.rowmajor.fold_ms / r.columnar.fold_ms,
+            r.layout_speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_scale_mode(sizes: &[usize], reps: usize, out_path: &str, smoke: bool) {
+    let mut report = Report::new(
+        "Scale: columnar vs row-major layout through the serial engine",
+        &[
+            "groups",
+            "col pub",
+            "rm pub",
+            "col est",
+            "rm est",
+            "col audit",
+            "rm audit",
+            "speedup",
+        ],
+    );
+    let mut results = Vec::new();
+    for &rows in sizes {
+        let r = run_scale(rows, reps);
+        report.row(
+            &format!("{rows} rows"),
+            vec![
+                format!("{}", r.groups),
+                format!("{:.1}ms", r.columnar.publish_ms),
+                format!("{:.1}ms", r.rowmajor.publish_ms),
+                format!("{:.1}ms", r.columnar.estimate_ms),
+                format!("{:.1}ms", r.rowmajor.estimate_ms),
+                format!(
+                    "{:.1}ms",
+                    r.columnar.audit_kernel_ms + r.columnar.audit_tcloseness_ms
+                ),
+                format!(
+                    "{:.1}ms",
+                    r.rowmajor.audit_kernel_ms + r.rowmajor.audit_tcloseness_ms
+                ),
+                format!("{:.2}x", r.layout_speedup()),
+            ],
+        );
+        results.push(r);
+    }
+    report.note(&format!(
+        "serial engine on both layouts (equal thread count); min over {reps} rep(s); the \
+         row-major lane is Table::to_layout(RowMajor) of the same generated table, run through \
+         identical engine code; speedup = row-major / columnar on the publish + estimate + \
+         audit pipeline; partitions, risks, group-by and estimator folds verified bit-identical \
+         between layouts before any number is recorded"
+    ));
+    println!("{}", report.render());
+
+    let payload = scale_json(&results, smoke, reps);
+    let mut file = std::fs::File::create(out_path).expect("create scale json");
+    file.write_all(payload.as_bytes())
+        .expect("write scale json");
     println!("wrote {out_path}");
 }
 
@@ -1415,13 +1702,14 @@ fn main() {
     let estimate = args.iter().any(|a| a == "--estimate");
     let concurrent = args.iter().any(|a| a == "--concurrent");
     let recovery = args.iter().any(|a| a == "--recovery");
+    let scale = args.iter().any(|a| a == "--scale");
     assert!(
-        [incremental, estimate, concurrent, recovery]
+        [incremental, estimate, concurrent, recovery, scale]
             .iter()
             .filter(|b| **b)
             .count()
             <= 1,
-        "--incremental, --estimate, --concurrent and --recovery are mutually exclusive"
+        "--incremental, --estimate, --concurrent, --recovery and --scale are mutually exclusive"
     );
     let arg_after = |flag: &str| {
         args.iter()
@@ -1438,6 +1726,8 @@ fn main() {
             "BENCH_concurrent.json".to_owned()
         } else if recovery {
             "BENCH_recovery.json".to_owned()
+        } else if scale {
+            "BENCH_scale.json".to_owned()
         } else {
             "BENCH_baseline.json".to_owned()
         }
@@ -1452,18 +1742,32 @@ fn main() {
     }
     let reps: usize = arg_after("--reps")
         .map(|v| v.parse().expect("--reps takes a positive integer"))
-        .unwrap_or(match (incremental, smoke) {
-            (true, true) => 2,
-            (true, false) => 8,
-            (false, true) => 1,
-            (false, false) => 3,
+        .unwrap_or(if scale {
+            2
+        } else {
+            match (incremental, smoke) {
+                (true, true) => 2,
+                (true, false) => 8,
+                (false, true) => 1,
+                (false, false) => 3,
+            }
         });
     assert!(reps >= 1, "--reps takes a positive integer");
-    let sizes: Vec<usize> = if smoke {
+    let sizes: Vec<usize> = if scale {
+        if smoke {
+            vec![2_000]
+        } else {
+            vec![1_000_000, 10_000_000]
+        }
+    } else if smoke {
         vec![1_000]
     } else {
         vec![10_000, 100_000]
     };
+    if scale {
+        run_scale_mode(&sizes, reps, &out_path, smoke);
+        return;
+    }
     if incremental {
         run_incremental_mode(&sizes, reps, &out_path, smoke);
         return;

@@ -224,7 +224,7 @@ fn build_delta(flags: &HashMap<String, String>, table: &Table) -> Result<Option<
             .map_err(|e| e.to_string())?;
         for r in 0..rows.len() {
             builder
-                .insert_codes(rows.qi(r), rows.sensitive_value(r))
+                .insert_codes(&rows.qi(r), rows.sensitive_value(r))
                 .map_err(|e| e.to_string())?;
         }
         eprintln!(
@@ -331,7 +331,7 @@ fn scripted_delta(table: &Table, half: usize, mix: u64) -> Result<Delta, String>
     let donors = adult::generate(half, mix.wrapping_mul(0x9e37_79b9).wrapping_add(7));
     for r in 0..half {
         builder
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .map_err(|e| e.to_string())?;
     }
     Ok(builder.build())

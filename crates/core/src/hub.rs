@@ -773,7 +773,7 @@ mod tests {
             b.delete(r);
         }
         for r in 0..inserts {
-            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+            b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
                 .unwrap();
         }
         b.build()
@@ -945,8 +945,8 @@ mod tests {
             .estimate_with(snap.table(), Parallelism::Serial);
         let q = snap.table().qi(0);
         assert_eq!(
-            model.prior(q).unwrap().as_slice(),
-            direct.prior(q).unwrap().as_slice()
+            model.prior(&q).unwrap().as_slice(),
+            direct.prior(&q).unwrap().as_slice()
         );
     }
 

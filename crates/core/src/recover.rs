@@ -48,10 +48,16 @@ use crate::publisher::Publisher;
 use crate::session::PublishSession;
 use crate::wal::{self, fnv1a64, DurabilityOptions, SyncPolicy, WalError};
 
-/// Genesis-file magic line.
-const GENESIS_MAGIC: &str = "bgkanon-genesis v1";
-/// Checkpoint-file magic line.
-const CHECKPOINT_MAGIC: &str = "bgkanon-checkpoint v1";
+/// Genesis-file magic line (v2: columnar table block, one line per
+/// attribute code vector).
+const GENESIS_MAGIC: &str = "bgkanon-genesis v2";
+/// Checkpoint-file magic line (v2: columnar table block).
+const CHECKPOINT_MAGIC: &str = "bgkanon-checkpoint v2";
+/// Pre-columnar genesis magic — files in this format still load (their
+/// table block is one `r` line per row).
+const GENESIS_MAGIC_V1: &str = "bgkanon-genesis v1";
+/// Pre-columnar checkpoint magic — still loads.
+const CHECKPOINT_MAGIC_V1: &str = "bgkanon-checkpoint v1";
 
 /// What [`SessionHub::open`](crate::SessionHub::open) found on disk: one
 /// entry per tenant directory, recovered or not.
@@ -238,35 +244,97 @@ pub(crate) fn dir_name_for(tenant: &str) -> String {
 // Table and schema blocks.
 // ---------------------------------------------------------------------------
 
+/// The v2 (columnar) table block: `rows n`, then one `col` line per QI
+/// attribute carrying that attribute's whole code vector, then one `sens`
+/// line. Serialization order matches the in-memory columnar layout, so a
+/// checkpoint of a 10M-row table streams each code vector sequentially
+/// instead of striding across rows.
 fn push_table_block(out: &mut String, table: &Table) {
-    let _ = writeln!(out, "rows {}", table.len());
-    for r in 0..table.len() {
-        out.push('r');
-        for &q in table.qi(r) {
-            let _ = write!(out, " {q}");
+    let n = table.len();
+    let _ = writeln!(out, "rows {n}");
+    for a in 0..table.qi_count() {
+        out.push_str("col");
+        let col = table.qi_col(a);
+        match col.as_contiguous() {
+            Some(codes) => {
+                for &q in codes {
+                    let _ = write!(out, " {q}");
+                }
+            }
+            None => {
+                for r in 0..n {
+                    let _ = write!(out, " {}", col.get(r));
+                }
+            }
         }
-        let _ = writeln!(out, " {}", table.sensitive_value(r));
+        out.push('\n');
     }
+    out.push_str("sens");
+    for &s in table.sensitive_col() {
+        let _ = write!(out, " {s}");
+    }
+    out.push('\n');
 }
 
-fn parse_table_block(cur: &mut Cursor<'_>, schema: &Arc<Schema>) -> Result<Table, String> {
+/// Parse a table block; `v2` selects the columnar block, `false` the
+/// pre-columnar one-`r`-line-per-row form. Both validate every code against
+/// the schema through the [`TableBuilder`].
+fn parse_table_block(
+    cur: &mut Cursor<'_>,
+    schema: &Arc<Schema>,
+    v2: bool,
+) -> Result<Table, String> {
     let head = cur.record("rows")?;
     let n: usize = parse_num(head.get(1).copied(), "row count")?;
     let d = schema.qi_count();
     let mut builder = TableBuilder::new(Arc::clone(schema));
-    let mut qi = vec![0u32; d];
-    for _ in 0..n {
-        let toks = cur.record("r")?;
-        if toks.len() != d + 2 {
-            return Err(format!("line {}: row has wrong arity", cur.line_no));
+    if v2 {
+        let mut cols: Vec<Vec<u32>> = Vec::with_capacity(d);
+        for a in 0..d {
+            let toks = cur.record("col")?;
+            if toks.len() != n + 1 {
+                return Err(format!(
+                    "line {}: column {a} has {} codes, expected {n}",
+                    cur.line_no,
+                    toks.len() - 1
+                ));
+            }
+            let mut col = Vec::with_capacity(n);
+            for tok in &toks[1..] {
+                col.push(parse_num(Some(tok), "qi code")?);
+            }
+            cols.push(col);
         }
-        for (slot, tok) in qi.iter_mut().zip(&toks[1..=d]) {
-            *slot = parse_num(Some(tok), "qi code")?;
+        let toks = cur.record("sens")?;
+        if toks.len() != n + 1 {
+            return Err(format!(
+                "line {}: sensitive column has {} codes, expected {n}",
+                cur.line_no,
+                toks.len() - 1
+            ));
         }
-        let sensitive = parse_num(Some(toks[d + 1]), "sensitive code")?;
+        let mut sens = Vec::with_capacity(n);
+        for tok in &toks[1..] {
+            sens.push(parse_num(Some(tok), "sensitive code")?);
+        }
         builder
-            .push_codes(&qi, sensitive)
-            .map_err(|e| format!("line {}: invalid row: {e}", cur.line_no))?;
+            .push_chunk(&cols, &sens)
+            .map_err(|e| format!("line {}: invalid table: {e}", cur.line_no))?;
+    } else {
+        let mut qi = vec![0u32; d];
+        for _ in 0..n {
+            let toks = cur.record("r")?;
+            if toks.len() != d + 2 {
+                return Err(format!("line {}: row has wrong arity", cur.line_no));
+            }
+            for (slot, tok) in qi.iter_mut().zip(&toks[1..=d]) {
+                *slot = parse_num(Some(tok), "qi code")?;
+            }
+            let sensitive = parse_num(Some(toks[d + 1]), "sensitive code")?;
+            builder
+                .push_codes(&qi, sensitive)
+                .map_err(|e| format!("line {}: invalid row: {e}", cur.line_no))?;
+        }
     }
     builder.build().map_err(|e| format!("invalid table: {e}"))
 }
@@ -476,9 +544,11 @@ struct Genesis {
 fn parse_genesis(text: &str) -> Result<Genesis, String> {
     let body = check_trailer(text, "genesis")?;
     let mut cur = Cursor::new(body);
-    if cur.next("the genesis magic")? != GENESIS_MAGIC {
-        return Err("genesis: unknown format/version".into());
-    }
+    let v2 = match cur.next("the genesis magic")? {
+        GENESIS_MAGIC => true,
+        GENESIS_MAGIC_V1 => false,
+        _ => return Err("genesis: unknown format/version".into()),
+    };
     let toks = cur.record("tenant")?;
     let tenant = unhex_str(toks.get(1).copied().ok_or("missing tenant name")?)?;
     let toks = cur.record("specs")?;
@@ -489,7 +559,7 @@ fn parse_genesis(text: &str) -> Result<Genesis, String> {
     }
     let publisher = Publisher::from_spec_lines(spec_lines).map_err(|e| format!("genesis: {e}"))?;
     let schema = parse_schema_block(&mut cur)?;
-    let table = parse_table_block(&mut cur, &schema)?;
+    let table = parse_table_block(&mut cur, &schema, v2)?;
     Ok(Genesis {
         tenant,
         publisher,
@@ -568,12 +638,14 @@ struct Checkpoint {
 fn parse_checkpoint(text: &str, schema: &Arc<Schema>) -> Result<Checkpoint, String> {
     let body = check_trailer(text, "checkpoint")?;
     let mut cur = Cursor::new(body);
-    if cur.next("the checkpoint magic")? != CHECKPOINT_MAGIC {
-        return Err("checkpoint: unknown format/version".into());
-    }
+    let v2 = match cur.next("the checkpoint magic")? {
+        CHECKPOINT_MAGIC => true,
+        CHECKPOINT_MAGIC_V1 => false,
+        _ => return Err("checkpoint: unknown format/version".into()),
+    };
     let toks = cur.record("version")?;
     let version: u64 = parse_num(toks.get(1).copied(), "checkpoint version")?;
-    let table = parse_table_block(&mut cur, schema)?;
+    let table = parse_table_block(&mut cur, schema, v2)?;
     let head = cur.record("tree")?;
     let node_count: usize = parse_num(head.get(1).copied(), "tree node count")?;
     let mut records = Vec::with_capacity(node_count);
@@ -995,7 +1067,7 @@ mod tests {
         let _ = session.audit_against(0.3, 0.2);
         let mut b = DeltaBuilder::new(Arc::clone(table.schema()));
         b.delete(3).delete(57);
-        b.insert_codes(table.qi(8), table.sensitive_value(8))
+        b.insert_codes(&table.qi(8), table.sensitive_value(8))
             .unwrap();
         session.apply(&b.build()).unwrap();
         write_checkpoint(&dir, 1, &session).unwrap();
@@ -1033,6 +1105,163 @@ mod tests {
         assert_eq!(ra.mean.to_bits(), rb.mean.to_bits());
         for (x, y) in ra.risks.iter().zip(&rb.risks) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Rewrite a v2 (columnar) persistence file into the pre-columnar v1
+    /// format: v1 magic line, one `r` line per row instead of the
+    /// `col`/`sens` block, fresh checksum trailer. This is exactly the
+    /// file shape the format bump promises to keep loading.
+    fn downgrade_to_v1(path: &Path) {
+        let text = std::fs::read_to_string(path).unwrap();
+        let body = check_trailer(&text, "file").unwrap();
+        let mut lines = body.lines();
+        let mut out = String::new();
+        match lines.next().unwrap() {
+            m if m == GENESIS_MAGIC => out.push_str(GENESIS_MAGIC_V1),
+            m if m == CHECKPOINT_MAGIC => out.push_str(CHECKPOINT_MAGIC_V1),
+            other => panic!("not a v2 file: magic `{other}`"),
+        }
+        out.push('\n');
+        while let Some(line) = lines.next() {
+            out.push_str(line);
+            out.push('\n');
+            if let Some(rest) = line.strip_prefix("rows ") {
+                let n: usize = rest.trim().parse().unwrap();
+                // The columnar block: d `col` lines then one `sens` line.
+                let mut cols: Vec<Vec<u32>> = Vec::new();
+                let sens: Vec<u32> = loop {
+                    let l = lines.next().unwrap();
+                    let codes = |body: &str| -> Vec<u32> {
+                        body.split_whitespace()
+                            .map(|t| t.parse().unwrap())
+                            .collect()
+                    };
+                    if let Some(c) = l.strip_prefix("col") {
+                        cols.push(codes(c));
+                    } else if let Some(s) = l.strip_prefix("sens") {
+                        break codes(s);
+                    } else {
+                        panic!("unexpected line inside table block: `{l}`");
+                    }
+                };
+                assert_eq!(sens.len(), n);
+                for r in 0..n {
+                    out.push('r');
+                    for col in &cols {
+                        let _ = write!(out, " {}", col[r]);
+                    }
+                    let _ = writeln!(out, " {}", sens[r]);
+                }
+            }
+        }
+        push_trailer(&mut out);
+        std::fs::write(path, out).unwrap();
+    }
+
+    #[test]
+    fn v2_table_block_is_columnar_and_v1_still_parses() {
+        use bgkanon_data::Layout;
+        let dir = tmp_dir("v1fmt");
+        let table = adult::generate(80, 9);
+        let publisher = Publisher::new().k_anonymity(3).bt_privacy(0.3, 0.25);
+        write_genesis(&dir, "t", &publisher, &table).unwrap();
+        let path = dir.join("genesis.tbl");
+
+        // The v2 file serializes one line per attribute code vector.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(GENESIS_MAGIC));
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("col ")).count(),
+            table.qi_count()
+        );
+        assert_eq!(text.lines().filter(|l| l.starts_with("sens ")).count(), 1);
+        assert!(!text.lines().any(|l| l.starts_with("r ")));
+        let v2 = parse_genesis(&text).unwrap();
+        assert_eq!(v2.table.layout(), Layout::Columnar);
+
+        // The same content downgraded to the per-row v1 shape still loads —
+        // into a columnar table — and decodes identical codes.
+        downgrade_to_v1(&path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(GENESIS_MAGIC_V1));
+        assert!(!text.lines().any(|l| l.starts_with("col ")));
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("r ")).count(),
+            table.len()
+        );
+        let v1 = parse_genesis(&text).unwrap();
+        assert_eq!(v1.table.layout(), Layout::Columnar);
+        assert_eq!(v1.table.len(), table.len());
+        for r in 0..table.len() {
+            assert_eq!(v1.table.qi(r), table.qi(r));
+            assert_eq!(v1.table.sensitive_value(r), table.sensitive_value(r));
+        }
+        assert_eq!(v1.publisher.spec_lines(), publisher.spec_lines());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_checkpoint_recovers_into_columnar_hub() {
+        use crate::SessionHub;
+        use bgkanon_data::Layout;
+        let dir = tmp_dir("v1hub");
+        let opts = DurabilityOptions {
+            checkpoint_every: 2,
+            ..DurabilityOptions::default()
+        };
+        let table = adult::generate(150, 11);
+        let publisher = Publisher::new().k_anonymity(4);
+        let (expected_groups, expected_version) = {
+            let (hub, report) = SessionHub::open_with(&dir, opts).unwrap();
+            assert!(report.is_clean());
+            hub.register("t", &table, &publisher).unwrap();
+            // Three deltas: the checkpoint lands at version 2, the WAL
+            // keeps version 3 — recovery exercises checkpoint + replay.
+            let mut snap = hub.snapshot("t").unwrap();
+            for step in 0..3u64 {
+                let mut b = DeltaBuilder::new(Arc::clone(table.schema()));
+                b.delete(step as usize * 7);
+                let donors = adult::generate(2, 100 + step);
+                for r in 0..2 {
+                    b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
+                        .unwrap();
+                }
+                snap = hub.apply("t", &b.build()).unwrap();
+            }
+            assert_eq!(snap.version(), 3);
+            let groups: Vec<_> = snap
+                .anonymized()
+                .groups()
+                .iter()
+                .map(|g| (g.rows.clone(), g.ranges.clone(), g.sensitive_counts.clone()))
+                .collect();
+            (groups, snap.version())
+        };
+
+        // Rewrite the tenant's files into the pre-columnar v1 format, as a
+        // hub shut down before the format bump would have left them.
+        let tenant_dir = dir.join(dir_name_for("t"));
+        downgrade_to_v1(&tenant_dir.join("genesis.tbl"));
+        downgrade_to_v1(&tenant_dir.join("checkpoint.tbl"));
+
+        let (hub, report) = SessionHub::open_with(&dir, opts).unwrap();
+        assert!(report.is_clean(), "{:?}", report.unrecoverable());
+        assert_eq!(report.tenants.len(), 1);
+        assert_eq!(report.tenants[0].from_checkpoint, Some(2));
+        assert_eq!(report.tenants[0].replayed, 1);
+        let snap = hub.snapshot("t").unwrap();
+        assert_eq!(snap.version(), expected_version);
+        // The recovered session serves columnar tables and the exact
+        // publication the pre-downgrade hub served.
+        assert_eq!(snap.table().layout(), Layout::Columnar);
+        let groups = snap.anonymized().groups();
+        assert_eq!(groups.len(), expected_groups.len());
+        for (g, (rows, ranges, counts)) in groups.iter().zip(&expected_groups) {
+            assert_eq!(&g.rows, rows);
+            assert_eq!(&g.ranges, ranges);
+            assert_eq!(&g.sensitive_counts, counts);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -158,7 +158,7 @@ struct AuditCache {
 /// // Evolve the table: drop two rows, admit one.
 /// let mut delta = DeltaBuilder::new(Arc::clone(table.schema()));
 /// delta.delete(17).delete(230);
-/// delta.insert_codes(table.qi(3), table.sensitive_value(3))?;
+/// delta.insert_codes(&table.qi(3), table.sensitive_value(3))?;
 /// let outcome = session.apply(&delta.build())?;
 /// assert_eq!(outcome.anonymized.len(), 299);
 ///
@@ -625,7 +625,7 @@ mod tests {
             b.delete(r);
         }
         for r in 0..inserts {
-            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+            b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
                 .unwrap();
         }
         b.build()

@@ -399,8 +399,8 @@ mod tests {
         let t = adult::generate(30, 5);
         let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
         b.delete(3).delete(11);
-        b.insert_codes(t.qi(0), t.sensitive_value(0)).unwrap();
-        b.insert_codes(t.qi(7), t.sensitive_value(7)).unwrap();
+        b.insert_codes(&t.qi(0), t.sensitive_value(0)).unwrap();
+        b.insert_codes(&t.qi(7), t.sensitive_value(7)).unwrap();
         b.build()
     }
 

@@ -28,7 +28,7 @@ use crate::csv::{read_csv, CsvOptions, CsvReport};
 use crate::error::DataError;
 use crate::hierarchy::HierarchyBuilder;
 use crate::schema::Schema;
-use crate::table::{Table, TableBuilder};
+use crate::table::Table;
 
 /// Number of valid tuples in the paper's copy of Adult ("about 30K").
 pub const ADULT_DEFAULT_ROWS: usize = 30_162;
@@ -531,14 +531,25 @@ fn sample_row(rng: &mut SmallRng) -> ([u32; 6], u32) {
 /// Generate a synthetic Adult table with `rows` tuples, deterministically
 /// from `seed`.
 pub fn generate(rows: usize, seed: u64) -> Table {
+    assert!(rows > 0, "rows > 0");
     let schema = adult_schema();
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = TableBuilder::new(schema);
+    // Sampled codes stream straight into the per-attribute columns — no
+    // per-row staging and no per-code re-validation (the conditional model
+    // emits in-domain codes by construction; `all_codes_in_domain` checks
+    // it) — so 10M-row generation is bounded by sampling, not layout.
+    let mut cols: Vec<Vec<u32>> = (0..schema.qi_count())
+        .map(|_| Vec::with_capacity(rows))
+        .collect();
+    let mut sensitive = Vec::with_capacity(rows);
     for _ in 0..rows {
         let (qi, s) = sample_row(&mut rng);
-        b.push_codes(&qi, s).expect("generator emits valid codes");
+        for (col, &code) in cols.iter_mut().zip(&qi) {
+            col.push(code);
+        }
+        sensitive.push(s);
     }
-    b.build().expect("rows > 0")
+    Table::from_raw_columns(schema, cols, sensitive)
 }
 
 /// Generate the paper-sized dataset (≈30K tuples) with the default seed.

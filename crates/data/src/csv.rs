@@ -43,15 +43,28 @@ pub struct CsvReport {
     pub skipped_missing: usize,
 }
 
+/// Rows per ingestion chunk: codes accumulate in fixed-size per-attribute
+/// buffers and are appended to the builder's columns one
+/// `extend_from_slice` per attribute — never materialized row-major.
+const CHUNK_ROWS: usize = 16_384;
+
 /// Read a table from CSV text.
+///
+/// Ingestion is **chunked and columnar**: each parsed field is encoded
+/// straight into a per-attribute chunk buffer, and full chunks are appended
+/// to the [`TableBuilder`]'s columns via
+/// [`push_chunk`](TableBuilder::push_chunk). A 10M-row file streams into
+/// the columnar table without an intermediate row-major detour.
 pub fn read_csv<R: Read>(
     reader: R,
     schema: Arc<Schema>,
     options: &CsvOptions,
 ) -> Result<(Table, CsvReport), DataError> {
     let d = schema.qi_count();
-    let mut builder = TableBuilder::new(schema);
+    let mut builder = TableBuilder::new(Arc::clone(&schema));
     let mut report = CsvReport::default();
+    let mut chunk_qi: Vec<Vec<u32>> = (0..d).map(|_| Vec::with_capacity(CHUNK_ROWS)).collect();
+    let mut chunk_sensitive: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
     let buf = BufReader::new(reader);
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
@@ -88,14 +101,47 @@ pub fn read_csv<R: Read>(
                 raw[..d + 1].to_vec()
             }
         };
+        if fields.len() != d + 1 {
+            return Err(DataError::ArityMismatch {
+                expected: d + 1,
+                found: fields.len(),
+                line: line_no,
+            });
+        }
         if let Some(marker) = &options.missing_marker {
             if fields.iter().any(|f| *f == marker) {
                 report.skipped_missing += 1;
                 continue;
             }
         }
-        builder.push_text(&fields)?;
+        // Encode this row's fields straight into the column chunks. On an
+        // encode error the partially written row is rolled back so the
+        // chunks stay rectangular.
+        let row_result: Result<(), DataError> = (|| {
+            for (a, f) in fields[..d].iter().enumerate() {
+                let code = schema.qi_attribute(a).encode(f)?;
+                chunk_qi[a].push(code);
+            }
+            chunk_sensitive.push(schema.sensitive_attribute().encode(fields[d])?);
+            Ok(())
+        })();
+        if let Err(e) = row_result {
+            for col in &mut chunk_qi {
+                col.truncate(chunk_sensitive.len());
+            }
+            return Err(e);
+        }
         report.loaded += 1;
+        if chunk_sensitive.len() == CHUNK_ROWS {
+            builder.push_chunk(&chunk_qi, &chunk_sensitive)?;
+            for col in &mut chunk_qi {
+                col.clear();
+            }
+            chunk_sensitive.clear();
+        }
+    }
+    if !chunk_sensitive.is_empty() {
+        builder.push_chunk(&chunk_qi, &chunk_sensitive)?;
     }
     let table = builder.build()?;
     Ok((table, report))
@@ -111,12 +157,18 @@ pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<(), DataError
         .chain(std::iter::once(schema.sensitive_attribute().name()))
         .collect();
     writeln!(writer, "{}", names.join(","))?;
-    for t in table.tuples() {
+    let mut qi = Vec::with_capacity(schema.qi_count());
+    for r in 0..table.len() {
+        table.qi_into(r, &mut qi);
         let mut fields = Vec::with_capacity(schema.qi_count() + 1);
-        for (i, &code) in t.qi.iter().enumerate() {
+        for (i, &code) in qi.iter().enumerate() {
             fields.push(schema.qi_attribute(i).display_value(code));
         }
-        fields.push(schema.sensitive_attribute().display_value(t.sensitive));
+        fields.push(
+            schema
+                .sensitive_attribute()
+                .display_value(table.sensitive_value(r)),
+        );
         writeln!(writer, "{}", fields.join(","))?;
     }
     Ok(())

@@ -42,7 +42,7 @@ use std::sync::Arc;
 
 use crate::error::DataError;
 use crate::schema::Schema;
-use crate::table::Table;
+use crate::table::{Layout, Table};
 
 /// A validated batch of row deletions and insertions against one schema.
 ///
@@ -222,21 +222,9 @@ impl Table {
         if final_rows == 0 {
             return Err(DataError::EmptyTable);
         }
-        // Survivors are copied block-wise between deletes — they came from
-        // this table, so no re-validation is needed.
-        let mut qi_data = Vec::with_capacity(final_rows * d);
-        let mut sensitive = Vec::with_capacity(final_rows);
-        let mut start = 0usize;
-        for &del in delta.deletes() {
-            qi_data.extend_from_slice(&self.raw_qi_data()[start * d..del * d]);
-            sensitive.extend_from_slice(&self.raw_sensitive()[start..del]);
-            start = del + 1;
-        }
-        qi_data.extend_from_slice(&self.raw_qi_data()[start * d..]);
-        sensitive.extend_from_slice(&self.raw_sensitive()[start..]);
-        // Inserts are re-validated against *this* table's schema: the delta
-        // may have been built against a structurally identical but distinct
-        // schema instance (e.g. re-read from CSV).
+        // Inserts are re-validated against *this* table's schema, up front:
+        // the delta may have been built against a structurally identical
+        // but distinct schema instance (e.g. re-read from CSV).
         for i in 0..delta.insert_count() {
             let qi = delta.insert_qi(i);
             if qi.len() != d {
@@ -249,16 +237,65 @@ impl Table {
             for (a, &code) in qi.iter().enumerate() {
                 self.schema().qi_attribute(a).check_code(code)?;
             }
-            let s = delta.insert_sensitive(i);
-            self.schema().sensitive_attribute().check_code(s)?;
-            qi_data.extend_from_slice(qi);
-            sensitive.push(s);
+            self.schema()
+                .sensitive_attribute()
+                .check_code(delta.insert_sensitive(i))?;
         }
-        Ok(Table::from_raw(
-            Arc::clone(self.schema()),
-            qi_data,
-            sensitive,
-        ))
+        // Survivors are copied block-wise between deletes — they came from
+        // this table, so no re-validation is needed. The result keeps this
+        // table's layout (the fast path is a per-column `extend_from_slice`
+        // either way).
+        let mut sensitive = Vec::with_capacity(final_rows);
+        let mut start = 0usize;
+        for &del in delta.deletes() {
+            sensitive.extend_from_slice(&self.raw_sensitive()[start..del]);
+            start = del + 1;
+        }
+        sensitive.extend_from_slice(&self.raw_sensitive()[start..]);
+        sensitive.extend((0..delta.insert_count()).map(|i| delta.insert_sensitive(i)));
+        match self.layout() {
+            Layout::Columnar => {
+                let mut cols: Vec<Vec<u32>> = Vec::with_capacity(d);
+                for a in 0..d {
+                    let src = self
+                        .qi_col(a)
+                        .as_contiguous()
+                        .expect("columnar layout has contiguous columns"); // bgk-allow: R6 structural invariant — the Columnar match arm guarantees stride-1 columns
+                    let mut col = Vec::with_capacity(final_rows);
+                    let mut start = 0usize;
+                    for &del in delta.deletes() {
+                        col.extend_from_slice(&src[start..del]);
+                        start = del + 1;
+                    }
+                    col.extend_from_slice(&src[start..]);
+                    col.extend((0..delta.insert_count()).map(|i| delta.insert_qi(i)[a]));
+                    cols.push(col);
+                }
+                Ok(Table::from_raw_columns(
+                    Arc::clone(self.schema()),
+                    cols,
+                    sensitive,
+                ))
+            }
+            Layout::RowMajor => {
+                let src = self.raw_qi_data();
+                let mut qi_data = Vec::with_capacity(final_rows * d);
+                let mut start = 0usize;
+                for &del in delta.deletes() {
+                    qi_data.extend_from_slice(&src[start * d..del * d]);
+                    start = del + 1;
+                }
+                qi_data.extend_from_slice(&src[start * d..]);
+                for i in 0..delta.insert_count() {
+                    qi_data.extend_from_slice(delta.insert_qi(i));
+                }
+                Ok(Table::from_raw(
+                    Arc::clone(self.schema()),
+                    qi_data,
+                    sensitive,
+                ))
+            }
+        }
     }
 }
 

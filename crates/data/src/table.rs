@@ -1,17 +1,43 @@
 //! The microdata [`Table`]: encoded rows over a [`Schema`].
 //!
-//! Rows are stored row-major in a flat `Vec<u32>` (QI codes) plus a parallel
-//! `Vec<u32>` of sensitive codes, which keeps scans cache-friendly for the
-//! kernel estimator and Mondrian partitioner. Both buffers sit behind `Arc`s:
-//! a table is immutable once built, so cloning one is O(1) — the serving
+//! Codes are stored **columnar**: one flat `Vec<u32>` per QI attribute plus
+//! a parallel `Vec<u32>` of sensitive codes. The hot kernels — Mondrian's
+//! counting-sort splits, the group-by-QI signature pass, the kernel
+//! estimator's fold — all iterate attribute-wise, so a column is consumed
+//! as one sequential scan instead of a stride-`d` walk that wastes most of
+//! each cache line. Every column sits behind its own `Arc`: a table is
+//! immutable once built, so cloning one is O(d) pointer bumps — the serving
 //! layer hands every reader thread its own `Table` handle of the version it
 //! is auditing without copying row data.
+//!
+//! A table can also hold the legacy **row-major** layout
+//! (`qi_data[row * d + attr]`), kept as the measured reference the scale
+//! benches compare against; [`Table::to_layout`] converts between the two
+//! and every accessor reads either through [`QiCol`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::error::DataError;
 use crate::schema::Schema;
+
+/// Physical memory layout of a [`Table`]'s QI codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// One contiguous `Vec<u32>` per QI attribute (the default).
+    Columnar,
+    /// One flat row-major buffer, `qi_data[row * d + attr]` — the
+    /// pre-columnar reference layout, retained for A/B benchmarks.
+    RowMajor,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    /// `cols[attr][row]`; each column shared independently.
+    Columnar(Vec<Arc<Vec<u32>>>),
+    /// `qi_data[row * d + attr]`, shared as one buffer.
+    RowMajor(Arc<Vec<u32>>),
+}
 
 /// An immutable, validated microdata table.
 ///
@@ -33,20 +59,80 @@ use crate::schema::Schema;
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    /// Row-major QI codes: `qi_data[row * d + attr]`. Shared — tables are
-    /// immutable, so clones alias the buffer and cost O(1).
-    qi_data: Arc<Vec<u32>>,
-    /// Sensitive code per row. Shared like `qi_data`.
+    storage: Storage,
+    /// Sensitive code per row. Shared like the QI storage.
     sensitive: Arc<Vec<u32>>,
 }
 
-/// A borrowed view of one tuple: its QI codes and sensitive code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A borrowed, zero-cost accessor for one QI attribute's codes, valid for
+/// either [`Layout`]: `stride == 1` over a contiguous column, `stride == d`
+/// over the row-major buffer. Hot loops hoist one `QiCol` per dimension and
+/// call [`get`](Self::get) per row; flat kernels specialize on
+/// [`as_contiguous`](Self::as_contiguous).
+#[derive(Debug, Clone, Copy)]
+pub struct QiCol<'a> {
+    data: &'a [u32],
+    stride: usize,
+    offset: usize,
+}
+
+impl<'a> QiCol<'a> {
+    /// Code of `row` on this attribute.
+    #[inline(always)]
+    pub fn get(&self, row: usize) -> u32 {
+        self.data[row * self.stride + self.offset]
+    }
+
+    /// The whole column as one contiguous slice — `Some` exactly when the
+    /// table is [`Layout::Columnar`], letting flat kernels drop the stride
+    /// arithmetic (and the compiler vectorize).
+    #[inline]
+    pub fn as_contiguous(&self) -> Option<&'a [u32]> {
+        (self.stride == 1).then_some(self.data)
+    }
+}
+
+/// A lightweight handle on one tuple: its row index plus the table it lives
+/// in. With columnar storage a row is no longer one contiguous slice, so
+/// the tuple view resolves codes on demand instead of borrowing them.
+#[derive(Clone, Copy)]
 pub struct TupleRef<'a> {
-    /// QI codes in attribute order.
-    pub qi: &'a [u32],
+    table: &'a Table,
+    row: usize,
+}
+
+impl TupleRef<'_> {
+    /// The row index this tuple views.
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// QI codes in attribute order (gathered).
+    pub fn qi(&self) -> Vec<u32> {
+        self.table.qi(self.row)
+    }
+
+    /// QI code on attribute `attr`.
+    #[inline]
+    pub fn qi_value(&self, attr: usize) -> u32 {
+        self.table.qi_value(self.row, attr)
+    }
+
     /// Sensitive attribute code.
-    pub sensitive: u32,
+    #[inline]
+    pub fn sensitive(&self) -> u32 {
+        self.table.sensitive_value(self.row)
+    }
+}
+
+impl std::fmt::Debug for TupleRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TupleRef")
+            .field("row", &self.row)
+            .field("qi", &self.qi())
+            .field("sensitive", &self.sensitive())
+            .finish()
+    }
 }
 
 impl Table {
@@ -70,17 +156,100 @@ impl Table {
         self.schema.qi_count()
     }
 
-    /// QI codes of row `row`.
+    /// The physical layout of this table's QI codes.
+    pub fn layout(&self) -> Layout {
+        match self.storage {
+            Storage::Columnar(_) => Layout::Columnar,
+            Storage::RowMajor(_) => Layout::RowMajor,
+        }
+    }
+
+    /// This table's codes in `layout`: an O(1) clone when the layout
+    /// already matches, otherwise one transposing copy. Every accessor and
+    /// kernel produces bit-identical results on either layout; the
+    /// row-major form exists so the scale benches can measure the layouts
+    /// against each other through the same engine code.
+    pub fn to_layout(&self, layout: Layout) -> Table {
+        if self.layout() == layout {
+            return self.clone();
+        }
+        let d = self.qi_count();
+        let n = self.len();
+        let storage = match (&self.storage, layout) {
+            (Storage::Columnar(cols), Layout::RowMajor) => {
+                let mut qi_data = vec![0u32; n * d];
+                for (a, col) in cols.iter().enumerate() {
+                    for (r, &v) in col.iter().enumerate() {
+                        qi_data[r * d + a] = v;
+                    }
+                }
+                Storage::RowMajor(Arc::new(qi_data))
+            }
+            (Storage::RowMajor(qi_data), Layout::Columnar) => {
+                let cols = (0..d)
+                    .map(|a| {
+                        let mut col = Vec::with_capacity(n);
+                        col.extend(qi_data[a..].iter().step_by(d).copied());
+                        Arc::new(col)
+                    })
+                    .collect();
+                Storage::Columnar(cols)
+            }
+            _ => unreachable!("layout mismatch handled above"),
+        };
+        Table {
+            schema: Arc::clone(&self.schema),
+            storage,
+            sensitive: Arc::clone(&self.sensitive),
+        }
+    }
+
+    /// Accessor for attribute `attr`'s codes, layout-independent.
     #[inline]
-    pub fn qi(&self, row: usize) -> &[u32] {
-        let d = self.schema.qi_count();
-        &self.qi_data[row * d..(row + 1) * d]
+    pub fn qi_col(&self, attr: usize) -> QiCol<'_> {
+        match &self.storage {
+            Storage::Columnar(cols) => QiCol {
+                data: &cols[attr],
+                stride: 1,
+                offset: 0,
+            },
+            Storage::RowMajor(qi_data) => QiCol {
+                data: qi_data,
+                stride: self.schema.qi_count(),
+                offset: attr,
+            },
+        }
+    }
+
+    /// QI codes of row `row`, gathered in attribute order. Allocates; hot
+    /// per-row paths should reuse a buffer via [`qi_into`](Self::qi_into)
+    /// or hoist [`qi_col`](Self::qi_col) accessors per dimension.
+    pub fn qi(&self, row: usize) -> Vec<u32> {
+        let mut buf = Vec::with_capacity(self.schema.qi_count());
+        self.qi_into(row, &mut buf);
+        buf
+    }
+
+    /// Fill `buf` with row `row`'s QI codes, reusing its allocation.
+    #[inline]
+    pub fn qi_into(&self, row: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        match &self.storage {
+            Storage::Columnar(cols) => buf.extend(cols.iter().map(|c| c[row])),
+            Storage::RowMajor(qi_data) => {
+                let d = self.schema.qi_count();
+                buf.extend_from_slice(&qi_data[row * d..(row + 1) * d]);
+            }
+        }
     }
 
     /// QI code of row `row` on attribute `attr`.
     #[inline]
     pub fn qi_value(&self, row: usize, attr: usize) -> u32 {
-        self.qi_data[row * self.schema.qi_count() + attr]
+        match &self.storage {
+            Storage::Columnar(cols) => cols[attr][row],
+            Storage::RowMajor(qi_data) => qi_data[row * self.schema.qi_count() + attr],
+        }
     }
 
     /// Sensitive code of row `row`.
@@ -89,12 +258,16 @@ impl Table {
         self.sensitive[row]
     }
 
-    /// Borrowed view of row `row`.
+    /// The sensitive-code column (contiguous in both layouts).
+    #[inline]
+    pub fn sensitive_col(&self) -> &[u32] {
+        &self.sensitive
+    }
+
+    /// Lightweight view of row `row`.
     pub fn tuple(&self, row: usize) -> TupleRef<'_> {
-        TupleRef {
-            qi: self.qi(row),
-            sensitive: self.sensitive[row],
-        }
+        debug_assert!(row < self.len());
+        TupleRef { table: self, row }
     }
 
     /// Iterate over all tuples in row order.
@@ -139,34 +312,105 @@ impl Table {
         }
     }
 
+    /// Row indices `0..n` sorted lexicographically by their QI codes,
+    /// stably (equal rows keep ascending index order). Implemented as one
+    /// stable counting-sort pass per attribute, last attribute first — each
+    /// pass is a flat scan of one column, which is what the columnar layout
+    /// makes sequential. This is the shared spine of
+    /// [`group_by_qi`](Self::group_by_qi) and the kernel estimator's fold.
+    pub fn qi_sorted_rows(&self) -> Vec<u32> {
+        let n = self.len();
+        let d = self.schema.qi_count();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        if d == 0 || n <= 1 {
+            return perm;
+        }
+        let mut tmp = vec![0u32; n];
+        let mut starts: Vec<u32> = Vec::new();
+        for attr in (0..d).rev() {
+            let col = self.qi_col(attr);
+            let dom = self.schema.qi_attribute(attr).domain_size() as usize;
+            // Histogram, then exclusive prefix sum into per-value cursors.
+            starts.clear();
+            starts.resize(dom + 1, 0);
+            if let Some(flat) = col.as_contiguous() {
+                for &v in flat {
+                    starts[v as usize + 1] += 1;
+                }
+            } else {
+                for r in 0..n {
+                    starts[col.get(r) as usize + 1] += 1;
+                }
+            }
+            for v in 1..=dom {
+                starts[v] += starts[v - 1];
+            }
+            // Stable scatter of the current order.
+            for &r in &perm {
+                let v = col.get(r as usize) as usize;
+                tmp[starts[v] as usize] = r;
+                starts[v] += 1;
+            }
+            std::mem::swap(&mut perm, &mut tmp);
+        }
+        perm
+    }
+
     /// Group rows by identical QI combinations. Returns an ordered map from
     /// the QI code vector to the list of row indices carrying it. This is
     /// the "distinct QI folding" used by the kernel estimator; the map is a
     /// `BTreeMap` so iteration order is the lexicographic code order —
     /// deterministic across runs and platforms, which keeps audit reports
-    /// and serialized outputs built on top of it stable.
+    /// and serialized outputs built on top of it stable. Rows within a
+    /// group are in ascending index order.
     pub fn group_by_qi(&self) -> BTreeMap<Box<[u32]>, Vec<usize>> {
+        let d = self.schema.qi_count();
+        let order = self.qi_sorted_rows();
+        let cols: Vec<QiCol<'_>> = (0..d).map(|a| self.qi_col(a)).collect();
         let mut map: BTreeMap<Box<[u32]>, Vec<usize>> = BTreeMap::new();
-        for r in 0..self.len() {
-            map.entry(self.qi(r).into()).or_default().push(r);
+        let mut key = vec![0u32; d];
+        let mut rows: Vec<usize> = Vec::new();
+        for &r in &order {
+            let r = r as usize;
+            if rows.is_empty() || cols.iter().enumerate().any(|(a, c)| c.get(r) != key[a]) {
+                if !rows.is_empty() {
+                    map.insert(key.clone().into_boxed_slice(), std::mem::take(&mut rows));
+                }
+                for (a, c) in cols.iter().enumerate() {
+                    key[a] = c.get(r);
+                }
+            }
+            rows.push(r);
+        }
+        if !rows.is_empty() {
+            map.insert(key.into_boxed_slice(), rows);
         }
         map
     }
 
     /// Restrict the table to `rows` (in the given order), producing a new
-    /// table sharing the schema. Useful for sampled experiments.
+    /// table sharing the schema. Useful for sampled experiments. The
+    /// subset keeps this table's layout.
     pub fn subset(&self, rows: &[usize]) -> Table {
-        let d = self.schema.qi_count();
-        let mut qi_data = Vec::with_capacity(rows.len() * d);
-        let mut sensitive = Vec::with_capacity(rows.len());
-        for &r in rows {
-            qi_data.extend_from_slice(self.qi(r));
-            sensitive.push(self.sensitive[r]);
-        }
+        let storage = match &self.storage {
+            Storage::Columnar(cols) => Storage::Columnar(
+                cols.iter()
+                    .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect()))
+                    .collect(),
+            ),
+            Storage::RowMajor(qi_data) => {
+                let d = self.schema.qi_count();
+                let mut out = Vec::with_capacity(rows.len() * d);
+                for &r in rows {
+                    out.extend_from_slice(&qi_data[r * d..(r + 1) * d]);
+                }
+                Storage::RowMajor(Arc::new(out))
+            }
+        };
         Table {
             schema: Arc::clone(&self.schema),
-            qi_data: Arc::new(qi_data),
-            sensitive: Arc::new(sensitive),
+            storage,
+            sensitive: Arc::new(rows.iter().map(|&r| self.sensitive[r]).collect()),
         }
     }
 
@@ -176,20 +420,41 @@ impl Table {
         self.subset(&rows)
     }
 
-    /// Assemble from raw, already-validated buffers (the delta fast path —
-    /// survivors of an existing table need no re-validation).
+    /// Assemble from a raw, already-validated **row-major** buffer (the
+    /// row-major delta fast path — survivors of an existing table need no
+    /// re-validation).
     pub(crate) fn from_raw(schema: Arc<Schema>, qi_data: Vec<u32>, sensitive: Vec<u32>) -> Table {
         debug_assert_eq!(qi_data.len(), sensitive.len() * schema.qi_count());
         Table {
             schema,
-            qi_data: Arc::new(qi_data),
+            storage: Storage::RowMajor(Arc::new(qi_data)),
             sensitive: Arc::new(sensitive),
         }
     }
 
-    /// The raw row-major QI buffer (for whole-table copies).
+    /// Assemble from raw, already-validated **columnar** buffers (the
+    /// synthetic generator and the columnar delta fast path).
+    pub(crate) fn from_raw_columns(
+        schema: Arc<Schema>,
+        cols: Vec<Vec<u32>>,
+        sensitive: Vec<u32>,
+    ) -> Table {
+        debug_assert_eq!(cols.len(), schema.qi_count());
+        debug_assert!(cols.iter().all(|c| c.len() == sensitive.len()));
+        Table {
+            schema,
+            storage: Storage::Columnar(cols.into_iter().map(Arc::new).collect()),
+            sensitive: Arc::new(sensitive),
+        }
+    }
+
+    /// The raw row-major QI buffer. Only meaningful — and only called —
+    /// on the row-major layout's block-copy paths.
     pub(crate) fn raw_qi_data(&self) -> &[u32] {
-        &self.qi_data
+        match &self.storage {
+            Storage::RowMajor(qi_data) => qi_data,
+            Storage::Columnar(_) => unreachable!("raw_qi_data on a columnar table"),
+        }
     }
 
     /// The raw sensitive-code buffer (for whole-table copies).
@@ -198,32 +463,65 @@ impl Table {
     }
 }
 
-/// Row-by-row builder for [`Table`], validating codes against the schema.
+/// Row-by-row (or chunk-by-chunk) builder for [`Table`], validating codes
+/// against the schema. Codes accumulate columnar; [`build`](Self::build)
+/// emits the requested [`Layout`] (columnar by default).
 #[derive(Debug)]
 pub struct TableBuilder {
     schema: Arc<Schema>,
-    qi_data: Vec<u32>,
+    cols: Vec<Vec<u32>>,
     sensitive: Vec<u32>,
+    layout: Layout,
 }
 
 impl TableBuilder {
     /// Start building a table over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
+        let cols = vec![Vec::new(); schema.qi_count()];
         TableBuilder {
             schema,
-            qi_data: Vec::new(),
+            cols,
             sensitive: Vec::new(),
+            layout: Layout::Columnar,
         }
+    }
+
+    /// Pre-allocate room for `rows` rows in every column.
+    pub fn reserve(&mut self, rows: usize) -> &mut Self {
+        for col in &mut self.cols {
+            col.reserve(rows);
+        }
+        self.sensitive.reserve(rows);
+        self
+    }
+
+    /// Emit the given layout from [`build`](Self::build) (columnar by
+    /// default).
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Start from the rows of an existing table — the append path used by
     /// publishing sessions to evolve a table without re-encoding it. The
-    /// codes are already validated, so this is a pair of buffer copies.
+    /// codes are already validated, so this is a set of buffer copies; the
+    /// built table keeps `table`'s layout.
     pub fn from_table(table: &Table) -> Self {
+        let d = table.qi_count();
+        let n = table.len();
+        let mut cols: Vec<Vec<u32>> = Vec::with_capacity(d);
+        for a in 0..d {
+            let col = table.qi_col(a);
+            match col.as_contiguous() {
+                Some(flat) => cols.push(flat.to_vec()),
+                None => cols.push((0..n).map(|r| col.get(r)).collect()),
+            }
+        }
         TableBuilder {
-            schema: Arc::clone(&table.schema),
-            qi_data: table.qi_data.as_ref().clone(),
-            sensitive: table.sensitive.as_ref().clone(),
+            schema: Arc::clone(table.schema()),
+            cols,
+            sensitive: table.raw_sensitive().to_vec(),
+            layout: table.layout(),
         }
     }
 
@@ -240,7 +538,9 @@ impl TableBuilder {
             self.schema.qi_attribute(i).check_code(code)?;
         }
         self.schema.sensitive_attribute().check_code(sensitive)?;
-        self.qi_data.extend_from_slice(qi);
+        for (col, &code) in self.cols.iter_mut().zip(qi) {
+            col.push(code);
+        }
         self.sensitive.push(sensitive);
         Ok(())
     }
@@ -263,6 +563,39 @@ impl TableBuilder {
         self.push_codes(&qi, s)
     }
 
+    /// Append a **column chunk**: `qi_cols[attr]` holds the chunk's codes
+    /// for one attribute, `sensitive` the chunk's sensitive codes, all of
+    /// equal length. Validation is one flat bounds scan per column and the
+    /// copy is one `extend_from_slice` per column — the streaming-ingestion
+    /// path [`read_csv`](crate::csv::read_csv) feeds, with no intermediate
+    /// row materialization. Nothing is appended when any code is invalid.
+    pub fn push_chunk(&mut self, qi_cols: &[Vec<u32>], sensitive: &[u32]) -> Result<(), DataError> {
+        let d = self.schema.qi_count();
+        if qi_cols.len() != d {
+            return Err(DataError::ArityMismatch {
+                expected: d + 1,
+                found: qi_cols.len() + 1,
+                line: 0,
+            });
+        }
+        for (a, col) in qi_cols.iter().enumerate() {
+            debug_assert_eq!(col.len(), sensitive.len());
+            let attr = self.schema.qi_attribute(a);
+            for &code in col {
+                attr.check_code(code)?;
+            }
+        }
+        let sens_attr = self.schema.sensitive_attribute();
+        for &code in sensitive {
+            sens_attr.check_code(code)?;
+        }
+        for (col, chunk) in self.cols.iter_mut().zip(qi_cols) {
+            col.extend_from_slice(chunk);
+        }
+        self.sensitive.extend_from_slice(sensitive);
+        Ok(())
+    }
+
     /// Number of rows appended so far.
     pub fn len(&self) -> usize {
         self.sensitive.len()
@@ -278,10 +611,10 @@ impl TableBuilder {
         if self.sensitive.is_empty() {
             return Err(DataError::EmptyTable);
         }
-        Ok(Table {
-            schema: self.schema,
-            qi_data: Arc::new(self.qi_data),
-            sensitive: Arc::new(self.sensitive),
+        let table = Table::from_raw_columns(self.schema, self.cols, self.sensitive);
+        Ok(match self.layout {
+            Layout::Columnar => table,
+            Layout::RowMajor => table.to_layout(Layout::RowMajor),
         })
     }
 }
@@ -318,10 +651,46 @@ mod tests {
         let t = sample();
         assert_eq!(t.len(), 4);
         assert_eq!(t.qi_count(), 2);
+        assert_eq!(t.layout(), Layout::Columnar);
         assert_eq!(t.qi(0), &[5, 0]);
         assert_eq!(t.sensitive_value(2), 2);
-        assert_eq!(t.tuple(3).qi, &[40, 1]);
+        assert_eq!(t.tuple(3).qi(), &[40, 1]);
+        assert_eq!(t.tuple(3).qi_value(0), 40);
+        assert_eq!(t.tuple(2).sensitive(), 2);
         assert_eq!(t.tuples().count(), 4);
+    }
+
+    #[test]
+    fn layouts_agree_on_every_accessor() {
+        let c = sample();
+        let r = c.to_layout(Layout::RowMajor);
+        assert_eq!(r.layout(), Layout::RowMajor);
+        assert_eq!(c.len(), r.len());
+        let mut buf = Vec::new();
+        for row in 0..c.len() {
+            assert_eq!(c.qi(row), r.qi(row));
+            r.qi_into(row, &mut buf);
+            assert_eq!(c.qi(row), buf);
+            for a in 0..c.qi_count() {
+                assert_eq!(c.qi_value(row, a), r.qi_value(row, a));
+                assert_eq!(c.qi_col(a).get(row), r.qi_col(a).get(row));
+            }
+            assert_eq!(c.sensitive_value(row), r.sensitive_value(row));
+        }
+        // Contiguity is a columnar property only.
+        assert!(c.qi_col(0).as_contiguous().is_some());
+        assert!(r.qi_col(0).as_contiguous().is_none());
+        // Round-trip back to columnar restores contiguous columns.
+        let back = r.to_layout(Layout::Columnar);
+        for row in 0..c.len() {
+            assert_eq!(back.qi(row), c.qi(row));
+        }
+        // Same-layout conversion is a cheap clone, aliasing storage.
+        let same = c.to_layout(Layout::Columnar);
+        assert_eq!(
+            c.qi_col(0).as_contiguous().unwrap().as_ptr(),
+            same.qi_col(0).as_contiguous().unwrap().as_ptr()
+        );
     }
 
     #[test]
@@ -331,6 +700,23 @@ mod tests {
         let q = t.sensitive_distribution();
         assert_eq!(q, vec![0.5, 0.25, 0.25]);
         assert_eq!(t.sensitive_counts_in(&[0, 1]), vec![1, 1, 0]);
+        assert_eq!(t.sensitive_col(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn qi_sorted_rows_is_stable_lexicographic() {
+        let mut b = TableBuilder::new(schema());
+        b.push_text(&["60", "M", "Flu"]).unwrap(); // (40, 1)
+        b.push_text(&["25", "M", "Flu"]).unwrap(); // (5, 1)
+        b.push_text(&["25", "F", "Flu"]).unwrap(); // (5, 0)
+        b.push_text(&["25", "M", "HIV"]).unwrap(); // (5, 1) — ties row 1
+        let t = b.build().unwrap();
+        assert_eq!(t.qi_sorted_rows(), vec![2, 1, 3, 0]);
+        // Both layouts sort identically.
+        assert_eq!(
+            t.to_layout(Layout::RowMajor).qi_sorted_rows(),
+            t.qi_sorted_rows()
+        );
     }
 
     #[test]
@@ -344,6 +730,8 @@ mod tests {
         let keys: Vec<&Box<[u32]>> = g.keys().collect();
         assert_eq!(keys[0].as_ref(), &[5u32, 0u32]);
         assert_eq!(keys[1].as_ref(), &[40u32, 1u32]);
+        // The row-major reference layout folds identically.
+        assert_eq!(t.to_layout(Layout::RowMajor).group_by_qi(), g);
     }
 
     #[test]
@@ -357,6 +745,28 @@ mod tests {
         assert_eq!(u.qi(0), t.qi(0));
         assert_eq!(u.qi(4), &[10, 0]);
         assert_eq!(u.sensitive_value(4), 2);
+        // The builder preserves the seed table's layout.
+        let rm = TableBuilder::from_table(&t.to_layout(Layout::RowMajor))
+            .build()
+            .unwrap();
+        assert_eq!(rm.layout(), Layout::RowMajor);
+    }
+
+    #[test]
+    fn push_chunk_appends_and_validates() {
+        let mut b = TableBuilder::new(schema());
+        b.push_chunk(&[vec![5, 40], vec![0, 1]], &[0, 2]).unwrap();
+        b.push_chunk(&[vec![10], vec![1]], &[1]).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.qi(1), &[40, 1]);
+        assert_eq!(t.sensitive_col(), &[0, 2, 1]);
+        // Arity and code validation.
+        let mut b = TableBuilder::new(schema());
+        assert!(b.push_chunk(&[vec![5]], &[0]).is_err());
+        assert!(b.push_chunk(&[vec![5], vec![7]], &[0]).is_err());
+        assert!(b.push_chunk(&[vec![5], vec![1]], &[9]).is_err());
+        assert!(b.is_empty());
     }
 
     #[test]
@@ -368,6 +778,10 @@ mod tests {
         assert_eq!(s.qi(1), &[5, 0]);
         assert_eq!(t.head(3).len(), 3);
         assert_eq!(t.head(100).len(), 4);
+        // Subsetting preserves the layout.
+        let rm = t.to_layout(Layout::RowMajor).subset(&[2, 0]);
+        assert_eq!(rm.layout(), Layout::RowMajor);
+        assert_eq!(rm.qi(0), s.qi(0));
     }
 
     #[test]
@@ -385,16 +799,24 @@ mod tests {
     #[test]
     fn clone_is_shallow_and_aliases_storage() {
         // The serving layer clones a table per published snapshot; that must
-        // share the row buffers, not copy them.
+        // share the column buffers, not copy them.
         let t = sample();
         let c = t.clone();
-        assert!(Arc::ptr_eq(&t.qi_data, &c.qi_data));
-        assert!(Arc::ptr_eq(&t.sensitive, &c.sensitive));
+        for a in 0..t.qi_count() {
+            assert_eq!(
+                t.qi_col(a).as_contiguous().unwrap().as_ptr(),
+                c.qi_col(a).as_contiguous().unwrap().as_ptr()
+            );
+        }
+        assert_eq!(t.raw_sensitive().as_ptr(), c.raw_sensitive().as_ptr());
         // A builder seeded from the table gets its own buffers.
         let mut b = TableBuilder::from_table(&t);
         b.push_text(&["30", "F", "HIV"]).unwrap();
         let u = b.build().unwrap();
-        assert!(!Arc::ptr_eq(&t.qi_data, &u.qi_data));
+        assert_ne!(
+            t.qi_col(0).as_contiguous().unwrap().as_ptr(),
+            u.qi_col(0).as_contiguous().unwrap().as_ptr()
+        );
         assert_eq!(t.len(), 4);
         assert_eq!(u.len(), 5);
     }

@@ -59,12 +59,19 @@ impl GroupPriors {
 
     /// Build the adversary's view of rows `rows` of `table`, with
     /// `prior_of(qi)` supplying her prior for each QI combination.
-    pub fn from_table_rows<'a, F>(table: &'a Table, rows: &[usize], mut prior_of: F) -> Self
+    pub fn from_table_rows<F>(table: &Table, rows: &[usize], mut prior_of: F) -> Self
     where
-        F: FnMut(&'a [u32]) -> Dist,
+        F: FnMut(&[u32]) -> Dist,
     {
         assert!(!rows.is_empty(), "group must be non-empty");
-        let priors: Vec<Dist> = rows.iter().map(|&r| prior_of(table.qi(r))).collect();
+        let mut qi = Vec::with_capacity(table.qi_count());
+        let priors: Vec<Dist> = rows
+            .iter()
+            .map(|&r| {
+                table.qi_into(r, &mut qi);
+                prior_of(&qi)
+            })
+            .collect();
         let codes: Vec<u32> = rows.iter().map(|&r| table.sensitive_value(r)).collect();
         GroupPriors::new(priors, &codes)
     }

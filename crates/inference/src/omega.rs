@@ -70,8 +70,11 @@ pub fn omega_posteriors(group: &GroupPriors) -> Vec<Dist> {
 /// materializing a [`GroupPriors`].
 pub fn omega_column_sums<'a>(priors: impl Iterator<Item = &'a Dist>, col_sums: &mut [f64]) {
     for p in priors {
-        for (s, cs) in col_sums.iter_mut().enumerate() {
-            *cs += p.get(s);
+        // Zipped flat scan over the prior's probability vector — same
+        // ascending-`s` accumulation order as an indexed loop, so results
+        // are bit-identical, without the per-element bounds checks.
+        for (cs, &x) in col_sums.iter_mut().zip(p.as_slice()) {
+            *cs += x;
         }
     }
 }
@@ -91,9 +94,16 @@ pub fn omega_posterior_into(
     out: &mut [f64],
 ) -> bool {
     let mut total = 0.0f64;
-    for (s, slot) in out.iter_mut().enumerate() {
-        if counts[s] > 0 && col_sums[s] > 0.0 {
-            let term = f64::from(counts[s]) * prior.get(s) / col_sums[s];
+    // One zipped pass over four equal-length slices, in ascending `s` order
+    // (the same term order as an indexed loop — bit-identical totals).
+    for (((slot, &c), &cs), &p) in out
+        .iter_mut()
+        .zip(counts)
+        .zip(col_sums)
+        .zip(prior.as_slice())
+    {
+        if c > 0 && cs > 0.0 {
+            let term = f64::from(c) * p / cs;
             *slot = term;
             total += term;
         } else {

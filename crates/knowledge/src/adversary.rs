@@ -29,7 +29,7 @@ use crate::estimator::{KernelFamily, PriorEstimator, PriorModel};
 /// let table = bgkanon_data::toy::hospital_table();
 /// // Adv(B = 0.3·1): moderate background knowledge on both QI attributes.
 /// let adv = Adversary::kernel(&table, Bandwidth::uniform(0.3, 2).unwrap());
-/// let prior = adv.prior(table.qi(0)); // Bob: 69-year-old male
+/// let prior = adv.prior(&table.qi(0)); // Bob: 69-year-old male
 /// assert!((prior.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 /// // The informed prior for Emphysema exceeds the table-wide 2/9.
 /// assert!(prior.get(0) > 2.0 / 9.0);
@@ -121,8 +121,12 @@ impl Adversary {
 
     /// Prior beliefs for every row of `table`, in row order.
     pub fn priors_for_table(&self, table: &Table) -> Vec<Dist> {
+        let mut qi = Vec::with_capacity(table.qi_count());
         (0..table.len())
-            .map(|r| self.prior(table.qi(r)).clone())
+            .map(|r| {
+                table.qi_into(r, &mut qi);
+                self.prior(&qi).clone()
+            })
             .collect()
     }
 }
@@ -138,7 +142,7 @@ mod tests {
         let adv = Adversary::kernel(&t, Bandwidth::uniform(0.3, 2).unwrap());
         assert!(adv.label().starts_with("Adv(B(0.3"));
         assert_eq!(adv.bandwidth().unwrap().get(0), 0.3);
-        let p = adv.prior(t.qi(0));
+        let p = adv.prior(&t.qi(0));
         assert!((p.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
@@ -148,7 +152,7 @@ mod tests {
         let adv = Adversary::t_closeness(&t);
         let q = Dist::new(t.sensitive_distribution()).unwrap();
         for r in 0..t.len() {
-            assert!(adv.prior(t.qi(r)).max_abs_diff(&q) < 1e-15);
+            assert!(adv.prior(&t.qi(r)).max_abs_diff(&q) < 1e-15);
         }
         assert!(adv.bandwidth().is_none());
     }
@@ -157,7 +161,7 @@ mod tests {
     fn ignorant_adversary_is_uniform() {
         let t = toy::hospital_table();
         let adv = Adversary::ignorant(&t);
-        let p = adv.prior(t.qi(3));
+        let p = adv.prior(&t.qi(3));
         assert_eq!(p.as_slice(), &[0.25, 0.25, 0.25, 0.25]);
     }
 
@@ -176,6 +180,6 @@ mod tests {
         let t = toy::hospital_table();
         let kernel = Adversary::kernel(&t, Bandwidth::uniform(0.2, 2).unwrap());
         let tc = Adversary::t_closeness(&t);
-        assert!(kernel.prior(t.qi(0)).get(0) > tc.prior(t.qi(0)).get(0));
+        assert!(kernel.prior(&t.qi(0)).get(0) > tc.prior(&t.qi(0)).get(0));
     }
 }

@@ -254,37 +254,47 @@ pub struct FoldedTable {
 }
 
 impl FoldedTable {
-    /// Fold `table` by distinct QI combination (one `O(n)` pass).
+    /// Fold `table` by distinct QI combination. The rows are ordered with
+    /// one LSD counting-sort radix pass per attribute
+    /// ([`Table::qi_sorted_rows`] — columnar tables scan each code vector
+    /// contiguously), then equal-QI runs of the sorted order collapse into
+    /// points; the points come out already in lexicographic order, with no
+    /// hash map and no per-point allocation.
     pub fn new(table: &Table) -> Self {
         let d = table.qi_count();
         let m = table.schema().sensitive_domain_size();
-        let mut map: HashMap<&[u32], u32> = HashMap::new();
-        let mut tmp_qi: Vec<&[u32]> = Vec::new();
-        let mut tmp_hists: Vec<u32> = Vec::new();
+        let n = table.len();
+        let sens = table.sensitive_col();
         let mut sensitive_totals = vec![0u64; m];
-        for row in 0..table.len() {
-            let qi = table.qi(row);
-            let s = table.sensitive_value(row) as usize;
-            sensitive_totals[s] += 1;
-            let idx = *map.entry(qi).or_insert_with(|| {
-                tmp_qi.push(qi);
-                tmp_hists.resize(tmp_hists.len() + m, 0);
-                (tmp_qi.len() - 1) as u32
-            });
-            tmp_hists[idx as usize * m + s] += 1;
+        for &s in sens {
+            sensitive_totals[s as usize] += 1;
         }
-        drop(map);
-        let mut order: Vec<u32> = (0..tmp_qi.len() as u32).collect();
-        order.sort_unstable_by(|&a, &b| tmp_qi[a as usize].cmp(tmp_qi[b as usize]));
-        let u = order.len();
-        let mut qi = Vec::with_capacity(u * d);
-        let mut counts = Vec::with_capacity(u);
-        let mut hists = Vec::with_capacity(u * m);
-        for &i in &order {
-            qi.extend_from_slice(tmp_qi[i as usize]);
-            let h = &tmp_hists[i as usize * m..(i as usize + 1) * m];
-            hists.extend_from_slice(h);
-            counts.push(h.iter().sum());
+        let order = table.qi_sorted_rows();
+        let cols: Vec<_> = (0..d).map(|a| table.qi_col(a)).collect();
+        let mut qi = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut hists: Vec<u32> = Vec::new();
+        let mut cur = vec![0u32; d];
+        let mut i = 0usize;
+        while i < n {
+            let r0 = order[i] as usize;
+            for (v, c) in cur.iter_mut().zip(&cols) {
+                *v = c.get(r0);
+            }
+            let base = hists.len();
+            hists.resize(base + m, 0);
+            let mut count = 0u32;
+            while i < n {
+                let r = order[i] as usize;
+                if count > 0 && cur.iter().zip(&cols).any(|(&v, c)| c.get(r) != v) {
+                    break;
+                }
+                hists[base + sens[r] as usize] += 1;
+                count += 1;
+                i += 1;
+            }
+            qi.extend_from_slice(&cur);
+            counts.push(count);
         }
         FoldedTable {
             qi_count: d,
@@ -1634,7 +1644,7 @@ mod tests {
         let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
         b.delete(3).delete(17).delete(200);
         for r in 0..10 {
-            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+            b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
                 .unwrap();
         }
         let delta = b.build();
@@ -1715,7 +1725,7 @@ mod tests {
         let mut folded = FoldedTable::new(&t);
         let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
         b.delete(0).delete(5);
-        b.insert_codes(t.qi(1), t.sensitive_value(1)).unwrap();
+        b.insert_codes(&t.qi(1), t.sensitive_value(1)).unwrap();
         let delta = b.build();
         let changed = folded.apply_delta(&t, &delta);
         assert!(!changed.is_empty());
@@ -1791,9 +1801,9 @@ mod tests {
         let model = est.estimate(&t);
         // Row 2 (52, F, Flu) and row 8 (52, M, Gastritis) have unique QI
         // combos → point masses on their own sensitive values.
-        let p = model.prior(t.qi(2)).unwrap();
+        let p = model.prior(&t.qi(2)).unwrap();
         assert!((p.get(2) - 1.0).abs() < 1e-9, "expected point mass on Flu");
-        let p8 = model.prior(t.qi(8)).unwrap();
+        let p8 = model.prior(&t.qi(8)).unwrap();
         assert!((p8.get(3) - 1.0).abs() < 1e-9);
     }
 
@@ -1806,7 +1816,7 @@ mod tests {
         let mk = |b: f64| {
             let est =
                 PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(b, 2).unwrap());
-            est.estimate(&t).prior(t.qi(0)).unwrap().clone()
+            est.estimate(&t).prior(&t.qi(0)).unwrap().clone()
         };
         let sharp = mk(0.15);
         let blurry = mk(1.0);
@@ -1845,7 +1855,8 @@ mod tests {
         let t = hospital();
         let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::uniform(0.4, 2).unwrap());
         let folded = FoldedTable::new(&t);
-        let queries: Vec<&[u32]> = vec![&[20, 1], &[0, 0], t.qi(0)];
+        let q0 = t.qi(0);
+        let queries: Vec<&[u32]> = vec![&[20, 1], &[0, 0], &q0];
         let many = est.estimate_many(&folded, &queries);
         for (q, p) in queries.iter().zip(&many) {
             let single = est.estimate_at(&t, q);
@@ -1870,7 +1881,7 @@ mod tests {
         let t = hospital();
         let mk = |b: Vec<f64>| {
             let est = PriorEstimator::new(Arc::clone(t.schema()), Bandwidth::new(b).unwrap());
-            est.estimate(&t).prior(t.qi(0)).unwrap().clone()
+            est.estimate(&t).prior(&t.qi(0)).unwrap().clone()
         };
         let age_sharp = mk(vec![0.1, 1.0]);
         let sex_sharp = mk(vec![1.0, 0.1]);

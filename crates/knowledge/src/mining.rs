@@ -48,7 +48,9 @@ impl Pattern {
 
     /// Does row `row` of `table` match the pattern?
     pub fn matches(&self, table: &Table, row: usize) -> bool {
-        self.matches_qi(table.qi(row))
+        self.terms
+            .iter()
+            .all(|&(attr, value)| table.qi_value(row, attr) == value)
     }
 
     /// Does a bare QI code combination match the pattern? This is the form

@@ -463,7 +463,7 @@ mod tests {
         let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
         b.delete(10).delete(42).delete(200);
         for r in 0..6 {
-            b.insert_codes(donors.qi(r), donors.sensitive_value(r))
+            b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
                 .unwrap();
         }
         let delta = b.build();

@@ -7,10 +7,17 @@
 //! **vulnerable tuples** (risk above the threshold `t`) — the quantity
 //! plotted in Fig. 1.
 //!
-//! Two execution engines compute the same risks:
+//! Three execution paths compute the same risks, bit for bit:
 //!
-//! * [`Auditor::tuple_risks`] / [`Auditor::report`] — the per-group
-//!   **reference** path, a direct transcription of §V.A;
+//! * [`Auditor::tuple_risks_reference`] — the per-group **reference**
+//!   path, a direct transcription of §V.A: one prior lookup and one
+//!   posterior per row;
+//! * [`Auditor::tuple_risks`] / [`Auditor::report`] — the layout-native
+//!   serial engine: on columnar tables a **flat-scan** path that
+//!   enumerates the distinct QI points once with the counting-sort spine,
+//!   resolves each point's prior once, and reuses the batched engine's
+//!   allocation-free kernels and signature memo; on row-major tables the
+//!   reference path;
 //! * [`Auditor::tuple_risks_with`] / [`Auditor::report_with`] — the
 //!   **batched** engine: groups are distributed over worker jobs on the
 //!   process-wide [`shared_pool`](bgkanon_data::shared_pool)
@@ -26,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use bgkanon_data::{Parallelism, Table};
+use bgkanon_data::{Layout, Parallelism, Table};
 use bgkanon_inference::{
     exact_posteriors, omega_column_sums, omega_posterior_into, omega_posteriors, GroupPriors,
 };
@@ -156,7 +163,26 @@ impl Auditor {
 
     /// Disclosure risk of every tuple under the published `groups`
     /// (disjoint row-index sets covering the table).
+    ///
+    /// Dispatches on the table's physical layout: columnar tables run the
+    /// flat-scan serial engine (radix row→point resolution over contiguous
+    /// columns, allocation-free Ω kernels, signature memo), row-major
+    /// tables the retained row-at-a-time reference path. Both are
+    /// bit-identical — [`tuple_risks_reference`](Self::tuple_risks_reference)
+    /// is always available as the ground truth.
     pub fn tuple_risks(&self, table: &Table, groups: &[Vec<usize>]) -> Vec<f64> {
+        if table.layout() == Layout::Columnar {
+            self.tuple_risks_flat(table, groups)
+        } else {
+            self.tuple_risks_reference(table, groups)
+        }
+    }
+
+    /// The row-at-a-time reference path — a direct transcription of §V.A:
+    /// one prior lookup and one posterior per row, no memoization. Kept
+    /// callable on any layout as the ground truth the faster engines are
+    /// verified against.
+    pub fn tuple_risks_reference(&self, table: &Table, groups: &[Vec<usize>]) -> Vec<f64> {
         let mut risks = vec![f64::NAN; table.len()];
         for rows in groups {
             if rows.is_empty() {
@@ -176,6 +202,74 @@ impl Auditor {
         risks
     }
 
+    /// The columnar flat-scan serial engine. Instead of one hash lookup
+    /// per *row*, the table's distinct QI points are enumerated once with
+    /// the counting-sort spine (`qi_sorted_rows`, sequential passes over
+    /// the contiguous code vectors) and each distinct point's prior is
+    /// resolved exactly once; groups then read their priors by point id.
+    /// Posteriors run through the allocation-free Ω kernels and the group
+    /// signature memo of the batched engine — identical inputs, identical
+    /// arithmetic, so risks are bit-identical to the reference path.
+    fn tuple_risks_flat(&self, table: &Table, groups: &[Vec<usize>]) -> Vec<f64> {
+        let n = table.len();
+        let d = table.qi_count();
+        let m = table.schema().sensitive_domain_size();
+
+        // Row → distinct-point id via one radix pass; `reps[p]` is a
+        // representative row of point `p`.
+        let order = table.qi_sorted_rows();
+        let cols: Vec<_> = (0..d).map(|a| table.qi_col(a)).collect();
+        let mut point_of = vec![0u32; n];
+        let mut reps: Vec<u32> = Vec::new();
+        let mut prev = usize::MAX;
+        for &r in &order {
+            let r = r as usize;
+            if reps.is_empty() || cols.iter().any(|c| c.get(r) != c.get(prev)) {
+                reps.push(r as u32);
+            }
+            point_of[r] = (reps.len() - 1) as u32;
+            prev = r;
+        }
+
+        // One prior resolution per distinct point, not per row.
+        let mut qi = Vec::with_capacity(d);
+        let priors_by_point: Vec<&Dist> = reps
+            .iter()
+            .map(|&r| {
+                table.qi_into(r as usize, &mut qi);
+                self.adversary.prior(&qi)
+            })
+            .collect();
+
+        let memo: Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>> = Mutex::new(HashMap::new());
+        let mut scratch = AuditScratch::default();
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        for rows in groups {
+            if rows.is_empty() {
+                continue;
+            }
+            scratch.priors.clear();
+            scratch.prior_ids.clear();
+            for &r in rows {
+                let p = priors_by_point[point_of[r] as usize];
+                scratch.priors.push(p);
+                scratch.prior_ids.push(std::ptr::from_ref(p) as u64);
+            }
+            table.sensitive_counts_into(rows, &mut scratch.counts);
+            scratch.signature.clear();
+            scratch.signature.extend_from_slice(&scratch.prior_ids);
+            scratch
+                .signature
+                .extend(scratch.counts.iter().map(|&c| u64::from(c)));
+            self.audit_prepared(rows, m, &memo, &mut scratch, &mut out);
+        }
+        let mut risks = vec![f64::NAN; n];
+        for (row, risk) in out {
+            risks[row] = risk;
+        }
+        risks
+    }
+
     /// Full audit with vulnerability threshold `t`.
     pub fn report(&self, table: &Table, groups: &[Vec<usize>], t: f64) -> AuditReport {
         self.assemble_report(self.tuple_risks(table, groups), t)
@@ -183,10 +277,12 @@ impl Auditor {
 
     /// Disclosure risks with an explicit execution engine.
     ///
-    /// [`Parallelism::Serial`] runs the reference path; any other knob runs
-    /// the batched engine with that many workers, sharing this auditor's
+    /// [`Parallelism::Serial`] runs the layout-native serial engine (the
+    /// columnar flat-scan path on columnar tables, the row-at-a-time
+    /// reference on row-major ones); any other knob runs the batched
+    /// engine with that many workers, sharing this auditor's
     /// `Arc<Adversary>` across them and memoizing posterior computations by
-    /// group signature. Both produce bit-identical risks.
+    /// group signature. All paths produce bit-identical risks.
     pub fn tuple_risks_with(
         &self,
         table: &Table,
@@ -316,7 +412,8 @@ impl Auditor {
         scratch.priors.clear();
         scratch.prior_ids.clear();
         for &r in rows {
-            let p = self.adversary.prior(table.qi(r));
+            table.qi_into(r, &mut scratch.qi_buf);
+            let p = self.adversary.prior(&scratch.qi_buf);
             scratch.priors.push(p);
             scratch.prior_ids.push(std::ptr::from_ref(p) as u64);
         }
@@ -341,6 +438,20 @@ impl Auditor {
         out: &mut Vec<(usize, f64)>,
     ) {
         self.prepare_group(table, rows, scratch);
+        self.audit_prepared(rows, m, memo, scratch, out);
+    }
+
+    /// Memo lookup + solve + emit for a group whose scratch (priors,
+    /// counts, signature) is already prepared — shared by the batched
+    /// workers and the columnar flat-scan serial engine.
+    fn audit_prepared(
+        &self,
+        rows: &[usize],
+        m: usize,
+        memo: &Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>>,
+        scratch: &mut AuditScratch<'_>,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         let cached = memo
             .lock()
             .expect("audit memo lock")
@@ -485,6 +596,8 @@ struct AuditScratch<'a> {
     /// Prepared-prior cache of the measure's fast path, keyed by prior
     /// identity and kept for the worker's lifetime.
     prepared: HashMap<u64, Option<Dist>>,
+    /// Reused QI gather buffer for per-row prior lookups.
+    qi_buf: Vec<u32>,
 }
 
 /// One entry of an [`AuditSession`] cache, tagged with the generation of
@@ -957,6 +1070,39 @@ mod tests {
         let risks = a.tuple_risks(&t, &toy::hospital_groups());
         assert_eq!(risks.len(), t.len());
         assert!(risks.iter().all(|r| !r.is_nan() && *r >= 0.0));
+    }
+
+    #[test]
+    fn flat_scan_engine_is_bit_identical_to_reference() {
+        // The columnar flat-scan serial path vs the row-at-a-time §V.A
+        // transcription — same table, same groups, bit-identical risks.
+        // Both the Ω-estimate and the exact-inference (small-group) routes.
+        for (seed, exact_below) in [(3u64, 0usize), (11, 8)] {
+            let t = bgkanon_data::adult::generate(400, seed);
+            assert_eq!(t.layout(), Layout::Columnar);
+            let groups: Vec<Vec<usize>> = (0..t.len())
+                .step_by(7)
+                .map(|start| (start..(start + 7).min(t.len())).collect())
+                .collect();
+            for a in [
+                auditor(&t, 0.3).use_exact_below(exact_below),
+                Auditor::new(
+                    Arc::new(Adversary::t_closeness(&t)),
+                    Arc::new(SmoothedJs::paper_default(t.schema().sensitive_distance())),
+                )
+                .use_exact_below(exact_below),
+            ] {
+                let flat = a.tuple_risks(&t, &groups);
+                let reference = a.tuple_risks_reference(&t, &groups);
+                for (row, (x, y)) in flat.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "flat vs reference diverge at row {row} (seed {seed})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ fn intro_attack() {
     let bob_qi = table.qi(0); // 69, M
     println!(
         "prior P(Emphysema | Bob) — ignorant: {:.3}, informed Adv(0.2): {:.3}",
-        ignorant.prior(bob_qi).get(0),
-        informed.prior(bob_qi).get(0)
+        ignorant.prior(&bob_qi).get(0),
+        informed.prior(&bob_qi).get(0)
     );
 
     // Posterior after seeing the 3-diverse release (first group of

@@ -63,7 +63,7 @@ fn random_delta(table: &Table, rng: &mut SmallRng, del_frac: f64, inserts: usize
     let donors = adult::generate(inserts.max(1), rng.gen::<u64>());
     for r in 0..inserts {
         builder
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .expect("donor rows share the schema");
     }
     builder.build()
@@ -225,7 +225,8 @@ fn estimate_many_is_consistent_with_model_priors() {
     );
     let model = estimator.estimate(&table);
     let folded = FoldedTable::new(&table);
-    let queries: Vec<&[u32]> = (0..20).map(|r| table.qi(r * 7)).collect();
+    let owned: Vec<Vec<u32>> = (0..20).map(|r| table.qi(r * 7)).collect();
+    let queries: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
     let many = estimator.estimate_many(&folded, &queries);
     for (q, p) in queries.iter().zip(&many) {
         let from_model = model.prior(q).expect("in-table point");

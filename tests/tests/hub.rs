@@ -44,7 +44,7 @@ fn random_delta(table: &Table, rng: &mut SmallRng) -> Delta {
     let donors = adult::generate(inserts, rng.gen::<u64>());
     for r in 0..inserts {
         builder
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .expect("donor rows share the schema");
     }
     builder.build()

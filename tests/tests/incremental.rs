@@ -25,7 +25,7 @@ fn random_delta(table: &Table, rng: &mut SmallRng, del_frac: f64, inserts: usize
     let donors = adult::generate(inserts.max(1), rng.gen::<u64>());
     for r in 0..inserts {
         builder
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .expect("donor rows share the schema");
     }
     builder.build()
@@ -265,7 +265,7 @@ fn verdict_flip_collapses_and_rebuilds_like_from_scratch() {
     let mut builder = DeltaBuilder::new(Arc::clone(base.schema()));
     for r in 0..donors.len() {
         builder
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .unwrap();
     }
     session.apply(&builder.build()).unwrap();

@@ -1,0 +1,145 @@
+//! Layout A/B property tests: the columnar engine and the retained
+//! row-major reference path must be **bit-identical** — same partitions,
+//! same audit risks, same group-by-QI folds — for any table and across
+//! arbitrary delta sequences. The scale benches compare the two layouts
+//! for speed; these tests pin down that the comparison is apples to
+//! apples.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use bgkanon::data::{adult, Delta, DeltaBuilder, Layout, Parallelism, Table};
+use bgkanon::knowledge::{Adversary, Bandwidth};
+use bgkanon::privacy::Auditor;
+use bgkanon::stats::SmoothedJs;
+use bgkanon::Publisher;
+
+/// Every accessor-visible value of the two tables must agree.
+fn assert_same_contents(c: &Table, r: &Table) -> Result<(), TestCaseError> {
+    prop_assert_eq!(c.len(), r.len(), "row counts diverge");
+    let mut cb = Vec::new();
+    let mut rb = Vec::new();
+    for row in 0..c.len() {
+        c.qi_into(row, &mut cb);
+        r.qi_into(row, &mut rb);
+        prop_assert_eq!(&cb, &rb, "QI codes diverge at row {}", row);
+        prop_assert_eq!(
+            c.sensitive_value(row),
+            r.sensitive_value(row),
+            "sensitive codes diverge at row {}",
+            row
+        );
+    }
+    Ok(())
+}
+
+/// Publish + audit both layouts through the identical serial engine and
+/// demand bit-identical partitions and risks.
+fn assert_publish_audit_identical(c: &Table, r: &Table) -> Result<(), TestCaseError> {
+    let publisher = Publisher::new()
+        .k_anonymity(5)
+        .parallelism(Parallelism::Serial);
+    let co = publisher.publish(c);
+    let ro = publisher.publish(r);
+    let (co, ro) = match (co, ro) {
+        (Ok(co), Ok(ro)) => (co, ro),
+        (Err(_), Err(_)) => return Ok(()), // both unsatisfiable — still identical
+        _ => return Err(TestCaseError::fail("layouts disagree on satisfiability")),
+    };
+    let cg = co.anonymized.row_groups();
+    let rg = ro.anonymized.row_groups();
+    prop_assert_eq!(cg.len(), rg.len(), "group counts diverge");
+    for (a, b) in cg.iter().zip(&rg) {
+        prop_assert_eq!(a, b, "a group's rows diverge");
+    }
+
+    let measure: Arc<dyn bgkanon::stats::BeliefDistance> =
+        Arc::new(SmoothedJs::paper_default(c.schema().sensitive_distance()));
+    let bandwidth = Bandwidth::uniform(0.25, c.qi_count()).expect("positive bandwidth");
+    let c_auditor = Auditor::new(
+        Arc::new(Adversary::kernel(c, bandwidth.clone())),
+        Arc::clone(&measure),
+    );
+    let r_auditor = Auditor::new(Arc::new(Adversary::kernel(r, bandwidth)), measure);
+    let c_risks = c_auditor.tuple_risks_with(c, &cg, Parallelism::Serial);
+    let r_risks = r_auditor.tuple_risks_with(r, &rg, Parallelism::Serial);
+    for (row, (a, b)) in c_risks.iter().zip(&r_risks).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "audit risks diverge at row {}",
+            row
+        );
+    }
+    Ok(())
+}
+
+/// A pseudo-random delta over `table`: some rows deleted, some fresh
+/// synthetic rows appended.
+fn random_delta(table: &Table, rng: &mut SmallRng, del_frac: f64, inserts: usize) -> Delta {
+    let mut builder = DeltaBuilder::new(Arc::clone(table.schema()));
+    for row in 0..table.len() {
+        if rng.gen_bool(del_frac) {
+            builder.delete(row);
+        }
+    }
+    let donors = adult::generate(inserts.max(1), rng.gen::<u64>());
+    for r in 0..inserts {
+        builder
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
+            .expect("donor rows share the schema");
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_is_layout_invariant_across_delta_sequences(
+        rows in 60usize..240,
+        seed in 0u64..500,
+        steps in 1usize..4,
+    ) {
+        let mut columnar = adult::generate(rows, seed);
+        prop_assert_eq!(columnar.layout(), Layout::Columnar);
+        let mut rowmajor = columnar.to_layout(Layout::RowMajor);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc01a_bdef);
+        for step in 0..=steps {
+            // apply_delta must preserve each lane's physical layout.
+            prop_assert_eq!(columnar.layout(), Layout::Columnar, "step {}", step);
+            prop_assert_eq!(rowmajor.layout(), Layout::RowMajor, "step {}", step);
+            assert_same_contents(&columnar, &rowmajor)?;
+            prop_assert!(
+                columnar.group_by_qi() == rowmajor.group_by_qi(),
+                "group_by_qi diverges at step {step}"
+            );
+            prop_assert_eq!(
+                columnar.qi_sorted_rows(),
+                rowmajor.qi_sorted_rows(),
+                "counting-sort order diverges at step {}",
+                step
+            );
+            assert_publish_audit_identical(&columnar, &rowmajor)?;
+            if step == steps {
+                break;
+            }
+            // The same delta hits both lanes.
+            let delta = random_delta(&columnar, &mut rng, 0.05, 3 + step);
+            match (columnar.apply_delta(&delta), rowmajor.apply_delta(&delta)) {
+                (Ok(c), Ok(r)) => {
+                    columnar = c;
+                    rowmajor = r;
+                }
+                (Err(_), Err(_)) => break, // both emptied — still identical
+                _ => {
+                    return Err(TestCaseError::fail(
+                        "layouts disagree on delta applicability",
+                    ))
+                }
+            }
+        }
+    }
+}

@@ -194,7 +194,7 @@ proptest! {
             Bandwidth::uniform(b, table.qi_count()).unwrap(),
         );
         for r in (0..table.len()).step_by(7) {
-            let p = adversary.prior(table.qi(r));
+            let p = adversary.prior(&table.qi(r));
             let s: f64 = p.as_slice().iter().sum();
             prop_assert!((s - 1.0).abs() < 1e-9);
             prop_assert!(p.as_slice().iter().all(|&x| x >= 0.0));

@@ -55,7 +55,7 @@ fn random_delta(table: &Table, rng: &mut SmallRng, del_frac: f64, inserts: usize
     let donors = adult::generate(inserts.max(1), rng.gen::<u64>());
     for r in 0..inserts {
         builder
-            .insert_codes(donors.qi(r), donors.sensitive_value(r))
+            .insert_codes(&donors.qi(r), donors.sensitive_value(r))
             .expect("donor rows share the schema");
     }
     builder.build()
