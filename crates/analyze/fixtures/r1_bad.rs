@@ -26,4 +26,20 @@ impl Hub {
         wal.append(0);
         *published = snapshot;
     }
+
+    fn shard_under_intern(&self) -> usize {
+        let interned = self.interned.lock().expect("intern table");
+        // Rank 7 held while taking rank 2: the intern table is the bottom
+        // of the order; nothing may be acquired under it.
+        let tenants = self.tenants.lock().expect("shard registry");
+        interned.len() + tenants.len()
+    }
+
+    fn estimate_under_intern(&self, table: &Table) -> Model {
+        let mut interned = self.interned.lock().expect("intern table");
+        // Kernel estimation runs while the cross-tenant intern lock is
+        // held, serializing every fleet audit behind one estimation.
+        let model = estimate_model(table);
+        interned.insert(model)
+    }
 }

@@ -35,4 +35,24 @@ impl Hub {
         drop(wal);
         *self.published.write().expect("published snapshot") = snapshot;
     }
+
+    fn intern_last(&self, model: Model) -> usize {
+        // The intern table is the bottom of the order: rank 7 may be taken
+        // under any other guard, never the other way around.
+        let readers = self.readers.lock().expect("reader caches");
+        let mut interned = self.interned.lock().expect("intern table");
+        interned.insert(model);
+        readers.len() + interned.len()
+    }
+
+    fn intern_scoped(&self, table: &Table, key: u64) -> Model {
+        {
+            let interned = self.interned.lock().expect("intern table");
+            if let Some(hit) = interned.get(key) {
+                return hit;
+            }
+        }
+        // The intern guard died at the block; estimation runs lock-free.
+        estimate_model(table)
+    }
 }

@@ -7,7 +7,7 @@
 //!
 //! - **R1 lock discipline** — classified `SessionHub`/`SharedAuditSession`
 //!   guards acquire in the sanctioned registration → shard → tenant-writer →
-//!   wal → published → caches order, and no expensive engine call runs
+//!   wal → published → caches → intern-table order, and no expensive engine call runs
 //!   under a held guard.
 //! - **R2 pool usage** — `std::thread::{spawn,scope}` only inside
 //!   `crates/data/src/exec.rs`; everything else submits to `shared_pool()`.

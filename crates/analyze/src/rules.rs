@@ -58,8 +58,8 @@ pub struct FileAnalysis {
 /// The sanctioned lock order: a thread may only acquire a classified lock
 /// with a **strictly higher rank** than every classified guard it already
 /// holds (registration → shard → tenant-writer → wal → published →
-/// caches), and never two locks of the same class at once. Receiver field
-/// name → (class, rank).
+/// caches → intern-table), and never two locks of the same class at once.
+/// Receiver field name → (class, rank).
 pub const LOCK_CLASSES: &[(&str, &str, u8)] = &[
     ("registration", "registration", 1),
     ("tenants", "shard", 2),
@@ -69,6 +69,7 @@ pub const LOCK_CLASSES: &[(&str, &str, u8)] = &[
     ("readers", "reader-caches", 6),
     ("caches", "audit-caches", 6),
     ("memo", "audit-caches", 6),
+    ("interned", "intern-table", 7),
 ];
 
 /// Call-name prefixes considered expensive enough that holding any
@@ -357,7 +358,7 @@ fn rule_r1(ctx: &FileCtx<'_>, out: &mut FileAnalysis) {
                                 "acquires `{class}` (rank {rank}) while holding `{held}` \
                                  (rank {held_rank}) — sanctioned order is \
                                  registration → shard → tenant-writer → wal → \
-                                 published → caches",
+                                 published → caches → intern-table",
                                 held = g.class,
                                 held_rank = g.rank,
                             ))
@@ -893,7 +894,7 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              acquisition order: registration (durable tenant creation) → shard \
              (registry bucket) → tenant-writer → wal (durable log + checkpoint) → \
              published (snapshot swap) → caches (reader-audit / audit-session \
-             caches). Within a \
+             caches) → intern-table (cross-tenant model sharing). Within a \
              function, acquiring a classified lock at a rank ≤ any held classified \
              guard, or two guards of one class, is a deadlock in waiting; calling an \
              expensive engine symbol (omega_*/estimate_*/anonymize_*/report_*) under \

@@ -46,6 +46,16 @@ fn r1_fixtures() {
             .any(|(rule, key)| rule == "R1" && key.contains("order:wal")),
         "taking the wal guard under the published guard must be flagged: {bad:?}"
     );
+    assert!(
+        bad.iter()
+            .any(|(rule, key)| rule == "R1" && key.contains("order:shard")),
+        "taking the shard guard under the intern-table guard must be flagged: {bad:?}"
+    );
+    assert!(
+        bad.iter()
+            .any(|(rule, key)| rule == "R1" && key.contains("expensive:estimate_model")),
+        "estimation under the intern-table guard must be flagged: {bad:?}"
+    );
     let good = run("r1_good.rs", "");
     assert!(
         !rules_of(&good).contains(&"R1"),

@@ -207,6 +207,18 @@ impl AnonymizedTable {
         self.n_rows as f64 / self.groups.len() as f64
     }
 
+    /// Heap bytes of the group payload. Groups sit behind an `Arc` — O(1)
+    /// snapshot clones charge the same payload to every holder — so this is
+    /// the accounting proxy the serving hub sums into per-tenant memory
+    /// gauges, not an allocator-exact figure.
+    pub fn bytes_accounted(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.rows.len() * 8 + g.ranges.len() * 8 + g.sensitive_counts.len() * 4 + 96)
+            .sum::<usize>()
+            + 64
+    }
+
     /// The groups as plain row-index lists (the shape the privacy
     /// [`Auditor`](bgkanon_privacy::Auditor) consumes).
     pub fn row_groups(&self) -> Vec<Vec<usize>> {

@@ -315,6 +315,26 @@ impl PartitionTree {
         self.nodes.len() - self.free.len()
     }
 
+    /// Heap bytes of the retained tree: per-node payloads (leaf row lists,
+    /// range bounds, histograms; internal split stats) plus the id↔row
+    /// maps. A deterministic accounting proxy for the serving hub's
+    /// per-tenant memory gauges, not an allocator-exact figure.
+    pub fn bytes_accounted(&self) -> usize {
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                96 + match &n.kind {
+                    NodeKind::Leaf(l) => {
+                        l.rows.len() * 4 + (l.lo.len() + l.hi.len() + l.counts.len()) * 4
+                    }
+                    NodeKind::Internal(i) => i.stats.as_ref().map_or(0, |s| s.joint.len() * 4 + 32),
+                }
+            })
+            .sum();
+        nodes + self.free.len() * 4 + self.row_of.len() * 8 + self.id_of.len() * 4 + 128
+    }
+
     /// Maximum root-to-leaf depth (root = 0).
     pub fn depth(&self) -> usize {
         let mut max = 0usize;

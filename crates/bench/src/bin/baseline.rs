@@ -73,6 +73,22 @@
 //! cargo run --release -p bgkanon-bench --bin baseline -- --scale --smoke
 //! ```
 //!
+//! `--fleet` switches to the **bounded-memory fleet** benchmark, written
+//! to `BENCH_fleet.json`: 10k small tenants (400 under `--smoke`) in a
+//! durable hub, driven by a seeded Zipfian access script of interleaved
+//! audits and deltas. One unbounded reference lane establishes the
+//! operation-by-operation output digests and the unbounded resident-byte
+//! peak; budget lanes then replay the *identical* script under
+//! `max_resident_bytes` ceilings of ½, ¼ and ⅛ of that peak, recording
+//! peak resident bytes, hit rates, eviction/rehydration counts and audit
+//! throughput. Every lane's digests must match the reference bit-for-bit
+//! — eviction is a memory policy, never a semantics.
+//!
+//! ```text
+//! cargo run --release -p bgkanon-bench --bin baseline -- --fleet
+//! cargo run --release -p bgkanon-bench --bin baseline -- --fleet --smoke
+//! ```
+//!
 //! Methodology:
 //!
 //! * **publish** — Mondrian under 10-anonymity (the partitioning cost the
@@ -1590,6 +1606,7 @@ fn run_recovery_mode(smoke: bool, out_path: &str) {
                 sync: SyncPolicy::Always,
                 checkpoint_every: every,
                 verify_on_open: false,
+                max_resident_bytes: None,
             };
             // Write phase: register + scripted churn, then capture and drop.
             let expected: Vec<Captured> = {
@@ -1695,6 +1712,312 @@ fn run_recovery_mode(smoke: bool, out_path: &str) {
     );
 }
 
+fn run_fleet_mode(smoke: bool, out_path: &str) {
+    use bgkanon::privacy::AuditReport;
+    use bgkanon::{DurabilityOptions, SessionHub, SyncPolicy, TenantSnapshot};
+
+    let tenants: usize = if smoke { 400 } else { 10_000 };
+    let rows = 64usize;
+    let distinct = 32usize;
+    let ops = tenants * 4;
+    let zipf_s = 1.3f64;
+    let fleet_k = 4usize;
+    let b_primes = [0.3f64, 0.5];
+    let apply_fraction = 0.15f64;
+    let checkpoint_every = 8u64;
+
+    // Deterministic Zipfian CDF over tenant ranks (rank 0 hottest).
+    let weights: Vec<f64> = (0..tenants)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0f64, |acc, w| {
+            *acc += w / total;
+            Some(*acc)
+        })
+        .collect();
+
+    // The access script is drawn once and replayed verbatim by every
+    // lane, so budgeted and unbounded hubs see the same operations.
+    enum Op {
+        Apply(usize),
+        Audit(usize, f64),
+    }
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x00f1_ee70);
+    let script: Vec<Op> = (0..ops)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let tenant = cdf.partition_point(|c| *c < x).min(tenants - 1);
+            if rng.gen_bool(apply_fraction) {
+                Op::Apply(tenant)
+            } else {
+                let b = b_primes[(rng.gen::<u64>() % b_primes.len() as u64) as usize];
+                Op::Audit(tenant, b)
+            }
+        })
+        .collect();
+
+    fn fold(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    fn digest_snapshot(snap: &TenantSnapshot) -> u64 {
+        let mut h = fold(0xcbf2_9ce4_8422_2325, snap.version());
+        for g in snap.anonymized().groups() {
+            for &r in &g.rows {
+                h = fold(h, r as u64);
+            }
+            for q in &g.ranges {
+                h = fold(h, (u64::from(q.min) << 32) | u64::from(q.max));
+            }
+            for &c in &g.sensitive_counts {
+                h = fold(h, u64::from(c));
+            }
+        }
+        h
+    }
+    fn digest_report(report: &AuditReport) -> u64 {
+        let mut h = fold(0xcbf2_9ce4_8422_2325, report.worst_case.to_bits());
+        h = fold(h, report.mean.to_bits());
+        h = fold(h, report.vulnerable as u64);
+        for r in &report.risks {
+            h = fold(h, r.to_bits());
+        }
+        h
+    }
+
+    struct Lane {
+        budget_bytes: Option<usize>,
+        peak_resident_bytes: usize,
+        elapsed_ms: f64,
+        audits: usize,
+        hit_rate: f64,
+        hit_rate_total: f64,
+        evictions: u64,
+        rehydrations: u64,
+        interned_models: usize,
+        intern_hits: u64,
+        intern_misses: u64,
+        digests: Vec<u64>,
+        final_digest: u64,
+    }
+
+    let publisher = Publisher::new().k_anonymity(fleet_k);
+    let name_of = |i: usize| format!("tenant-{i:05}");
+    let run_lane = |tag: &str, budget: Option<usize>| -> Lane {
+        let dir =
+            std::env::temp_dir().join(format!("bgkanon_bench_fleet_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = DurabilityOptions {
+            sync: SyncPolicy::Never,
+            checkpoint_every,
+            verify_on_open: false,
+            max_resident_bytes: budget,
+        };
+        let (hub, _) = SessionHub::open_with(&dir, options).expect("create fleet hub");
+        for i in 0..tenants {
+            let table = adult::generate(rows, SEED + (i % distinct) as u64);
+            hub.register(&name_of(i), &table, &publisher)
+                .expect("small tenant is satisfiable");
+        }
+        let mut digests = Vec::with_capacity(ops);
+        let mut peak = hub.memory_stats().resident_bytes;
+        let mut audits = 0usize;
+        let mut rehydrations_mid = 0u64;
+        let (_, elapsed_ms) = time_ms(|| {
+            for (idx, op) in script.iter().enumerate() {
+                match *op {
+                    Op::Apply(t) => {
+                        let name = name_of(t);
+                        let delta = {
+                            let snap = hub.snapshot(&name).expect("registered");
+                            // Seeded per op index: every lane derives the
+                            // identical delta from the identical table.
+                            let mut delta_rng = SmallRng::seed_from_u64(SEED ^ (idx as u64) << 8);
+                            workload_delta(
+                                snap.table(),
+                                &mut delta_rng,
+                                Workload::Scattered,
+                                2,
+                                SEED + idx as u64,
+                            )
+                        };
+                        let snap = hub.apply(&name, &delta).expect("scripted delta");
+                        digests.push(digest_snapshot(&snap));
+                    }
+                    Op::Audit(t, b) => {
+                        let report = hub
+                            .audit_against(&name_of(t), b, THRESHOLD)
+                            .expect("registered");
+                        digests.push(digest_report(&report));
+                        audits += 1;
+                    }
+                }
+                if idx % 64 == 0 {
+                    let s = hub.memory_stats();
+                    peak = peak.max(s.resident_bytes);
+                    if std::env::var_os("FLEET_DEBUG").is_some() {
+                        eprintln!(
+                            "op {idx}: resident {} evicted {} bytes {} rehy {}",
+                            s.resident_tenants, s.evicted_tenants, s.resident_bytes, s.rehydrations
+                        );
+                    }
+                }
+                if idx + 1 == ops / 2 {
+                    rehydrations_mid = hub.memory_stats().rehydrations;
+                }
+            }
+        });
+        // Stats close with the script: the verification sweep below
+        // rehydrates every evicted tenant and must not pollute them.
+        let stats = hub.memory_stats();
+        peak = peak.max(stats.resident_bytes);
+        let mut final_digest = 0xcbf2_9ce4_8422_2325u64;
+        for i in 0..tenants {
+            let snap = hub.snapshot(&name_of(i)).expect("registered");
+            final_digest = fold(final_digest, digest_snapshot(&snap));
+        }
+        let warm_ops = (ops - ops / 2) as f64;
+        let warm_misses = (stats.rehydrations - rehydrations_mid) as f64;
+        drop(hub);
+        let _ = std::fs::remove_dir_all(&dir);
+        Lane {
+            budget_bytes: budget,
+            peak_resident_bytes: peak,
+            elapsed_ms,
+            audits,
+            hit_rate: 1.0 - warm_misses / warm_ops,
+            hit_rate_total: 1.0 - stats.rehydrations as f64 / ops as f64,
+            evictions: stats.evictions,
+            rehydrations: stats.rehydrations,
+            interned_models: stats.interned_models,
+            intern_hits: stats.intern_hits,
+            intern_misses: stats.intern_misses,
+            digests,
+            final_digest,
+        }
+    };
+
+    let unbounded = run_lane("unbounded", None);
+    let fractions = [2usize, 4, 8];
+    let lanes: Vec<(usize, Lane)> = fractions
+        .iter()
+        .map(|&f| {
+            let budget = unbounded.peak_resident_bytes / f;
+            (f, run_lane(&format!("budget_{f}"), Some(budget)))
+        })
+        .collect();
+    let identical_of = |lane: &Lane| -> bool {
+        lane.digests == unbounded.digests && lane.final_digest == unbounded.final_digest
+    };
+    let all_identical = lanes.iter().all(|(_, l)| identical_of(l));
+
+    let mb = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+    let mut report = Report::new(
+        "Fleet: Zipfian multi-tenant serving under resident-memory budgets",
+        &[
+            "budget",
+            "peak resident",
+            "hit rate",
+            "evict/rehydrate",
+            "audits/s",
+        ],
+    );
+    report.row(
+        "unbounded",
+        vec![
+            "-".to_owned(),
+            format!("{:.1}MB", mb(unbounded.peak_resident_bytes)),
+            "1.000".to_owned(),
+            "0 / 0".to_owned(),
+            format!(
+                "{:.0}",
+                unbounded.audits as f64 / (unbounded.elapsed_ms / 1e3)
+            ),
+        ],
+    );
+    for (f, lane) in &lanes {
+        report.row(
+            &format!("peak/{f}"),
+            vec![
+                format!("{:.1}MB", mb(lane.budget_bytes.unwrap_or(0))),
+                format!("{:.1}MB", mb(lane.peak_resident_bytes)),
+                format!("{:.3}", lane.hit_rate),
+                format!("{} / {}", lane.evictions, lane.rehydrations),
+                format!("{:.0}", lane.audits as f64 / (lane.elapsed_ms / 1e3)),
+            ],
+        );
+    }
+    report.note(&format!(
+        "{tenants} tenants × {rows} rows ({distinct} distinct contents), {ops} Zipf(s={zipf_s}) \
+         ops ({:.0}% deltas), {fleet_k}-anonymity, sync=never, checkpoint every {checkpoint_every}; \
+         {} prior models interned ({} hits / {} misses); hit rate = warm-window fraction of \
+         operations served without rehydration; every budget lane's outputs bit-identical to the \
+         unbounded lane: {all_identical}",
+        apply_fraction * 100.0,
+        unbounded.interned_models,
+        unbounded.intern_hits,
+        unbounded.intern_misses,
+    ));
+    println!("{}", report.render());
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fleet\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"tenants\": {tenants},\n"));
+    out.push_str(&format!("  \"rows_per_tenant\": {rows},\n"));
+    out.push_str(&format!("  \"distinct_contents\": {distinct},\n"));
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"zipf_s\": {zipf_s},\n"));
+    out.push_str(&format!("  \"apply_fraction\": {apply_fraction},\n"));
+    out.push_str(&format!("  \"requirement\": \"{fleet_k}-anonymity\",\n"));
+    out.push_str(&format!(
+        "  \"unbounded\": {{\"peak_resident_bytes\": {}, \"elapsed_ms\": {:.3}, \
+         \"audits_per_s\": {:.1}, \"evictions\": {}, \"interned_models\": {}, \
+         \"intern_hits\": {}, \"intern_misses\": {}}},\n",
+        unbounded.peak_resident_bytes,
+        unbounded.elapsed_ms,
+        unbounded.audits as f64 / (unbounded.elapsed_ms / 1e3),
+        unbounded.evictions,
+        unbounded.interned_models,
+        unbounded.intern_hits,
+        unbounded.intern_misses,
+    ));
+    out.push_str("  \"lanes\": [\n");
+    for (i, (f, lane)) in lanes.iter().enumerate() {
+        let budget = lane.budget_bytes.unwrap_or(0);
+        out.push_str(&format!(
+            "    {{\"budget_fraction\": {f}, \"budget_bytes\": {budget}, \
+             \"peak_resident_bytes\": {}, \"peak_over_budget\": {:.4}, \
+             \"hit_rate\": {:.4}, \"hit_rate_total\": {:.4}, \"evictions\": {}, \
+             \"rehydrations\": {}, \"elapsed_ms\": {:.3}, \"audits_per_s\": {:.1}, \
+             \"identical_output\": {}}}{}\n",
+            lane.peak_resident_bytes,
+            lane.peak_resident_bytes as f64 / budget as f64,
+            lane.hit_rate,
+            lane.hit_rate_total,
+            lane.evictions,
+            lane.rehydrations,
+            lane.elapsed_ms,
+            lane.audits as f64 / (lane.elapsed_ms / 1e3),
+            identical_of(lane),
+            if i + 1 < lanes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"identical_output\": {all_identical}\n"));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(out_path).expect("create fleet json");
+    file.write_all(out.as_bytes()).expect("write fleet json");
+    println!("wrote {out_path}");
+    assert!(
+        all_identical,
+        "a budgeted lane's outputs drifted from the unbounded lane — see {out_path}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1703,13 +2026,15 @@ fn main() {
     let concurrent = args.iter().any(|a| a == "--concurrent");
     let recovery = args.iter().any(|a| a == "--recovery");
     let scale = args.iter().any(|a| a == "--scale");
+    let fleet = args.iter().any(|a| a == "--fleet");
     assert!(
-        [incremental, estimate, concurrent, recovery, scale]
+        [incremental, estimate, concurrent, recovery, scale, fleet]
             .iter()
             .filter(|b| **b)
             .count()
             <= 1,
-        "--incremental, --estimate, --concurrent, --recovery and --scale are mutually exclusive"
+        "--incremental, --estimate, --concurrent, --recovery, --scale and --fleet \
+         are mutually exclusive"
     );
     let arg_after = |flag: &str| {
         args.iter()
@@ -1728,6 +2053,8 @@ fn main() {
             "BENCH_recovery.json".to_owned()
         } else if scale {
             "BENCH_scale.json".to_owned()
+        } else if fleet {
+            "BENCH_fleet.json".to_owned()
         } else {
             "BENCH_baseline.json".to_owned()
         }
@@ -1738,6 +2065,10 @@ fn main() {
     }
     if recovery {
         run_recovery_mode(smoke, &out_path);
+        return;
+    }
+    if fleet {
+        run_fleet_mode(smoke, &out_path);
         return;
     }
     let reps: usize = arg_after("--reps")

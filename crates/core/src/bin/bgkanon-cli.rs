@@ -55,11 +55,14 @@ const USAGE: &str = "usage:
   bgkanon-cli serve     [--tenants N] [--rows N] [--deltas N] [--readers N]
                         [--audits N] [--seed S] [--b-prime B] [--t T]
                         [--model ... model flags] [--threads ...]
-                        [--data-dir DIR]
+                        [--data-dir DIR] [--max-resident-mb N]
                         (scripted multi-tenant SessionHub workload, verified
                          against from-scratch publications; with --data-dir the
                          hub is durable: state is recovered on start and the
-                         final state is re-verified through a cold reopen)
+                         final state is re-verified through a cold reopen;
+                         --max-resident-mb bounds the hub's accounted resident
+                         bytes — cold tenants are demoted to their durable form
+                         and rehydrated transparently on the next touch)
   bgkanon-cli anonymize (legacy one-shot alias of publish, without deltas)
   bgkanon-cli mine      --input FILE [--min-support N] [--pairwise]";
 
@@ -360,10 +363,16 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .parallelism(parse_parallelism(flags)?)
     };
 
+    let max_resident_mb: Option<usize> = parse(flags, "max-resident-mb")?;
+    let max_resident_bytes = max_resident_mb.map(|mb| mb.max(1) * 1024 * 1024);
     let data_dir = flags.get("data-dir").cloned();
     let hub = match &data_dir {
         Some(dir) => {
-            let (hub, report) = SessionHub::open(dir).map_err(|e| e.to_string())?;
+            let options = bgkanon::DurabilityOptions {
+                max_resident_bytes,
+                ..Default::default()
+            };
+            let (hub, report) = SessionHub::open_with(dir, options).map_err(|e| e.to_string())?;
             for tenant in &report.tenants {
                 match &tenant.error {
                     None => eprintln!(
@@ -387,7 +396,10 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             }
             Arc::new(hub)
         }
-        None => Arc::new(SessionHub::new()),
+        None => match max_resident_bytes {
+            Some(budget) => Arc::new(SessionHub::with_budget(budget)),
+            None => Arc::new(SessionHub::new()),
+        },
     };
     let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
     for (i, name) in names.iter().enumerate() {
@@ -515,6 +527,20 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         applied as f64 / elapsed,
         audits as f64 / elapsed,
     );
+    if max_resident_bytes.is_some() {
+        let stats = hub.memory_stats();
+        eprintln!(
+            "memory: {:.1}MB resident of {:.1}MB budget, {}/{} tenants resident, \
+             {} evictions, {} rehydrations, {} interned models",
+            stats.resident_bytes as f64 / (1024.0 * 1024.0),
+            stats.budget_bytes.unwrap_or(0) as f64 / (1024.0 * 1024.0),
+            stats.resident_tenants,
+            stats.resident_tenants + stats.evicted_tenants,
+            stats.evictions,
+            stats.rehydrations,
+            stats.interned_models,
+        );
+    }
 
     // Verification: every tenant's final publication must be bit-identical
     // to a from-scratch publish of its final table.
@@ -733,6 +759,11 @@ mod tests {
         // tenants and keeps applying deltas on top of the recovered state.
         run(&args(&dir)).unwrap();
         run(&args(&dir)).unwrap();
+        // Third run under a 1MB resident budget: serving demotes cold
+        // tenants to disk and the end-of-run verification still holds.
+        let mut budgeted = args(&dir);
+        budgeted.extend(["--max-resident-mb".to_owned(), "1".to_owned()]);
+        run(&budgeted).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

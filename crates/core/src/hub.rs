@@ -36,23 +36,43 @@
 //!   [`apply`](SessionHub::apply) appends (and by default fsyncs) the delta
 //!   **before** publishing or acknowledging it, so a crash at any moment
 //!   recovers every acked version ([`crate::recover`]).
+//! * **Bounded memory** — every tenant carries a byte gauge
+//!   ([`PublishSession::bytes_accounted`] + snapshot + reader caches),
+//!   rolled up into a hub-wide resident counter. When a budget is
+//!   configured ([`DurabilityOptions::max_resident_bytes`] or
+//!   [`SessionHub::with_budget`]) and the counter crosses it, the coldest
+//!   tenants (LRU by logical last-touch stamp) are **demoted to their
+//!   durable form**: checkpoint flushed, WAL descriptor closed, in-memory
+//!   session and caches dropped. The next touch transparently rehydrates
+//!   through [`crate::recover`] — eviction is never observable in results
+//!   (`tests/tests/fleet.rs` proptest), only in latency. Hubs without a
+//!   durable form trim audit caches instead of demoting.
+//! * **Content-hash interning** — hub-estimated `Adv(b′)` adversaries are
+//!   interned by FNV content hash of their provenance (folded table +
+//!   bandwidth + kernel family), so a fleet of tenants serving the same
+//!   background knowledge shares one `Arc`-ed prior model instead of
+//!   estimating and holding thousands.
 //!
-//! Correctness bar (enforced by `tests/tests/hub.rs` and
-//! `tests/tests/recovery.rs`): under any interleaving of writers and
-//! readers — and across any crash/reopen — every snapshot and every audit
-//! report is **bit-identical** to a serial replay of that tenant's acked
-//! delta sequence — concurrency and durability buy throughput and safety,
-//! never drift.
+//! Correctness bar (enforced by `tests/tests/hub.rs`,
+//! `tests/tests/recovery.rs` and `tests/tests/fleet.rs`): under any
+//! interleaving of writers and readers — and across any crash/reopen or
+//! eviction/rehydration cycle — every snapshot and every audit report is
+//! **bit-identical** to a serial replay of that tenant's acked delta
+//! sequence — concurrency, durability and memory bounds buy throughput and
+//! safety, never drift.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, Weak};
 
 use bgkanon_anon::AnonymizedTable;
 use bgkanon_data::{Delta, Parallelism, Table};
-use bgkanon_knowledge::{Adversary, Bandwidth, PriorEstimator, PriorModel};
+use bgkanon_knowledge::{
+    Adversary, Bandwidth, FoldedTable, KernelFamily, PriorEstimator, PriorModel,
+};
 use bgkanon_privacy::{AuditReport, Auditor, SharedAuditSession};
 use bgkanon_stats::SmoothedJs;
 
@@ -60,6 +80,15 @@ use crate::publisher::Publisher;
 use crate::recover::{self, RecoveryReport, TenantRecovery};
 use crate::session::{PublishSession, SessionError};
 use crate::wal::{encode_record, DurabilityOptions, WalWriter};
+
+/// Recover a lock from a poisoned peer. The hub's guarded state is kept
+/// consistent at every await-free step (a panicking writer leaves either
+/// the old or the new published state, never a torn one), so continuing
+/// past a poison flag is safe — and a serving hub must not let one
+/// panicked worker wedge every other tenant.
+fn relock<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// An immutable published version of one tenant's table: what hub readers
 /// audit against. Snapshots are handed out as `Arc`s and everything inside
@@ -155,6 +184,20 @@ impl TenantSnapshot {
         PriorEstimator::new(Arc::clone(self.table.schema()), bandwidth)
             .estimate_with(&self.table, parallelism)
     }
+
+    /// Heap bytes this snapshot pins: the published table and group list
+    /// plus leaf stamps. The payloads are `Arc`-shared with the session of
+    /// the same version — per the hub's accounting convention they are
+    /// charged to every holder, making the per-tenant gauge a deterministic
+    /// upper-bound RSS proxy rather than an allocator-exact count.
+    pub fn bytes_accounted(&self) -> usize {
+        self.tenant.len()
+            + self.requirement_name.len()
+            + self.table.bytes_accounted()
+            + self.anonymized.bytes_accounted()
+            + self.stamps.len() * 8
+            + 64
+    }
 }
 
 /// Key of one retained reader-audit configuration of a tenant.
@@ -187,30 +230,53 @@ struct ReaderCache {
 /// durable version.
 struct TenantWal {
     dir: PathBuf,
-    writer: WalWriter,
+    /// `None` while the tenant is demoted — an evicted tenant must not pin
+    /// a file descriptor (a 10k-tenant fleet would exhaust the process fd
+    /// table). Rehydration reopens it.
+    writer: Option<WalWriter>,
     since_checkpoint: u64,
     healthy: bool,
+}
+
+/// Residency of one tenant's in-memory session.
+enum TenantState {
+    /// Session in memory, serving applies and audits.
+    Resident(Box<PublishSession>),
+    /// Demoted to the durable form under the tenant's directory: no
+    /// session, no snapshot, no caches, no open WAL descriptor. The next
+    /// touch rehydrates through [`crate::recover`] — bit-identical to
+    /// never having been evicted.
+    Evicted,
 }
 
 /// One hosted tenant.
 struct Tenant {
     name: String,
-    /// The single-writer evolving session. Held only by
-    /// [`SessionHub::apply`], for the duration of one delta.
-    writer: Mutex<PublishSession>,
+    /// The single-writer evolving session (or its evicted placeholder).
+    /// Held by [`SessionHub::apply`] for the duration of one delta and by
+    /// rehydration/demotion for the duration of the state swap.
+    writer: Mutex<TenantState>,
     /// Durable-apply state; `None` on in-memory hubs. Nests inside the
     /// `writer` lock and is released before `published` is written.
     wal: Option<Mutex<TenantWal>>,
-    /// The current published version. Write-locked only for the `Arc` swap
-    /// after a delta; read-locked only for an `Arc` clone.
-    published: RwLock<Arc<TenantSnapshot>>,
+    /// The current published version; `None` while demoted. Write-locked
+    /// only for the `Arc` swap after a delta; read-locked only for an
+    /// `Arc` clone.
+    published: RwLock<Option<Arc<TenantSnapshot>>>,
     /// Reader-audit configurations, LRU-bounded like a session's caches.
     readers: Mutex<Vec<ReaderCache>>,
+    /// Logical LRU stamp: the hub's touch clock at this tenant's last
+    /// apply/audit/snapshot. Drives eviction order — no wall clock.
+    last_touch: AtomicU64,
+    /// Bytes currently charged for the session + published snapshot.
+    session_bytes: AtomicUsize,
+    /// Bytes currently charged for the shared reader-audit caches.
+    reader_bytes: AtomicUsize,
 }
 
 impl Tenant {
-    fn snapshot(&self) -> Arc<TenantSnapshot> {
-        Arc::clone(&self.published.read().expect("published lock"))
+    fn snapshot_opt(&self) -> Option<Arc<TenantSnapshot>> {
+        relock(self.published.read()).as_ref().map(Arc::clone)
     }
 
     /// Fetch or build the shared audit session for `key`; `build` runs
@@ -221,7 +287,7 @@ impl Tenant {
         build: impl FnOnce() -> SharedAuditSession,
     ) -> Arc<SharedAuditSession> {
         if let Some(found) = {
-            let mut readers = self.readers.lock().expect("readers lock");
+            let mut readers = relock(self.readers.lock());
             match readers.iter().position(|c| c.key == key) {
                 Some(idx) => {
                     // Move to the back: LRU order for eviction.
@@ -236,7 +302,7 @@ impl Tenant {
             return found;
         }
         let session = Arc::new(build());
-        let mut readers = self.readers.lock().expect("readers lock");
+        let mut readers = relock(self.readers.lock());
         // Recheck: another reader may have built it while we did.
         if let Some(entry) = readers.iter().find(|c| c.key == key) {
             return Arc::clone(&entry.session);
@@ -272,6 +338,130 @@ struct Durability {
     /// racing registrations of the same name must not interleave those file
     /// writes. Held first, before any shard lock.
     registration: Mutex<()>,
+}
+
+/// One interned `Adv(b′)` adversary, held weakly: the entry lives while
+/// any tenant's reader cache keeps the adversary alive, and is pruned
+/// once the last holder drops it — the intern table itself never pins
+/// models for tenants that no longer use them.
+struct InternEntry {
+    /// FNV-1a content hash of the provenance (folded table + bandwidth
+    /// bits + kernel family). A hash match is only a candidate: sharing
+    /// requires the full [`FoldedTable::content_eq`] check.
+    key: u64,
+    adversary: Weak<Adversary>,
+}
+
+/// The cross-tenant adversary intern table. Guarded by the rank-7
+/// `interned` lock — acquired last in the sanctioned order and never held
+/// across estimation.
+struct InternTable {
+    entries: Vec<InternEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl InternTable {
+    /// A live entry whose provenance is content-identical to
+    /// `(fold, bandwidth, family)`, if any.
+    fn find(
+        &self,
+        key: u64,
+        fold: &FoldedTable,
+        bandwidth: &Bandwidth,
+        family: KernelFamily,
+    ) -> Option<Arc<Adversary>> {
+        for entry in &self.entries {
+            if entry.key != key {
+                continue;
+            }
+            let Some(adversary) = entry.adversary.upgrade() else {
+                continue;
+            };
+            let Some(model) = adversary.prior_model() else {
+                continue;
+            };
+            let same = model.family() == family
+                && model
+                    .bandwidth()
+                    .is_some_and(|b| bandwidth_eq(b, bandwidth))
+                && model.folded().is_some_and(|f| f.content_eq(fold));
+            if same {
+                return Some(adversary);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, key: u64, adversary: &Arc<Adversary>) {
+        self.entries.retain(|e| e.adversary.strong_count() > 0);
+        self.entries.push(InternEntry {
+            key,
+            adversary: Arc::downgrade(adversary),
+        });
+    }
+}
+
+/// Bit-exact bandwidth equality — the intern key must distinguish profiles
+/// that differ in any representable way.
+fn bandwidth_eq(a: &Bandwidth, b: &Bandwidth) -> bool {
+    a.len() == b.len()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// FNV-1a mix of the intern key's non-fold provenance: bandwidth bits and
+/// kernel family, folded into the table's content hash.
+fn intern_key(fold: &FoldedTable, bandwidth: &Bandwidth, family: KernelFamily) -> u64 {
+    let mut h = fold.content_hash();
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &b in bandwidth.as_slice() {
+        eat(b.to_bits());
+    }
+    eat(match family {
+        KernelFamily::Epanechnikov => 0,
+        KernelFamily::Uniform => 1,
+        KernelFamily::Triangular => 2,
+    });
+    h
+}
+
+/// A point-in-time view of the hub's memory gauges
+/// ([`SessionHub::memory_stats`]). All byte figures are accounting proxies
+/// (shared payloads charged to every holder), deterministic for a given
+/// call sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Rolled-up per-tenant bytes: sessions + published snapshots + shared
+    /// reader-audit caches.
+    pub resident_bytes: usize,
+    /// The configured budget this hub evicts against, if any.
+    pub budget_bytes: Option<usize>,
+    /// Tenants currently serving from memory.
+    pub resident_tenants: usize,
+    /// Tenants currently demoted to their durable form.
+    pub evicted_tenants: usize,
+    /// Demotions since the hub opened (durable demotions and in-memory
+    /// cache trims both count).
+    pub evictions: u64,
+    /// Rehydrations from the durable form since the hub opened.
+    pub rehydrations: u64,
+    /// Live interned `Adv(b′)` adversaries.
+    pub interned_models: usize,
+    /// Bytes held by live interned adversaries and their prior models —
+    /// charged once here, never per tenant.
+    pub interned_bytes: usize,
+    /// Intern-table lookups answered by an existing model.
+    pub intern_hits: u64,
+    /// Intern-table lookups that had to estimate a fresh model.
+    pub intern_misses: u64,
 }
 
 /// A concurrent registry of named publishing sessions: many tenants, one
@@ -312,6 +502,17 @@ struct Durability {
 pub struct SessionHub {
     shards: Vec<Shard>,
     durability: Option<Durability>,
+    /// In-memory budget ([`with_budget`](Self::with_budget)); durable hubs
+    /// configure theirs via [`DurabilityOptions::max_resident_bytes`].
+    budget: Option<usize>,
+    /// Monotonic logical clock stamping tenant touches (LRU order).
+    touch_clock: AtomicU64,
+    /// Rolled-up resident bytes across all tenants.
+    resident: AtomicUsize,
+    evictions: AtomicU64,
+    rehydrations: AtomicU64,
+    /// Cross-tenant `Adv(b′)` intern table (rank-7 lock, acquired last).
+    interned: Mutex<InternTable>,
 }
 
 impl SessionHub {
@@ -339,7 +540,30 @@ impl SessionHub {
                 })
                 .collect(),
             durability: None,
+            budget: None,
+            touch_clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+            rehydrations: AtomicU64::new(0),
+            interned: Mutex::new(InternTable {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
         }
+    }
+
+    /// An in-memory hub that keeps its rolled-up resident bytes at or
+    /// under `max_resident_bytes`. Without a durable form to demote to,
+    /// crossing the budget trims the coldest tenants' audit and reader
+    /// caches (their tables and partition trees stay — an in-memory tenant
+    /// has nowhere else to live). Durable hubs configure a budget via
+    /// [`DurabilityOptions::max_resident_bytes`] and demote whole tenants
+    /// instead.
+    pub fn with_budget(max_resident_bytes: usize) -> Self {
+        let mut hub = Self::new();
+        hub.budget = Some(max_resident_bytes);
+        hub
     }
 
     /// Open a **durable** hub rooted at `dir` with default
@@ -365,14 +589,12 @@ impl SessionHub {
         std::fs::create_dir_all(&root).map_err(|e| {
             SessionError::Durability(format!("could not create data dir {root:?}: {e}"))
         })?;
-        let hub = SessionHub {
-            shards: Self::with_shards(Self::DEFAULT_SHARDS).shards,
-            durability: Some(Durability {
-                root: root.clone(),
-                options,
-                registration: Mutex::new(()),
-            }),
-        };
+        let mut hub = Self::with_shards(Self::DEFAULT_SHARDS);
+        hub.durability = Some(Durability {
+            root: root.clone(),
+            options,
+            registration: Mutex::new(()),
+        });
         let mut dirs: Vec<PathBuf> = std::fs::read_dir(&root)
             .map_err(|e| SessionError::Durability(format!("could not list {root:?}: {e}")))?
             .filter_map(|entry| entry.ok())
@@ -428,23 +650,30 @@ impl SessionHub {
                 error: None,
             });
             let snapshot = Arc::new(Self::snapshot_of(&recovered.name, &recovered.session));
+            let bytes = recovered.session.bytes_accounted() + snapshot.bytes_accounted();
             let entry = Arc::new(Tenant {
                 name: recovered.name.clone(),
-                writer: Mutex::new(recovered.session),
+                writer: Mutex::new(TenantState::Resident(Box::new(recovered.session))),
                 wal: Some(Mutex::new(TenantWal {
                     dir: tenant_dir,
-                    writer,
+                    writer: Some(writer),
                     since_checkpoint: recovered.replayed as u64,
                     healthy: true,
                 })),
-                published: RwLock::new(snapshot),
+                published: RwLock::new(Some(snapshot)),
                 readers: Mutex::new(Vec::new()),
+                last_touch: AtomicU64::new(hub.touch_clock.fetch_add(1, Ordering::Relaxed)),
+                session_bytes: AtomicUsize::new(bytes),
+                reader_bytes: AtomicUsize::new(0),
             });
-            hub.shard(&recovered.name)
-                .tenants
-                .lock()
-                .expect("shard lock")
-                .insert(recovered.name, entry);
+            hub.resident.fetch_add(bytes, Ordering::Relaxed);
+            {
+                let mut tenants = relock(hub.shard(&recovered.name).tenants.lock());
+                tenants.insert(recovered.name, entry);
+            }
+            // Keep the open itself inside the budget: a fleet-sized data
+            // root must not transiently resident every tenant at once.
+            hub.maybe_evict(None);
         }
         Ok((hub, report))
     }
@@ -466,10 +695,7 @@ impl SessionHub {
     }
 
     fn tenant(&self, name: &str) -> Result<Arc<Tenant>, SessionError> {
-        self.shard(name)
-            .tenants
-            .lock()
-            .expect("shard lock")
+        relock(self.shard(name).tenants.lock())
             .get(name)
             .cloned()
             .ok_or_else(|| SessionError::UnknownTenant(name.to_owned()))
@@ -479,7 +705,7 @@ impl SessionHub {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.tenants.lock().expect("shard lock").len())
+            .map(|s| relock(s.tenants.lock()).len())
             .sum()
     }
 
@@ -490,11 +716,7 @@ impl SessionHub {
 
     /// Is a tenant with this id registered?
     pub fn contains(&self, tenant: &str) -> bool {
-        self.shard(tenant)
-            .tenants
-            .lock()
-            .expect("shard lock")
-            .contains_key(tenant)
+        relock(self.shard(tenant).tenants.lock()).contains_key(tenant)
     }
 
     /// All registered tenant ids, sorted.
@@ -502,14 +724,7 @@ impl SessionHub {
         let mut names: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| {
-                s.tenants
-                    .lock()
-                    .expect("shard lock")
-                    .keys()
-                    .cloned()
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|s| relock(s.tenants.lock()).keys().cloned().collect::<Vec<_>>())
             .collect();
         names.sort();
         names
@@ -531,7 +746,7 @@ impl SessionHub {
         let _registration = self
             .durability
             .as_ref()
-            .map(|d| d.registration.lock().expect("registration lock"));
+            .map(|d| relock(d.registration.lock()));
         if self.contains(tenant) {
             return Err(SessionError::TenantExists(tenant.to_owned()));
         }
@@ -548,7 +763,7 @@ impl SessionHub {
                 .map_err(|e| durable(e, "creating the WAL"))?;
             Some(Mutex::new(TenantWal {
                 dir,
-                writer,
+                writer: Some(writer),
                 since_checkpoint: 0,
                 healthy: true,
             }))
@@ -556,20 +771,29 @@ impl SessionHub {
             None
         };
         let snapshot = Arc::new(Self::snapshot_of(tenant, &session));
+        let bytes = session.bytes_accounted() + snapshot.bytes_accounted();
         let entry = Arc::new(Tenant {
             name: tenant.to_owned(),
-            writer: Mutex::new(session),
+            writer: Mutex::new(TenantState::Resident(Box::new(session))),
             wal,
-            published: RwLock::new(Arc::clone(&snapshot)),
+            published: RwLock::new(Some(Arc::clone(&snapshot))),
             readers: Mutex::new(Vec::new()),
+            last_touch: AtomicU64::new(self.touch_clock.fetch_add(1, Ordering::Relaxed)),
+            session_bytes: AtomicUsize::new(bytes),
+            reader_bytes: AtomicUsize::new(0),
         });
-        let mut tenants = self.shard(tenant).tenants.lock().expect("shard lock");
-        if tenants.contains_key(tenant) {
-            // Raced with another registration of the same id (in-memory
-            // hubs only — durable registrations hold the registration lock).
-            return Err(SessionError::TenantExists(tenant.to_owned()));
+        {
+            let mut tenants = relock(self.shard(tenant).tenants.lock());
+            if tenants.contains_key(tenant) {
+                // Raced with another registration of the same id (in-memory
+                // hubs only — durable registrations hold the registration
+                // lock).
+                return Err(SessionError::TenantExists(tenant.to_owned()));
+            }
+            tenants.insert(tenant.to_owned(), entry);
         }
-        tenants.insert(tenant.to_owned(), entry);
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        self.maybe_evict(Some(tenant));
         Ok(snapshot)
     }
 
@@ -578,15 +802,17 @@ impl SessionHub {
     /// a durable hub the tenant's directory is deleted too, so a reopen
     /// does not resurrect it.
     pub fn remove(&self, tenant: &str) -> Result<(), SessionError> {
-        let removed = self
-            .shard(tenant)
-            .tenants
-            .lock()
-            .expect("shard lock")
-            .remove(tenant)
-            .ok_or_else(|| SessionError::UnknownTenant(tenant.to_owned()))?;
+        let removed = {
+            let mut tenants = relock(self.shard(tenant).tenants.lock());
+            tenants
+                .remove(tenant)
+                .ok_or_else(|| SessionError::UnknownTenant(tenant.to_owned()))?
+        };
+        let freed = removed.session_bytes.swap(0, Ordering::Relaxed)
+            + removed.reader_bytes.swap(0, Ordering::Relaxed);
+        self.resident.fetch_sub(freed, Ordering::Relaxed);
         if let Some(wal) = &removed.wal {
-            let dir = wal.lock().expect("wal lock").dir.clone();
+            let dir = relock(wal.lock()).dir.clone();
             std::fs::remove_dir_all(&dir).map_err(|e| {
                 SessionError::Durability(format!(
                     "tenant `{tenant}` was removed from the hub but its directory \
@@ -599,8 +825,11 @@ impl SessionHub {
 
     /// The tenant's current published version — an `Arc` clone behind a
     /// read lock held for nanoseconds; never blocked by an in-flight delta.
+    /// A demoted tenant is transparently rehydrated from its durable form
+    /// first.
     pub fn snapshot(&self, tenant: &str) -> Result<Arc<TenantSnapshot>, SessionError> {
-        Ok(self.tenant(tenant)?.snapshot())
+        let entry = self.tenant(tenant)?;
+        self.resident_snapshot(&entry)
     }
 
     /// Apply one delta to a tenant under its writer lock and publish the
@@ -620,49 +849,81 @@ impl SessionHub {
     /// the log does not back.
     pub fn apply(&self, tenant: &str, delta: &Delta) -> Result<Arc<TenantSnapshot>, SessionError> {
         let entry = self.tenant(tenant)?;
-        let mut session = entry.writer.lock().expect("writer lock");
-        match (&entry.wal, &self.durability) {
-            (Some(wal), Some(durability)) => {
-                let mut wal = wal.lock().expect("wal lock");
-                if !wal.healthy {
-                    return Err(SessionError::Durability(format!(
-                        "tenant `{tenant}` refused the delta: its WAL hit an earlier \
-                         failure; reopen the hub to recover"
-                    )));
-                }
-                session.apply(delta)?;
-                let seq = session.deltas_applied() as u64;
-                if let Err(e) = wal.writer.append(&encode_record(seq, delta)) {
-                    wal.healthy = false;
-                    return Err(SessionError::Durability(format!(
-                        "WAL append of version {seq} failed: {e}"
-                    )));
-                }
-                wal.since_checkpoint += 1;
-                let every = durability.options.checkpoint_every;
-                if every > 0 && wal.since_checkpoint >= every {
-                    let rotated = recover::write_checkpoint(&wal.dir, seq, &session)
-                        .and_then(|()| recover::rotate_wal(&wal.dir, seq, durability.options.sync));
-                    match rotated {
-                        Ok(writer) => {
-                            wal.writer = writer;
-                            wal.since_checkpoint = 0;
-                        }
-                        Err(e) => {
-                            wal.healthy = false;
-                            return Err(SessionError::Durability(format!(
-                                "checkpoint at version {seq} failed: {e}"
-                            )));
+        self.touch(&entry);
+        let snapshot = {
+            let mut state = relock(entry.writer.lock());
+            self.rehydrate_locked(&entry, &mut state)?;
+            let TenantState::Resident(session) = &mut *state else {
+                return Err(SessionError::Durability(format!(
+                    "tenant `{tenant}` has no resident session to apply to"
+                )));
+            };
+            match (&entry.wal, &self.durability) {
+                (Some(wal), Some(durability)) => {
+                    let mut wal = relock(wal.lock());
+                    if !wal.healthy {
+                        return Err(SessionError::Durability(format!(
+                            "tenant `{tenant}` refused the delta: its WAL hit an earlier \
+                             failure; reopen the hub to recover"
+                        )));
+                    }
+                    session.apply(delta)?;
+                    let seq = session.deltas_applied() as u64;
+                    let append = match wal.writer.as_mut() {
+                        Some(writer) => writer.append(&encode_record(seq, delta)),
+                        None => Err(std::io::Error::other("WAL writer closed while resident")),
+                    };
+                    if let Err(e) = append {
+                        wal.healthy = false;
+                        return Err(SessionError::Durability(format!(
+                            "WAL append of version {seq} failed: {e}"
+                        )));
+                    }
+                    wal.since_checkpoint += 1;
+                    let every = durability.options.checkpoint_every;
+                    if every > 0 && wal.since_checkpoint >= every {
+                        let rotated =
+                            recover::write_checkpoint(&wal.dir, seq, session).and_then(|()| {
+                                recover::rotate_wal(&wal.dir, seq, durability.options.sync)
+                            });
+                        match rotated {
+                            Ok(writer) => {
+                                wal.writer = Some(writer);
+                                wal.since_checkpoint = 0;
+                            }
+                            Err(e) => {
+                                wal.healthy = false;
+                                return Err(SessionError::Durability(format!(
+                                    "checkpoint at version {seq} failed: {e}"
+                                )));
+                            }
                         }
                     }
                 }
+                _ => {
+                    session.apply(delta)?;
+                }
             }
-            _ => {
-                session.apply(delta)?;
+            let snapshot = Arc::new(Self::snapshot_of(&entry.name, session));
+            *relock(entry.published.write()) = Some(Arc::clone(&snapshot));
+            {
+                // A hub-estimated `Adv(b′)` is pinned to the version it was
+                // estimated from; the new version supersedes every older
+                // one. Dropping them here (not at next audit) is what keeps
+                // the per-`(b′, version)` map from leaking one adversary
+                // per delta forever.
+                let mut readers = relock(entry.readers.lock());
+                let seq = snapshot.version();
+                readers.retain(|c| !matches!(c.key, ReaderKey::Bandwidth(_, v) if v != seq));
             }
-        }
-        let snapshot = Arc::new(Self::snapshot_of(&entry.name, &session));
-        *entry.published.write().expect("published lock") = Arc::clone(&snapshot);
+            self.charge(
+                &entry.session_bytes,
+                session.bytes_accounted() + snapshot.bytes_accounted(),
+            );
+            snapshot
+        };
+        self.recount_readers(&entry);
+        self.maybe_evict(Some(&entry.name));
         Ok(snapshot)
     }
 
@@ -678,14 +939,17 @@ impl SessionHub {
         t: f64,
     ) -> Result<AuditReport, SessionError> {
         let entry = self.tenant(tenant)?;
-        let snapshot = entry.snapshot();
+        let snapshot = self.resident_snapshot(&entry)?;
         let key = ReaderKey::External(
             Arc::as_ptr(auditor.adversary()) as usize,
             Arc::as_ptr(auditor.measure()) as *const () as usize,
             auditor.exact_below(),
         );
         let shared = entry.reader_session(key, || SharedAuditSession::new(auditor.clone()));
-        Ok(snapshot.audit_cached(&shared, t))
+        let report = snapshot.audit_cached(&shared, t);
+        self.recount_readers(&entry);
+        self.maybe_evict(Some(&entry.name));
+        Ok(report)
     }
 
     /// Audit a tenant's current version against the adversary `Adv(b')`
@@ -696,6 +960,11 @@ impl SessionHub {
     /// version re-estimates (always measuring the adversary the current
     /// table implies, like
     /// [`PublishSession::audit_against`](crate::PublishSession::audit_against)).
+    ///
+    /// Estimation goes through the hub's cross-tenant intern table: two
+    /// tenants whose tables fold to identical content (and who audit at
+    /// the same `b'`) share one `Arc`-ed model — a 10k-tenant fleet with
+    /// common background knowledge pays for one estimation, not 10k.
     pub fn audit_against(
         &self,
         tenant: &str,
@@ -703,25 +972,324 @@ impl SessionHub {
         t: f64,
     ) -> Result<AuditReport, SessionError> {
         let entry = self.tenant(tenant)?;
-        let snapshot = entry.snapshot();
+        let snapshot = self.resident_snapshot(&entry)?;
         let key = ReaderKey::Bandwidth(b_prime.to_bits(), snapshot.version());
         let shared = entry.reader_session(key, || {
             let table = snapshot.table();
             let bandwidth =
                 Bandwidth::uniform(b_prime, table.qi_count()).expect("positive bandwidth");
-            let model = PriorEstimator::new(Arc::clone(table.schema()), bandwidth.clone())
-                .estimate_with(table, Parallelism::Auto);
-            let adversary = Arc::new(Adversary::from_model(
-                &format!("Adv({bandwidth})"),
-                bandwidth,
-                Arc::new(model),
-            ));
+            let adversary = self.intern_adversary(table, bandwidth);
             let measure = Arc::new(SmoothedJs::paper_default(
                 table.schema().sensitive_distance(),
             ));
             SharedAuditSession::new(Auditor::new(adversary, measure))
         });
-        Ok(snapshot.audit_cached(&shared, t))
+        let report = snapshot.audit_cached(&shared, t);
+        self.recount_readers(&entry);
+        self.maybe_evict(Some(&entry.name));
+        Ok(report)
+    }
+
+    /// The hub's memory gauges: rolled-up resident bytes, residency
+    /// counts, eviction/rehydration totals, and the intern table's size
+    /// and hit counters.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let (interned_models, interned_bytes, intern_hits, intern_misses) = {
+            let interned = relock(self.interned.lock());
+            let mut models = 0usize;
+            let mut bytes = 0usize;
+            for e in &interned.entries {
+                if let Some(adversary) = e.adversary.upgrade() {
+                    models += 1;
+                    bytes += adversary.bytes_accounted()
+                        + adversary.prior_model().map_or(0, |m| m.bytes_accounted());
+                }
+            }
+            (models, bytes, interned.hits, interned.misses)
+        };
+        let mut resident_tenants = 0usize;
+        let mut evicted_tenants = 0usize;
+        for s in &self.shards {
+            let tenants = relock(s.tenants.lock());
+            // bgk-allow: R3 order-independent residency counters
+            for t in tenants.values() {
+                if t.snapshot_opt().is_some() {
+                    resident_tenants += 1;
+                } else {
+                    evicted_tenants += 1;
+                }
+            }
+        }
+        MemoryStats {
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+            budget_bytes: self.effective_budget(),
+            resident_tenants,
+            evicted_tenants,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rehydrations: self.rehydrations.load(Ordering::Relaxed),
+            interned_models,
+            interned_bytes,
+            intern_hits,
+            intern_misses,
+        }
+    }
+
+    /// The budget this hub evicts against, whichever way it was configured.
+    fn effective_budget(&self) -> Option<usize> {
+        self.durability
+            .as_ref()
+            .and_then(|d| d.options.max_resident_bytes)
+            .or(self.budget)
+    }
+
+    /// Stamp the tenant's last-touch clock (LRU eviction order).
+    fn touch(&self, entry: &Tenant) {
+        entry.last_touch.store(
+            self.touch_clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Move `slot` to `new` bytes and roll the delta into the hub gauge.
+    fn charge(&self, slot: &AtomicUsize, new: usize) {
+        let old = slot.swap(new, Ordering::Relaxed);
+        if new >= old {
+            self.resident.fetch_add(new - old, Ordering::Relaxed);
+        } else {
+            self.resident.fetch_sub(old - new, Ordering::Relaxed);
+        }
+    }
+
+    /// Recompute the tenant's shared reader-cache bytes. The sessions are
+    /// cloned out under the brief `readers` guard and summed outside it
+    /// (each sum takes the session's own cache lock).
+    fn recount_readers(&self, entry: &Tenant) {
+        let sessions: Vec<Arc<SharedAuditSession>> = {
+            let readers = relock(entry.readers.lock());
+            readers.iter().map(|c| Arc::clone(&c.session)).collect()
+        };
+        let bytes: usize = sessions.iter().map(|s| s.bytes_accounted() + 128).sum();
+        self.charge(&entry.reader_bytes, bytes);
+    }
+
+    /// The tenant's current snapshot, rehydrating a demoted tenant first.
+    fn resident_snapshot(&self, entry: &Arc<Tenant>) -> Result<Arc<TenantSnapshot>, SessionError> {
+        self.touch(entry);
+        if let Some(snapshot) = entry.snapshot_opt() {
+            return Ok(snapshot);
+        }
+        let snapshot = {
+            let mut state = relock(entry.writer.lock());
+            self.rehydrate_locked(entry, &mut state)?
+        };
+        self.maybe_evict(Some(&entry.name));
+        Ok(snapshot)
+    }
+
+    /// With the tenant's writer lock held, make it resident: a no-op for a
+    /// resident tenant, otherwise a recovery from the durable form —
+    /// checkpoint + WAL-tail replay through [`crate::recover`], WAL
+    /// descriptor reopened, snapshot republished. Recovery replays exactly
+    /// the acked delta sequence, so the rehydrated tenant is bit-identical
+    /// to one that was never demoted.
+    fn rehydrate_locked(
+        &self,
+        entry: &Tenant,
+        state: &mut TenantState,
+    ) -> Result<Arc<TenantSnapshot>, SessionError> {
+        if let TenantState::Resident(session) = state {
+            if let Some(snapshot) = entry.snapshot_opt() {
+                return Ok(snapshot);
+            }
+            let snapshot = Arc::new(Self::snapshot_of(&entry.name, session));
+            *relock(entry.published.write()) = Some(Arc::clone(&snapshot));
+            return Ok(snapshot);
+        }
+        let (Some(wal_slot), Some(durability)) = (&entry.wal, &self.durability) else {
+            return Err(SessionError::Durability(format!(
+                "tenant `{}` was demoted but has no durable form to rehydrate from",
+                entry.name
+            )));
+        };
+        let recovered = {
+            let mut wal = relock(wal_slot.lock());
+            let recovered =
+                recover::recover_tenant_dir(&wal.dir, &durability.options).map_err(|reason| {
+                    SessionError::Durability(format!(
+                        "rehydrating tenant `{}` failed: {reason}",
+                        entry.name
+                    ))
+                })?;
+            let writer = recover::reopen_wal(&wal.dir, durability.options.sync).map_err(|e| {
+                SessionError::Durability(format!(
+                    "rehydrating tenant `{}`: could not reopen wal.log: {e}",
+                    entry.name
+                ))
+            })?;
+            wal.writer = Some(writer);
+            wal.since_checkpoint = recovered.replayed as u64;
+            wal.healthy = true;
+            recovered
+        };
+        debug_assert_eq!(recovered.name, entry.name, "tenant directory mismatch");
+        let snapshot = Arc::new(Self::snapshot_of(&entry.name, &recovered.session));
+        self.charge(
+            &entry.session_bytes,
+            recovered.session.bytes_accounted() + snapshot.bytes_accounted(),
+        );
+        *state = TenantState::Resident(Box::new(recovered.session));
+        *relock(entry.published.write()) = Some(Arc::clone(&snapshot));
+        self.rehydrations.fetch_add(1, Ordering::Relaxed);
+        Ok(snapshot)
+    }
+
+    /// When a budget is configured and the resident gauge exceeds it,
+    /// demote the coldest tenants (ascending last-touch stamp) until the
+    /// gauge is back under the low watermark (⅞ of the budget). `keep`
+    /// names the tenant driving the current operation — it is never
+    /// demoted, and a tenant whose writer lock is contended is skipped
+    /// rather than waited on, so eviction never blocks serving threads.
+    fn maybe_evict(&self, keep: Option<&str>) {
+        let Some(budget) = self.effective_budget() else {
+            return;
+        };
+        if self.resident.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let low = budget - budget / 8;
+        let mut candidates: Vec<(u64, String, Arc<Tenant>)> = Vec::new();
+        for s in &self.shards {
+            let tenants = relock(s.tenants.lock());
+            // bgk-allow: R3 candidates are sorted by (touch, name) below
+            for t in tenants.values() {
+                if keep.is_some_and(|k| k == t.name) {
+                    continue;
+                }
+                candidates.push((
+                    t.last_touch.load(Ordering::Relaxed),
+                    t.name.clone(),
+                    Arc::clone(t),
+                ));
+            }
+        }
+        candidates.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, _, tenant) in &candidates {
+            if self.resident.load(Ordering::Relaxed) <= low {
+                break;
+            }
+            self.demote(tenant);
+        }
+    }
+
+    /// Demote one tenant: flush its durable form and drop the in-memory
+    /// session, snapshot, caches and WAL descriptor (in-memory hubs trim
+    /// caches instead — there is no durable form to fall back to). Best
+    /// effort: a contended writer, an unhealthy WAL, or a failed
+    /// checkpoint flush leaves the tenant resident.
+    fn demote(&self, entry: &Tenant) {
+        // try_lock, never lock: a tenant whose writer is held is mid-apply
+        // — the opposite of cold — and eviction must not stall it.
+        let Ok(mut state) = entry.writer.try_lock() else {
+            return;
+        };
+        let TenantState::Resident(session) = &mut *state else {
+            return;
+        };
+        let demoted = match &entry.wal {
+            Some(wal) => {
+                let mut wal = relock(wal.lock());
+                if !wal.healthy {
+                    // An unhealthy WAL means the session may be ahead of
+                    // the log; only a full reopen may reconcile them.
+                    return;
+                }
+                if wal.since_checkpoint > 0
+                    && self
+                        .durability
+                        .as_ref()
+                        .is_some_and(|d| d.options.checkpoint_every > 0)
+                {
+                    // Flush a checkpoint so rehydration resumes fast
+                    // instead of replaying the whole WAL tail. With
+                    // checkpointing disabled this is skipped and
+                    // rehydration replays the tail — same bits, slower.
+                    let seq = session.deltas_applied() as u64;
+                    let sync = self
+                        .durability
+                        .as_ref()
+                        .map(|d| d.options.sync)
+                        .unwrap_or(crate::wal::SyncPolicy::Always);
+                    let rotated = recover::write_checkpoint(&wal.dir, seq, session)
+                        .and_then(|()| recover::rotate_wal(&wal.dir, seq, sync));
+                    match rotated {
+                        Ok(writer) => {
+                            wal.writer = Some(writer);
+                            wal.since_checkpoint = 0;
+                        }
+                        Err(_) => return,
+                    }
+                }
+                wal.writer = None;
+                true
+            }
+            None => {
+                // In-memory hub: the table and tree have nowhere to go;
+                // shed the rebuildable state (audit caches).
+                session.evict_audit_caches();
+                false
+            }
+        };
+        if demoted {
+            *state = TenantState::Evicted;
+            *relock(entry.published.write()) = None;
+            self.charge(&entry.session_bytes, 0);
+        } else if let TenantState::Resident(session) = &*state {
+            let snapshot_bytes = entry.snapshot_opt().map_or(0, |s| s.bytes_accounted());
+            self.charge(
+                &entry.session_bytes,
+                session.bytes_accounted() + snapshot_bytes,
+            );
+        }
+        relock(entry.readers.lock()).clear();
+        self.charge(&entry.reader_bytes, 0);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fetch-or-estimate the `Adv(b′)` adversary for `table` through the
+    /// cross-tenant intern table. The fold is computed and (on a miss) the
+    /// model estimated entirely outside the intern lock; the lock is held
+    /// only for the two lookups and the insert. First insert wins a race.
+    fn intern_adversary(&self, table: &Table, bandwidth: Bandwidth) -> Arc<Adversary> {
+        let family = KernelFamily::Epanechnikov;
+        let fold = FoldedTable::new(table);
+        let key = intern_key(&fold, &bandwidth, family);
+        {
+            let mut interned = relock(self.interned.lock());
+            if let Some(found) = interned.find(key, &fold, &bandwidth, family) {
+                interned.hits += 1;
+                return found;
+            }
+            interned.misses += 1;
+        }
+        let estimator = PriorEstimator::new(Arc::clone(table.schema()), bandwidth.clone());
+        let model = Arc::new(estimator.estimate_folded(fold, Parallelism::Auto));
+        let adversary = Arc::new(Adversary::from_model(
+            &format!("Adv({bandwidth})"),
+            bandwidth.clone(),
+            model,
+        ));
+        let mut interned = relock(self.interned.lock());
+        if let Some(won) = adversary
+            .prior_model()
+            .and_then(|m| m.folded())
+            .and_then(|f| interned.find(key, f, &bandwidth, family))
+        {
+            // Another thread estimated the same provenance while we did;
+            // keep the interned one so both callers share.
+            return won;
+        }
+        interned.insert(key, &adversary);
+        adversary
     }
 
     fn snapshot_of(tenant: &str, session: &PublishSession) -> TenantSnapshot {
@@ -747,6 +1315,7 @@ impl std::fmt::Debug for SessionHub {
         f.debug_struct("SessionHub")
             .field("shards", &self.shards.len())
             .field("tenants", &self.len())
+            .field("resident_bytes", &self.resident.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -1008,5 +1577,99 @@ mod tests {
                 assert_eq!(a.rows, b.rows);
             }
         }
+    }
+
+    #[test]
+    fn memory_stats_accounts_resident_tenants() {
+        let hub = hub_with(&[("a", 1), ("b", 2)], 150, 4);
+        let stats = hub.memory_stats();
+        assert_eq!(stats.resident_tenants, 2);
+        assert_eq!(stats.evicted_tenants, 0);
+        assert_eq!(stats.budget_bytes, None);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.rehydrations, 0);
+        // The gauge covers at least both tables' QI codes.
+        let floor: usize = ["a", "b"]
+            .iter()
+            .map(|t| hub.snapshot(t).unwrap().table().bytes_accounted())
+            .sum();
+        assert!(
+            stats.resident_bytes >= floor,
+            "gauge {} < table floor {floor}",
+            stats.resident_bytes
+        );
+        // Audit caches grow the gauge; applying a delta re-charges it.
+        hub.audit_against("a", 0.3, 0.2).unwrap();
+        let after_audit = hub.memory_stats();
+        assert!(after_audit.resident_bytes > stats.resident_bytes);
+        assert!(format!("{hub:?}").contains("resident_bytes"));
+        assert_eq!(stats, stats.clone());
+    }
+
+    #[test]
+    fn identical_tables_intern_one_adversary_model() {
+        // Same seed → identical content → one estimation, one interned
+        // model, and bit-identical reports on both tenants.
+        let hub = hub_with(&[("a", 9), ("b", 9)], 200, 4);
+        let ra = hub.audit_against("a", 0.3, 0.2).unwrap();
+        let rb = hub.audit_against("b", 0.3, 0.2).unwrap();
+        assert_eq!(ra.worst_case.to_bits(), rb.worst_case.to_bits());
+        for (x, y) in ra.risks.iter().zip(&rb.risks) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let stats = hub.memory_stats();
+        assert_eq!(stats.interned_models, 1);
+        assert_eq!(stats.intern_misses, 1);
+        assert_eq!(stats.intern_hits, 1);
+        assert!(stats.interned_bytes > 0);
+        // A different bandwidth is a different provenance — new model.
+        hub.audit_against("a", 0.5, 0.2).unwrap();
+        assert_eq!(hub.memory_stats().interned_models, 2);
+        // A different table content at the same b' must NOT share.
+        let hub2 = hub_with(&[("a", 9), ("b", 10)], 200, 4);
+        hub2.audit_against("a", 0.3, 0.2).unwrap();
+        hub2.audit_against("b", 0.3, 0.2).unwrap();
+        let stats2 = hub2.memory_stats();
+        assert_eq!(stats2.interned_models, 2);
+        assert_eq!(stats2.intern_hits, 0);
+    }
+
+    #[test]
+    fn apply_drops_superseded_adversary_caches() {
+        let hub = hub_with(&[("a", 4)], 200, 4);
+        hub.audit_against("a", 0.3, 0.2).unwrap();
+        hub.audit_against("a", 0.5, 0.2).unwrap();
+        let entry = hub.tenant("a").unwrap();
+        assert_eq!(relock(entry.readers.lock()).len(), 2);
+        let d = delta_for(hub.snapshot("a").unwrap().table(), &[1], 2, 11);
+        hub.apply("a", &d).unwrap();
+        // Both Adv(b') caches were keyed to version 0; version 1 evicts
+        // them instead of letting the map grow per (b', version).
+        assert_eq!(relock(entry.readers.lock()).len(), 0);
+        hub.audit_against("a", 0.3, 0.2).unwrap();
+        assert_eq!(relock(entry.readers.lock()).len(), 1);
+    }
+
+    #[test]
+    fn in_memory_budget_trims_cold_audit_caches() {
+        let hub = SessionHub::with_budget(1);
+        let publisher = Publisher::new().k_anonymity(4);
+        hub.register("a", &adult::generate(150, 1), &publisher)
+            .unwrap();
+        hub.register("b", &adult::generate(150, 2), &publisher)
+            .unwrap();
+        // Every operation overflows the 1-byte budget, so audit caches
+        // are shed — but tables and trees stay (nowhere durable to go),
+        // tenants stay resident, and results stay bit-identical.
+        let first = hub.audit_against("a", 0.3, 0.2).unwrap();
+        let again = hub.audit_against("a", 0.3, 0.2).unwrap();
+        assert_eq!(first.worst_case.to_bits(), again.worst_case.to_bits());
+        let stats = hub.memory_stats();
+        assert_eq!(stats.budget_bytes, Some(1));
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.resident_tenants, 2);
+        assert_eq!(stats.evicted_tenants, 0);
+        assert_eq!(stats.rehydrations, 0);
+        assert_eq!(hub.snapshot("a").unwrap().len(), 150);
     }
 }

@@ -57,7 +57,7 @@ pub mod session;
 pub mod wal;
 
 pub use data::Parallelism;
-pub use hub::{SessionHub, TenantSnapshot};
+pub use hub::{MemoryStats, SessionHub, TenantSnapshot};
 pub use publisher::{PublishError, PublishOutcome, Publisher};
 pub use recover::{RecoveryReport, TenantRecovery};
 pub use session::{PublishSession, SessionError};
@@ -69,13 +69,14 @@ pub mod prelude {
     pub use crate::data::{
         Attribute, Delta, DeltaBuilder, Parallelism, Schema, Table, TableBuilder,
     };
-    pub use crate::hub::{SessionHub, TenantSnapshot};
+    pub use crate::hub::{MemoryStats, SessionHub, TenantSnapshot};
     pub use crate::inference::{exact_posteriors, omega_posteriors, GroupPriors};
     pub use crate::knowledge::{Adversary, Bandwidth};
     pub use crate::params::PaperParams;
     pub use crate::privacy::{
-        AuditSession, Auditor, BTPrivacy, DistinctLDiversity, KAnonymity, PrivacyRequirement,
-        ProbabilisticLDiversity, SharedAuditSession, SkylineBTPrivacy, TCloseness,
+        AuditReport, AuditSession, Auditor, BTPrivacy, DistinctLDiversity, KAnonymity,
+        PrivacyRequirement, ProbabilisticLDiversity, SharedAuditSession, SkylineBTPrivacy,
+        TCloseness,
     };
     pub use crate::publisher::{PublishOutcome, Publisher};
     pub use crate::session::{PublishSession, SessionError};

@@ -500,6 +500,41 @@ impl PublishSession {
         self.audits.len()
     }
 
+    /// Heap bytes this session holds resident: the working table, the
+    /// partition tree, the current publication, leaf stamps, and every
+    /// retained audit configuration (risk caches plus, for session-built
+    /// `Adv(b')` adversaries, the tracked estimator and prior model — they
+    /// are owned here, so they are charged here). The serving hub rolls
+    /// this into per-tenant gauges; shared `Arc` payloads are charged to
+    /// every holder, making it a deterministic RSS proxy rather than an
+    /// allocator-exact figure.
+    pub fn bytes_accounted(&self) -> usize {
+        let audits: usize = self
+            .audits
+            .iter()
+            .map(|c| {
+                c.session.bytes_accounted()
+                    + c.tracked.as_ref().map_or(0, |t| {
+                        t.estimator.bytes_accounted() + t.model.bytes_accounted() + 64
+                    })
+            })
+            .sum();
+        self.table.bytes_accounted()
+            + self.tree.bytes_accounted()
+            + self.anonymized.bytes_accounted()
+            + self.stamps.len() * 8
+            + audits
+    }
+
+    /// Drop every retained audit configuration — risk caches, tracked
+    /// priors and all. The demotion hook behind the serving hub's memory
+    /// budget: every cache is rebuild-on-miss (tracked priors re-estimate
+    /// from the current table), so subsequent audits are bit-identical,
+    /// just cold.
+    pub fn evict_audit_caches(&mut self) {
+        self.audits.clear();
+    }
+
     fn insert_audit_cache(
         &mut self,
         key: AuditKey,

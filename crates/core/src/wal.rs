@@ -84,6 +84,11 @@ pub struct DurabilityOptions {
     /// tenant at open, so it is opt-in (the crash-injection suite runs
     /// with it on).
     pub verify_on_open: bool,
+    /// Soft ceiling on the hub's accounted resident bytes. When the
+    /// rolled-up gauge crosses it, the hub demotes the coldest tenants to
+    /// their durable form until the gauge is back under the low watermark
+    /// (⅞ of the ceiling). `None` (the default) never evicts.
+    pub max_resident_bytes: Option<usize>,
 }
 
 impl Default for DurabilityOptions {
@@ -92,6 +97,7 @@ impl Default for DurabilityOptions {
             sync: SyncPolicy::Always,
             checkpoint_every: 32,
             verify_on_open: false,
+            max_resident_bytes: None,
         }
     }
 }

@@ -164,6 +164,19 @@ impl Table {
         }
     }
 
+    /// Heap bytes of this table's code storage (QI buffers + sensitive
+    /// column). The buffers are `Arc`-shared — an O(1)-cloned table charges
+    /// the same payload to every holder — so this is an accounting proxy
+    /// the serving hub rolls into per-tenant memory gauges, not an
+    /// allocator-exact RSS measurement.
+    pub fn bytes_accounted(&self) -> usize {
+        let qi = match &self.storage {
+            Storage::Columnar(cols) => cols.iter().map(|c| c.len() * 4 + 32).sum(),
+            Storage::RowMajor(buf) => buf.len() * 4 + 32,
+        };
+        qi + self.sensitive.len() * 4 + 32
+    }
+
     /// This table's codes in `layout`: an O(1) clone when the layout
     /// already matches, otherwise one transposing copy. Every accessor and
     /// kernel produces bit-identical results on either layout; the

@@ -111,6 +111,30 @@ impl Adversary {
         self.bandwidth.as_ref()
     }
 
+    /// The estimated prior model behind this adversary — `None` for the
+    /// constant-belief reference adversaries. The hub's intern table uses
+    /// this to verify content identity before sharing one adversary across
+    /// tenants, and to account the model's bytes to exactly one owner.
+    pub fn prior_model(&self) -> Option<&Arc<PriorModel>> {
+        match &self.model {
+            AdversaryModel::Kernel(m) => Some(m),
+            AdversaryModel::Constant(_) => None,
+        }
+    }
+
+    /// Heap bytes of the adversary's owned state: label plus the constant
+    /// distribution, when it carries one. The kernel prior model is **not**
+    /// included — it is `Arc`-shared (possibly across tenants via the hub's
+    /// intern table) and charged to its owner separately via
+    /// [`PriorModel::bytes_accounted`].
+    pub fn bytes_accounted(&self) -> usize {
+        let model = match &self.model {
+            AdversaryModel::Kernel(_) => 8,
+            AdversaryModel::Constant(d) => d.len() * 8 + 32,
+        };
+        self.label.len() + self.bandwidth.as_ref().map_or(0, |b| b.len() * 8) + model + 64
+    }
+
     /// Prior belief `Ppri(B, q)` for an individual with QI combination `qi`.
     pub fn prior(&self, qi: &[u32]) -> &Dist {
         match &self.model {

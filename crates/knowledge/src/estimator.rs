@@ -368,6 +368,63 @@ impl FoldedTable {
         self.m
     }
 
+    /// Heap bytes resident in this fold's flat arrays — the accounting
+    /// hook the serving hub's memory budget rolls up per tenant. A
+    /// deterministic owned-payload estimate, not an allocator-exact RSS.
+    pub fn bytes_accounted(&self) -> usize {
+        self.sensitive_totals.len() * 8
+            + self.qi.len() * 4
+            + self.counts.len() * 4
+            + self.hists.len() * 4
+            + 64
+    }
+
+    /// FNV-1a content hash over every field of the fold. Two tables with
+    /// identical row content fold to identical sorted arrays, so this hash
+    /// (plus bandwidth + kernel-family provenance) is the intern key under
+    /// which the hub shares one estimated `P̂pri` model across tenants
+    /// holding the same background knowledge. Collisions are guarded by
+    /// [`content_eq`](Self::content_eq) before any sharing happens.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.qi_count as u64);
+        eat(self.m as u64);
+        eat(self.rows as u64);
+        for &v in &self.sensitive_totals {
+            eat(v);
+        }
+        for &v in &self.qi {
+            eat(u64::from(v));
+        }
+        for &v in &self.counts {
+            eat(u64::from(v));
+        }
+        for &v in &self.hists {
+            eat(u64::from(v));
+        }
+        h
+    }
+
+    /// Field-wise equality of two folds — the collision guard behind
+    /// [`content_hash`](Self::content_hash): the hub only shares a model
+    /// across tenants when their folds are *equal*, never merely
+    /// hash-equal.
+    pub fn content_eq(&self, other: &FoldedTable) -> bool {
+        self.qi_count == other.qi_count
+            && self.m == other.m
+            && self.rows == other.rows
+            && self.sensitive_totals == other.sensitive_totals
+            && self.qi == other.qi
+            && self.counts == other.counts
+            && self.hists == other.hists
+    }
+
     /// QI codes of the point at sorted index `i`.
     #[inline]
     fn point_qi(&self, i: usize) -> &[u32] {
@@ -764,6 +821,28 @@ impl PriorModel {
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], &Dist)> {
         self.priors.iter().map(|(k, v)| (k.as_ref(), v)) // bgk-allow: R3 callers sort before emission (persist::save_model)
     }
+
+    /// Heap bytes resident in this model: the prior map (every entry holds
+    /// a boxed QI key and an `m`-ary distribution — uniform shapes, so the
+    /// sum needs no hash-ordered iteration), the table distribution, and
+    /// the retained fold. The accounting hook the serving hub's memory
+    /// budget rolls up per tenant (and the intern table reports once per
+    /// *shared* model); a deterministic owned-payload estimate, not an
+    /// allocator-exact RSS.
+    pub fn bytes_accounted(&self) -> usize {
+        let m = self.table_distribution.len();
+        let d = self
+            .bandwidth
+            .as_ref()
+            .map(Bandwidth::len)
+            .or_else(|| self.folded.as_ref().map(FoldedTable::qi_count))
+            .unwrap_or(8);
+        let per_entry = d * 4 + m * 8 + 96;
+        self.priors.len() * per_entry
+            + m * 8
+            + self.folded.as_ref().map_or(0, FoldedTable::bytes_accounted)
+            + 64
+    }
 }
 
 /// Configured kernel regression estimator for one bandwidth vector.
@@ -834,6 +913,18 @@ impl PriorEstimator {
     /// The sparse kernel weight table of attribute `i`.
     pub fn sparse_weights(&self, i: usize) -> &SparseWeights {
         &self.weights[i]
+    }
+
+    /// Heap bytes of the CSR kernel weight tables — the estimator's only
+    /// size-dependent state. Part of the serving hub's per-tenant memory
+    /// accounting (a deterministic proxy, not allocator-exact).
+    pub fn bytes_accounted(&self) -> usize {
+        self.weights
+            .iter()
+            .map(|w| w.row_ptr.len() * 8 + w.cols.len() * 4 + w.weights.len() * 8 + 64)
+            .sum::<usize>()
+            + self.bandwidth.len() * 8
+            + 64
     }
 
     /// Per-attribute support density (fraction of nonzero entries in each

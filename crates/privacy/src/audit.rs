@@ -369,6 +369,13 @@ impl Auditor {
             })
             .collect();
         let outputs = bgkanon_data::shared_pool().run(jobs);
+        if std::env::var("BGK_PROFILE").is_ok() {
+            eprintln!(
+                "batched audit: memo peaked at ~{} bytes over {} group(s)",
+                shared.bytes_accounted(),
+                groups.len()
+            );
+        }
         let mut risks = vec![f64::NAN; table.len()];
         for (row, risk) in outputs.into_iter().flatten() {
             risks[row] = risk;
@@ -579,6 +586,33 @@ struct BatchState {
     memo: Mutex<HashMap<Vec<u64>, Arc<Vec<f64>>>>,
 }
 
+impl BatchState {
+    /// Heap bytes resident in the batched engine's per-call signature memo
+    /// — same accounting convention as [`AuditSession::bytes_accounted`].
+    /// The memo dies with the call, so this is a peak-usage telemetry
+    /// number (reported under `BGK_PROFILE`), not a standing gauge.
+    fn bytes_accounted(&self) -> usize {
+        match self.memo.lock() {
+            Ok(memo) => memo
+                .iter() // bgk-allow: R3 order-independent byte sum
+                .map(|(sig, risks)| cache_entry_bytes(sig.len(), risks.len()))
+                .sum(),
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Estimated owned heap bytes of one signature-memo entry: the boxed key,
+/// the shared risk vector payload, and fixed map-entry bookkeeping. An
+/// accounting proxy (shared `Arc`s are charged to every holder), not an
+/// allocator-exact measurement — the hub's memory budget only needs a
+/// consistent, deterministic upper bound.
+const CACHE_ENTRY_OVERHEAD: usize = 48;
+
+fn cache_entry_bytes(key_words: usize, risk_count: usize) -> usize {
+    key_words * 8 + risk_count * 8 + CACHE_ENTRY_OVERHEAD
+}
+
 /// Per-worker scratch buffers of the batched audit engine, borrowing priors
 /// from the shared adversary model for the duration of one audit.
 #[derive(Default)]
@@ -681,6 +715,39 @@ impl AuditSession {
     /// Number of live stamp-cache entries (diagnostics).
     pub fn cached_stamps(&self) -> usize {
         self.stamps.len()
+    }
+
+    /// Heap bytes resident in this session's caches — signature memo,
+    /// stamp cache, and the retained prepared-prior cache. This is the
+    /// accounting hook the serving hub's memory budget rolls up per
+    /// tenant: a deterministic owned-payload estimate (shared `Arc`s are
+    /// charged to every holder), not an allocator-exact RSS.
+    pub fn bytes_accounted(&self) -> usize {
+        let memo: usize = self
+            .memo
+            .iter() // bgk-allow: R3 order-independent byte sum
+            .map(|(sig, e)| cache_entry_bytes(sig.len(), e.risks.len()))
+            .sum();
+        let stamps: usize = self
+            .stamps
+            .values() // bgk-allow: R3 order-independent byte sum
+            .map(|e| cache_entry_bytes(1, e.risks.len()))
+            .sum();
+        let prepared: usize = self
+            .prepared
+            .values() // bgk-allow: R3 order-independent byte sum
+            .map(|d| cache_entry_bytes(1, d.as_ref().map_or(0, |d| d.len())))
+            .sum();
+        memo + stamps + prepared
+    }
+
+    /// Drop every cached entry, keeping the auditor: the demotion hook of
+    /// the hub's memory budget. A later report rebuilds the caches on miss
+    /// — bit-identically, since every cache is rebuild-on-miss.
+    pub fn evict_caches(&mut self) {
+        self.memo.clear();
+        self.stamps.clear();
+        self.prepared.clear();
     }
 
     /// Audit `groups` with threshold `t`, replaying cached group risks and
@@ -889,6 +956,41 @@ impl SharedAuditSession {
     /// Number of live stamp-cache entries (diagnostics).
     pub fn cached_stamps(&self) -> usize {
         self.caches.lock().expect("audit caches").stamps.len()
+    }
+
+    /// Heap bytes resident in the shared caches — the concurrent
+    /// counterpart of [`AuditSession::bytes_accounted`], taken under one
+    /// brief lock. The adversary model behind the auditor is **not**
+    /// counted here: it is charged to its owner (the hub's intern table
+    /// for `Adv(b')` models, the caller for external auditors), so a
+    /// model shared by many tenants is accounted once.
+    pub fn bytes_accounted(&self) -> usize {
+        match self.caches.lock() {
+            Ok(caches) => {
+                let memo: usize = caches
+                    .memo
+                    .iter() // bgk-allow: R3 order-independent byte sum
+                    .map(|(sig, e)| cache_entry_bytes(sig.len(), e.risks.len()))
+                    .sum();
+                let stamps: usize = caches
+                    .stamps
+                    .values() // bgk-allow: R3 order-independent byte sum
+                    .map(|e| cache_entry_bytes(1, e.risks.len()))
+                    .sum();
+                memo + stamps
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Drop every cached entry, keeping the auditor — the demotion hook of
+    /// the hub's memory budget. Safe at any time: concurrent reports
+    /// rebuild evicted entries on miss, bit-identically.
+    pub fn evict_caches(&self) {
+        if let Ok(mut caches) = self.caches.lock() {
+            caches.memo.clear();
+            caches.stamps.clear();
+        }
     }
 
     /// Audit `groups` with threshold `t` through the shared caches —

@@ -124,6 +124,7 @@ fn crash_injection_recovers_every_acked_prefix() {
         sync: SyncPolicy::Always,
         checkpoint_every: 0,
         verify_on_open: false,
+        max_resident_bytes: None,
     };
     let (hub, _) = SessionHub::open_with(&dir, options).unwrap();
     let base = adult::generate(rows, 3);
@@ -253,6 +254,7 @@ fn corrupt_checkpoint_is_never_served() {
         sync: SyncPolicy::Always,
         checkpoint_every: 2,
         verify_on_open: false,
+        max_resident_bytes: None,
     };
     let (hub, _) = SessionHub::open_with(&dir, options).unwrap();
     let mut rng = SmallRng::seed_from_u64(51);
@@ -369,6 +371,7 @@ proptest! {
             sync: SyncPolicy::Always,
             checkpoint_every: every,
             verify_on_open: true,
+            max_resident_bytes: None,
         };
         let publisher = Publisher::new().k_anonymity(3);
         let (hub, _) = SessionHub::open_with(&dir, options).unwrap();
