@@ -770,13 +770,47 @@ fn rule_r4(ctx: &FileCtx<'_>, out: &mut FileAnalysis) {
 }
 
 /// R5 — bit-identity pairing. Every public `*_with(…, Parallelism…)` engine
-/// entry point must (a) have a serial reference symbol (`<stem>` or
-/// `<stem>_reference`) in the same file, and (b) be exercised by name in
-/// the workspace bit-identity suites under `tests/tests/`.
+/// entry point — a `pub fn`, or a method declared inside a `pub trait`
+/// block (strategy contracts route engine selection through traits) — must
+/// (a) have a serial reference symbol (`<stem>` or `<stem>_reference`) in
+/// the same file, and (b) be exercised by name in the workspace
+/// bit-identity suites under `tests/tests/`.
 fn rule_r5(ctx: &FileCtx<'_>, suite_text: &str, out: &mut FileAnalysis) {
     let t = ctx.tokens;
+    // Token ranges of `pub trait { … }` bodies: their methods are engine
+    // entry points too, but carry no `pub` of their own.
+    let mut trait_bodies: Vec<(usize, usize)> = Vec::new();
+    let mut i = 1;
+    while i < t.len() {
+        if t[i].is_ident("trait") && t[i - 1].is_ident("pub") {
+            let mut j = i;
+            while j < t.len() && !t[j].is_punct('{') {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0i32;
+            while j < t.len() {
+                if t[j].is_punct('{') {
+                    depth += 1;
+                } else if t[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            trait_bodies.push((start, j));
+            i = j;
+        }
+        i += 1;
+    }
+    let in_pub_trait = |idx: usize| trait_bodies.iter().any(|&(a, b)| idx > a && idx < b);
     for i in 1..t.len() {
-        if ctx.in_test[i] || !t[i].is_ident("fn") || !t[i - 1].is_ident("pub") {
+        if ctx.in_test[i] || !t[i].is_ident("fn") {
+            continue;
+        }
+        if !t[i - 1].is_ident("pub") && !in_pub_trait(i) {
             continue;
         }
         let Some(name_tok) = t.get(i + 1) else {
@@ -1088,6 +1122,36 @@ mod tests {
             "assert_eq!(e.solve_with(Parallelism::Serial), e.solve_with(par));",
         );
         assert!(paired.findings.iter().all(|f| f.rule != "R5"));
+    }
+
+    #[test]
+    fn r5_covers_pub_trait_methods() {
+        // A trait-declared `*_with(…, Parallelism)` carries no `pub` of its
+        // own but is an engine entry point all the same.
+        let uncovered = analyze_file(
+            "crates/fixture/src/lib.rs",
+            "pub trait S { fn grow_with(&self, p: Parallelism) -> u32; }",
+            "",
+        );
+        assert_eq!(
+            uncovered.findings.iter().filter(|f| f.rule == "R5").count(),
+            2
+        );
+        // A default-method serial twin + suite mention clears it.
+        let paired = analyze_file(
+            "crates/fixture/src/lib.rs",
+            "pub trait S { fn grow(&self) -> u32 { self.grow_with(Parallelism::Serial) }\n\
+             fn grow_with(&self, p: Parallelism) -> u32; }",
+            "assert_eq!(s.grow_with(Parallelism::Serial), s.grow_with(par));",
+        );
+        assert!(paired.findings.iter().all(|f| f.rule != "R5"));
+        // Private trait methods stay out of scope.
+        let private = analyze_file(
+            "crates/fixture/src/lib.rs",
+            "trait S { fn grow_with(&self, p: Parallelism) -> u32; }",
+            "",
+        );
+        assert!(private.findings.iter().all(|f| f.rule != "R5"));
     }
 
     #[test]

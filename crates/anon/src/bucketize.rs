@@ -8,26 +8,25 @@
 //! taking one tuple from each of the `ℓ` currently most frequent values;
 //! leftover tuples join existing buckets that do not yet contain their
 //! value.
+//!
+//! [`Bucketize`] wraps the construction as an
+//! [`AnonymizationStrategy`]: the retained [`BucketizeState`] keeps the
+//! bucket membership and its group stamps alive between deltas. A refresh
+//! re-runs the greedy (it is `O(n)` and the assignment depends on the
+//! global sensitive histogram, so there is no cheaper path that stays
+//! bit-identical), then carries the stamp of every bucket whose membership
+//! survived unchanged — the churn-limited half of incremental maintenance,
+//! which is what keeps downstream audit caches warm.
 
-use bgkanon_data::Table;
+use bgkanon_data::{Parallelism, Table};
 
 use crate::anonymized::{AnonymizedTable, Group};
+use crate::strategy::{reuse_stamps, AnonymizationStrategy, Infeasible, StrategyState};
 
-/// Bucketize `table` into ℓ-diverse buckets.
-///
-/// ```
-/// let table = bgkanon_data::adult::generate(300, 42);
-/// let published = bgkanon_anon::bucketize(&table, 3).expect("3-eligible");
-/// for group in published.groups() {
-///     let distinct = group.sensitive_counts.iter().filter(|&&c| c > 0).count();
-///     assert!(distinct >= 3);
-/// }
-/// ```
-///
-/// Returns `None` when no ℓ-diverse partition exists, i.e. the most frequent
-/// sensitive value accounts for more than `1/ℓ` of all tuples (Anatomy's
-/// eligibility condition).
-pub fn bucketize(table: &Table, l: usize) -> Option<AnonymizedTable> {
+/// Compute the ℓ-diverse bucket membership of `table`, or report why none
+/// exists. This is the deterministic core both [`try_bucketize`] and the
+/// [`Bucketize`] strategy share.
+pub(crate) fn bucketize_rows(table: &Table, l: usize) -> Result<Vec<Vec<usize>>, Infeasible> {
     assert!(l >= 1, "ℓ must be at least 1");
     let n = table.len();
     let m = table.schema().sensitive_domain_size();
@@ -37,8 +36,12 @@ pub fn bucketize(table: &Table, l: usize) -> Option<AnonymizedTable> {
         by_value[table.sensitive_value(r) as usize].push(r);
     }
     // Eligibility: max frequency ≤ n / ℓ.
-    if by_value.iter().map(Vec::len).max().unwrap_or(0) * l > n {
-        return None;
+    let max_freq = by_value.iter().map(Vec::len).max().unwrap_or(0);
+    if max_freq * l > n {
+        return Err(Infeasible::new(format!(
+            "no {l}-diverse bucketization: the most frequent sensitive value \
+             has {max_freq} of {n} tuples (> 1/{l})"
+        )));
     }
 
     let mut buckets: Vec<Vec<usize>> = Vec::new();
@@ -50,10 +53,18 @@ pub fn bucketize(table: &Table, l: usize) -> Option<AnonymizedTable> {
             break;
         }
         order.sort_by(|&a, &b| by_value[b].len().cmp(&by_value[a].len()).then(a.cmp(&b)));
-        let bucket: Vec<usize> = order[..l]
-            .iter()
-            .map(|&s| by_value[s].pop().expect("non-empty by construction"))
-            .collect();
+        let mut bucket = Vec::with_capacity(l);
+        for &s in &order[..l] {
+            match by_value[s].pop() {
+                Some(r) => bucket.push(r),
+                None => {
+                    return Err(Infeasible::new(format!(
+                        "internal: sensitive value {s} was scheduled for a bucket \
+                         round with no tuples left"
+                    )))
+                }
+            }
+        }
         buckets.push(bucket);
     }
     // Residue: fewer than ℓ distinct values remain; add each leftover tuple
@@ -65,28 +76,178 @@ pub fn bucketize(table: &Table, l: usize) -> Option<AnonymizedTable> {
         while let Some(r) = by_value[s].pop() {
             let home = buckets
                 .iter_mut()
-                .find(|b| b.iter().all(|&r2| table.sensitive_value(r2) as usize != s))
-                .expect("eligibility guarantees a bucket without this value");
-            home.push(r);
+                .find(|b| b.iter().all(|&r2| table.sensitive_value(r2) as usize != s));
+            match home {
+                Some(home) => home.push(r),
+                None => {
+                    // Unreachable under the eligibility condition checked
+                    // above; surfaced as an error rather than a panic.
+                    return Err(Infeasible::new(format!(
+                        "internal: no bucket without sensitive value {s} for a \
+                         leftover tuple"
+                    )));
+                }
+            }
         }
     }
+    Ok(buckets)
+}
 
-    let groups = buckets
+/// Bucketize `table` into ℓ-diverse buckets.
+///
+/// ```
+/// let table = bgkanon_data::adult::generate(300, 42);
+/// let published = bgkanon_anon::try_bucketize(&table, 3).expect("3-eligible");
+/// for group in published.groups() {
+///     let distinct = group.sensitive_counts.iter().filter(|&&c| c > 0).count();
+///     assert!(distinct >= 3);
+/// }
+/// ```
+///
+/// Returns [`Infeasible`] when no ℓ-diverse partition exists, i.e. the most
+/// frequent sensitive value accounts for more than `1/ℓ` of all tuples
+/// (Anatomy's eligibility condition).
+pub fn try_bucketize(table: &Table, l: usize) -> Result<AnonymizedTable, Infeasible> {
+    let groups = bucketize_rows(table, l)?
         .into_iter()
         .map(|rows| Group::from_rows(table, rows))
         .collect();
-    Some(AnonymizedTable::new(table, groups))
+    Ok(AnonymizedTable::new(table, groups))
+}
+
+/// Bucketize `table` into ℓ-diverse buckets, discarding the infeasibility
+/// reason.
+#[deprecated(note = "use `try_bucketize`, which reports why no ℓ-diverse partition exists")]
+pub fn bucketize(table: &Table, l: usize) -> Option<AnonymizedTable> {
+    try_bucketize(table, l).ok()
+}
+
+/// Anatomy bucketization as a session strategy, parameterized by ℓ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucketize {
+    l: usize,
+}
+
+impl Bucketize {
+    /// Build for ℓ distinct sensitive values per bucket.
+    pub fn new(l: usize) -> Self {
+        assert!(l >= 1, "ℓ must be at least 1");
+        Bucketize { l }
+    }
+
+    /// The configured ℓ.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+}
+
+/// Retained state of the [`Bucketize`] strategy: the current bucket
+/// membership plus one stamp per bucket (see
+/// [`StrategyState::snapshot`] for the stamp contract).
+#[derive(Debug, Clone)]
+pub struct BucketizeState {
+    buckets: Vec<Vec<usize>>,
+    stamps: Vec<u64>,
+    next_stamp: u64,
+}
+
+impl BucketizeState {
+    /// Adopt a bucket membership as-is, stamping buckets `0..len` — the
+    /// same restart-from-zero policy as
+    /// [`PartitionTree::from_exported`](crate::PartitionTree::from_exported):
+    /// stamps are cache tokens, not durable state, so a rehydrated state
+    /// restamps and downstream caches start cold.
+    pub fn from_buckets(buckets: Vec<Vec<usize>>) -> Self {
+        let stamps = (0..buckets.len() as u64).collect();
+        let next_stamp = buckets.len() as u64;
+        BucketizeState {
+            buckets,
+            stamps,
+            next_stamp,
+        }
+    }
+
+    /// The bucket membership, in emission order — what a checkpoint
+    /// persists.
+    pub fn buckets(&self) -> &[Vec<usize>] {
+        &self.buckets
+    }
+}
+
+impl StrategyState for BucketizeState {
+    fn snapshot(&self, table: &Table) -> (AnonymizedTable, Vec<u64>) {
+        let groups = self
+            .buckets
+            .iter()
+            .map(|rows| Group::from_rows(table, rows.clone()))
+            .collect();
+        (AnonymizedTable::new(table, groups), self.stamps.clone())
+    }
+
+    fn bytes_accounted(&self) -> usize {
+        let rows: usize = self.buckets.iter().map(|b| b.len() * 8 + 24).sum();
+        rows + self.stamps.len() * 8
+    }
+}
+
+impl AnonymizationStrategy for Bucketize {
+    type State = BucketizeState;
+
+    fn name(&self) -> &'static str {
+        "bucketize"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "bucketize (Anatomy): ≥ {} distinct sensitive values per bucket, QI published verbatim",
+            self.l
+        )
+    }
+
+    fn plant_with(
+        &self,
+        table: &Table,
+        _parallelism: Parallelism,
+    ) -> Result<BucketizeState, Infeasible> {
+        // The greedy is O(n) and inherently sequential (each bucket's pick
+        // depends on the queues the previous bucket left); every
+        // parallelism setting runs the same serial construction.
+        Ok(BucketizeState::from_buckets(bucketize_rows(table, self.l)?))
+    }
+
+    fn refresh(
+        &self,
+        state: &mut BucketizeState,
+        _old: &Table,
+        new: &Table,
+        deletes: &[usize],
+    ) -> Result<(), Infeasible> {
+        // Compute the post-delta membership before touching the state so an
+        // infeasible delta leaves it fully usable (error atomicity).
+        let buckets = bucketize_rows(new, self.l)?;
+        let stamps = reuse_stamps(
+            &state.buckets,
+            &state.stamps,
+            deletes,
+            &buckets,
+            &mut state.next_stamp,
+        );
+        state.buckets = buckets;
+        state.stamps = stamps;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgkanon_data::{adult, toy};
+    use bgkanon_data::{adult, toy, DeltaBuilder};
+    use std::sync::Arc;
 
     #[test]
     fn buckets_are_l_diverse() {
         let t = adult::generate(500, 11);
-        let at = bucketize(&t, 4).expect("adult data is 4-eligible");
+        let at = try_bucketize(&t, 4).expect("adult data is 4-eligible");
         for g in at.groups() {
             let distinct = g.sensitive_counts.iter().filter(|&&c| c > 0).count();
             assert!(distinct >= 4, "bucket with {distinct} distinct values");
@@ -96,23 +257,36 @@ mod tests {
     #[test]
     fn partition_is_complete() {
         let t = adult::generate(237, 12);
-        let at = bucketize(&t, 3).unwrap();
+        let at = try_bucketize(&t, 3).unwrap();
         let covered: usize = at.groups().iter().map(Group::len).sum();
         assert_eq!(covered, t.len());
     }
 
     #[test]
-    fn ineligible_table_returns_none() {
+    fn ineligible_table_is_infeasible() {
         // The toy table has 3 Flu among 9 tuples; ℓ = 4 needs max freq ≤ 9/4.
         let t = toy::hospital_table();
+        let err = try_bucketize(&t, 4).unwrap_err();
+        assert!(err.reason.contains("4-diverse"));
+        assert!(try_bucketize(&t, 3).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_try_bucketize() {
+        let t = toy::hospital_table();
         assert!(bucketize(&t, 4).is_none());
-        assert!(bucketize(&t, 3).is_some());
+        let shim = bucketize(&t, 3).unwrap();
+        let typed = try_bucketize(&t, 3).unwrap();
+        for (a, b) in shim.groups().iter().zip(typed.groups()) {
+            assert_eq!(a.rows, b.rows);
+        }
     }
 
     #[test]
     fn l1_bucketization_is_single_value_buckets() {
         let t = toy::hospital_table();
-        let at = bucketize(&t, 1).unwrap();
+        let at = try_bucketize(&t, 1).unwrap();
         // ℓ = 1: every bucket has ≥ 1 distinct value (trivially true);
         // the partition must still be complete.
         let covered: usize = at.groups().iter().map(Group::len).sum();
@@ -122,8 +296,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let t = adult::generate(300, 13);
-        let a = bucketize(&t, 3).unwrap();
-        let b = bucketize(&t, 3).unwrap();
+        let a = try_bucketize(&t, 3).unwrap();
+        let b = try_bucketize(&t, 3).unwrap();
         assert_eq!(a.group_count(), b.group_count());
         for (ga, gb) in a.groups().iter().zip(b.groups()) {
             assert_eq!(ga.rows, gb.rows);
@@ -133,9 +307,108 @@ mod tests {
     #[test]
     fn buckets_have_size_at_least_l() {
         let t = adult::generate(400, 14);
-        let at = bucketize(&t, 5).unwrap();
+        let at = try_bucketize(&t, 5).unwrap();
         for g in at.groups() {
             assert!(g.len() >= 5);
+        }
+    }
+
+    #[test]
+    fn strategy_plant_matches_try_bucketize() {
+        let t = adult::generate(300, 15);
+        let strategy = Bucketize::new(3);
+        let state = strategy.plant(&t).unwrap();
+        let (at, stamps) = state.snapshot(&t);
+        let reference = try_bucketize(&t, 3).unwrap();
+        assert_eq!(at.group_count(), reference.group_count());
+        for (a, b) in at.groups().iter().zip(reference.groups()) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.ranges, b.ranges);
+            assert_eq!(a.sensitive_counts, b.sensitive_counts);
+        }
+        // Fresh plant stamps are 0..groups.
+        assert_eq!(stamps, (0..at.group_count() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn refresh_matches_from_scratch_and_reuses_stamps() {
+        let t = adult::generate(400, 16);
+        let strategy = Bucketize::new(3);
+        let mut state = strategy.plant(&t).unwrap();
+        let (_, before) = state.snapshot(&t);
+
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        b.delete(7).delete(123);
+        let donors = adult::generate(4, 99);
+        for r in 0..4 {
+            b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
+                .unwrap();
+        }
+        let delta = b.build();
+        let next = t.apply_delta(&delta).unwrap();
+        strategy
+            .refresh(&mut state, &t, &next, delta.deletes())
+            .unwrap();
+
+        let (at, after) = state.snapshot(&next);
+        let reference = try_bucketize(&next, 3).unwrap();
+        assert_eq!(at.group_count(), reference.group_count());
+        for (a, b) in at.groups().iter().zip(reference.groups()) {
+            assert_eq!(a.rows, b.rows);
+        }
+        // A reused stamp implies the identical remapped membership; fresh
+        // stamps never collide with previously issued ones.
+        for (&s, g) in after.iter().zip(at.groups()) {
+            if before.contains(&s) {
+                continue; // reused: membership match is asserted by reuse_stamps itself
+            }
+            assert!(
+                s >= before.len() as u64,
+                "fresh stamp {s} collides, group {:?}",
+                g.rows
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_refresh_leaves_state_unchanged() {
+        // Delete until one sensitive value dominates: the refresh must fail
+        // and the state must still reflect the pre-delta table.
+        let t = toy::hospital_table();
+        let strategy = Bucketize::new(3);
+        let mut state = strategy.plant(&t).unwrap();
+        let (before_at, before_stamps) = state.snapshot(&t);
+
+        // Drop enough rows of non-modal values that the modal sensitive
+        // value exceeds 1/3 of the survivors, making 3-diversity impossible.
+        let mut counts = vec![0usize; t.schema().sensitive_domain_size()];
+        for r in 0..t.len() {
+            counts[t.sensitive_value(r) as usize] += 1;
+        }
+        let modal = (0..counts.len()).max_by_key(|&s| counts[s]).unwrap() as u32;
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        let mut dropped = 0;
+        for r in 0..t.len() {
+            if t.sensitive_value(r) != modal && dropped < 4 {
+                b.delete(r);
+                dropped += 1;
+            }
+        }
+        let delta = b.build();
+        let next = t.apply_delta(&delta).unwrap();
+        if bucketize_rows(&next, 3).is_ok() {
+            // The toy layout guarantees this delta is ineligible; guard
+            // anyway so the test reports clearly if the fixture changes.
+            panic!("fixture no longer produces an infeasible delta");
+        }
+        let err = strategy
+            .refresh(&mut state, &t, &next, delta.deletes())
+            .unwrap_err();
+        assert!(err.reason.contains("3-diverse"));
+        let (after_at, after_stamps) = state.snapshot(&t);
+        assert_eq!(before_stamps, after_stamps);
+        for (a, b) in before_at.groups().iter().zip(after_at.groups()) {
+            assert_eq!(a.rows, b.rows);
         }
     }
 }

@@ -218,7 +218,7 @@ pub fn recoding_comparison(cfg: &ExperimentConfig) -> String {
     };
     let local = Mondrian::new(req()).anonymize(&table);
     let global = FullDomain::new_monotone(req())
-        .anonymize(&table)
+        .try_anonymize(&table)
         .expect("top of lattice satisfies")
         .anonymized;
 

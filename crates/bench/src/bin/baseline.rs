@@ -89,6 +89,18 @@
 //! cargo run --release -p bgkanon-bench --bin baseline -- --fleet --smoke
 //! ```
 //!
+//! With `--strategies` it benchmarks every anonymization strategy behind
+//! the session API — Mondrian, bucketization, full-domain generalization —
+//! refreshing through 1% deltas vs a from-scratch publish of the same
+//! post-delta table, written to `BENCH_strategies.json`. Serial engines on
+//! both sides, so the speedup isolates the retained-state advantage; every
+//! step is verified bit-identical before its timing is recorded.
+//!
+//! ```text
+//! cargo run --release -p bgkanon-bench --bin baseline -- --strategies
+//! cargo run --release -p bgkanon-bench --bin baseline -- --strategies --smoke
+//! ```
+//!
 //! Methodology:
 //!
 //! * **publish** — Mondrian under 10-anonymity (the partitioning cost the
@@ -115,7 +127,7 @@ use bgkanon::data::{adult, Delta, DeltaBuilder, Layout, Parallelism, Table};
 use bgkanon::knowledge::{Adversary, Bandwidth, FoldedTable, PriorEstimator, PriorModel};
 use bgkanon::privacy::Auditor;
 use bgkanon::stats::SmoothedJs;
-use bgkanon::Publisher;
+use bgkanon::{Algorithm, Publisher};
 use bgkanon_bench::report::Report;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -1321,7 +1333,7 @@ fn run_concurrent_mode(smoke: bool, out_path: &str) {
     let serial_deltas = tenants * deltas;
 
     // ---- Phase 2: the hub, writers + readers concurrent. ----------------
-    let hub = Arc::new(bgkanon::SessionHub::new());
+    let hub: Arc<bgkanon::SessionHub> = Arc::new(bgkanon::SessionHub::new());
     let hub_publisher = Publisher::new().k_anonymity(K);
     let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
     for (i, name) in names.iter().enumerate() {
@@ -1815,7 +1827,8 @@ fn run_fleet_mode(smoke: bool, out_path: &str) {
             verify_on_open: false,
             max_resident_bytes: budget,
         };
-        let (hub, _) = SessionHub::open_with(&dir, options).expect("create fleet hub");
+        let (hub, _) = SessionHub::<bgkanon::anon::AnyStrategy>::open_with(&dir, options)
+            .expect("create fleet hub");
         for i in 0..tenants {
             let table = adult::generate(rows, SEED + (i % distinct) as u64);
             hub.register(&name_of(i), &table, &publisher)
@@ -2018,6 +2031,178 @@ fn run_fleet_mode(smoke: bool, out_path: &str) {
     );
 }
 
+/// One measured delta step of the strategies benchmark.
+struct StrategyStep {
+    refresh_ms: f64,
+    scratch_ms: f64,
+}
+
+/// Strategies results for one (size, algorithm, workload) cell.
+struct StrategyResult {
+    rows: usize,
+    algorithm: Algorithm,
+    workload: Workload,
+    delta_rows: usize,
+    groups: usize,
+    open_ms: f64,
+    steps: Vec<StrategyStep>,
+}
+
+impl StrategyResult {
+    fn mean(&self, f: impl Fn(&StrategyStep) -> f64) -> f64 {
+        self.steps.iter().map(f).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Speedup of the mean incremental refresh over the mean from-scratch
+    /// publish of the same post-delta table.
+    fn speedup_mean(&self) -> f64 {
+        self.mean(|s| s.scratch_ms) / self.mean(|s| s.refresh_ms)
+    }
+
+    fn speedup_best(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.scratch_ms / s.refresh_ms)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run the strategy-refresh benchmark for one cell: `reps` successive 1%
+/// deltas through one session of `algorithm`, each step timed against a
+/// from-scratch publish of the same post-delta table and checked
+/// bit-identical before any number is recorded.
+fn run_strategies(
+    rows: usize,
+    reps: usize,
+    algorithm: Algorithm,
+    workload: Workload,
+) -> StrategyResult {
+    let table = adult::generate(rows, SEED);
+    let publisher = Publisher::new()
+        .k_anonymity(4)
+        .distinct_l_diversity(3)
+        .algorithm(algorithm)
+        .parallelism(Parallelism::Serial);
+    let (mut session, open_ms) = time_ms(|| publisher.open(&table).expect("satisfiable"));
+    let delta_half = (rows / 200).max(1);
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x5747_4759);
+    let mut steps = Vec::with_capacity(reps);
+    let mut churned = 0usize;
+    for rep in 0..reps {
+        let delta = workload_delta(
+            session.table(),
+            &mut rng,
+            workload,
+            delta_half,
+            SEED + 2000 + rep as u64,
+        );
+        churned += delta.len();
+        let (outcome, refresh_ms) = time_ms(|| session.apply(&delta).expect("satisfiable delta"));
+        let (scratch, scratch_ms) =
+            time_ms(|| publisher.publish(session.table()).expect("satisfiable"));
+        // The recorded speedup must never be bought with drift.
+        let inc = outcome.anonymized.groups();
+        let full = scratch.anonymized.groups();
+        assert_eq!(inc.len(), full.len(), "group count drift");
+        for (a, b) in inc.iter().zip(full) {
+            assert_eq!(a.rows, b.rows, "group membership drift");
+            assert_eq!(a.ranges, b.ranges, "range drift");
+            assert_eq!(a.sensitive_counts, b.sensitive_counts, "histogram drift");
+        }
+        steps.push(StrategyStep {
+            refresh_ms,
+            scratch_ms,
+        });
+    }
+    StrategyResult {
+        rows,
+        algorithm,
+        workload,
+        delta_rows: churned / reps,
+        groups: session.group_count(),
+        open_ms,
+        steps,
+    }
+}
+
+fn strategies_json(results: &[StrategyResult], smoke: bool, reps: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"strategies\",\n");
+    out.push_str("  \"requirement\": \"4-anonymity ∧ distinct 3-diversity\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"algorithm\": \"{}\", \"workload\": \"{}\", \
+             \"delta_rows\": {}, \"groups\": {}, \"open_ms\": {:.3}, \
+             \"refresh_ms_mean\": {:.3}, \"scratch_publish_ms_mean\": {:.3}, \
+             \"speedup_mean\": {:.3}, \"speedup_best\": {:.3}, \
+             \"identical_output\": true}}{}\n",
+            r.rows,
+            r.algorithm.name(),
+            r.workload.name(),
+            r.delta_rows,
+            r.groups,
+            r.open_ms,
+            r.mean(|s| s.refresh_ms),
+            r.mean(|s| s.scratch_ms),
+            r.speedup_mean(),
+            r.speedup_best(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The strategies benchmark: every [`Algorithm`] behind the session API —
+/// Mondrian, bucketization, full-domain generalization — refreshing through
+/// 1% deltas vs a from-scratch publish of the same table, serial engines on
+/// both sides so the comparison isolates the retained-state advantage.
+fn run_strategies_mode(sizes: &[usize], reps: usize, out_path: &str, smoke: bool) {
+    let mut report = Report::new(
+        "Strategy refresh: 1% delta apply vs from-scratch publish, per algorithm",
+        &["groups", "open", "refresh", "scratch", "speedup"],
+    );
+    let mut results = Vec::new();
+    for &rows in sizes {
+        for algorithm in [
+            Algorithm::Mondrian,
+            Algorithm::Bucketize,
+            Algorithm::FullDomain,
+        ] {
+            for workload in [Workload::Clustered, Workload::Scattered] {
+                let r = run_strategies(rows, reps, algorithm, workload);
+                report.row(
+                    &format!("{rows} rows, {}, {}", algorithm.name(), workload.name()),
+                    vec![
+                        format!("{}", r.groups),
+                        format!("{:.1}ms", r.open_ms),
+                        format!("{:.2}ms", r.mean(|s| s.refresh_ms)),
+                        format!("{:.2}ms", r.mean(|s| s.scratch_ms)),
+                        format!("{:.2}x", r.speedup_mean()),
+                    ],
+                );
+                results.push(r);
+            }
+        }
+    }
+    report.note(&format!(
+        "{reps} delta(s) per cell, each ½% deletes + ½% inserts (clustered = one narrow \
+         age-band cohort, scattered = uniform churn); serial engines on both sides; every \
+         step's groups, ranges and histograms verified bit-identical before timing is recorded"
+    ));
+    println!("{}", report.render());
+
+    let payload = strategies_json(&results, smoke, reps);
+    let mut file = std::fs::File::create(out_path).expect("create strategies json");
+    file.write_all(payload.as_bytes())
+        .expect("write strategies json");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -2027,14 +2212,23 @@ fn main() {
     let recovery = args.iter().any(|a| a == "--recovery");
     let scale = args.iter().any(|a| a == "--scale");
     let fleet = args.iter().any(|a| a == "--fleet");
+    let strategies = args.iter().any(|a| a == "--strategies");
     assert!(
-        [incremental, estimate, concurrent, recovery, scale, fleet]
-            .iter()
-            .filter(|b| **b)
-            .count()
+        [
+            incremental,
+            estimate,
+            concurrent,
+            recovery,
+            scale,
+            fleet,
+            strategies
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
             <= 1,
-        "--incremental, --estimate, --concurrent, --recovery, --scale and --fleet \
-         are mutually exclusive"
+        "--incremental, --estimate, --concurrent, --recovery, --scale, --fleet and \
+         --strategies are mutually exclusive"
     );
     let arg_after = |flag: &str| {
         args.iter()
@@ -2055,6 +2249,8 @@ fn main() {
             "BENCH_scale.json".to_owned()
         } else if fleet {
             "BENCH_fleet.json".to_owned()
+        } else if strategies {
+            "BENCH_strategies.json".to_owned()
         } else {
             "BENCH_baseline.json".to_owned()
         }
@@ -2076,7 +2272,7 @@ fn main() {
         .unwrap_or(if scale {
             2
         } else {
-            match (incremental, smoke) {
+            match (incremental || strategies, smoke) {
                 (true, true) => 2,
                 (true, false) => 8,
                 (false, true) => 1,
@@ -2101,6 +2297,10 @@ fn main() {
     }
     if incremental {
         run_incremental_mode(&sizes, reps, &out_path, smoke);
+        return;
+    }
+    if strategies {
+        run_strategies_mode(&sizes, reps, &out_path, smoke);
         return;
     }
     if estimate {

@@ -47,7 +47,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   bgkanon-cli generate  --rows N --seed S --out FILE
   bgkanon-cli publish   --input FILE --model (kanon|ldiv|probldiv|tclose|bt|skyline)
-                        [--k K] [--l L] [--t T] [--b B] [--skyline b:t,b:t,...]
+                        [--k K] [--l L] [--t T] [--b B]
+                        [--skyline b:t,b:t,... | \"(b,t),(b,t),...\"]
+                        [--algorithm mondrian|bucketize|fulldomain] [--explain]
                         [--delete-rows I,J,...] [--insert-rows FILE]
                         [--format csv|adult-data] [--threads N|serial|auto] [--out FILE]
   bgkanon-cli audit     --input FILE --model ... [model flags] --b-prime B --t T
@@ -55,6 +57,7 @@ const USAGE: &str = "usage:
   bgkanon-cli serve     [--tenants N] [--rows N] [--deltas N] [--readers N]
                         [--audits N] [--seed S] [--b-prime B] [--t T]
                         [--model ... model flags] [--threads ...]
+                        [--algorithm mondrian|bucketize|fulldomain] [--explain]
                         [--data-dir DIR] [--max-resident-mb N]
                         (scripted multi-tenant SessionHub workload, verified
                          against from-scratch publications; with --data-dir the
@@ -87,7 +90,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, found `{a}`"))?;
-        if key == "pairwise" {
+        if key == "pairwise" || key == "explain" {
             flags.insert(key.to_owned(), "true".to_owned());
             continue;
         }
@@ -154,6 +157,65 @@ fn parse_parallelism(flags: &HashMap<String, String>) -> Result<Parallelism, Str
     }
 }
 
+/// Parse `--skyline` points. Two spellings are accepted: the flag's
+/// original `b:t,b:t,...` form and the paper's tuple notation
+/// `(b,t),(b,t),...`.
+fn parse_skyline_points(spec: &str) -> Result<Vec<(f64, f64)>, String> {
+    let spec = spec.trim();
+    let mut pairs = Vec::new();
+    if spec.starts_with('(') {
+        for part in spec.split(')') {
+            let part = part.trim().trim_start_matches(',').trim();
+            if part.is_empty() {
+                continue;
+            }
+            let inner = part
+                .strip_prefix('(')
+                .ok_or_else(|| format!("bad skyline point `{part})` (expected (b,t))"))?;
+            let (bs, ts) = inner
+                .split_once(',')
+                .ok_or_else(|| format!("bad skyline point `({inner})` (expected (b,t))"))?;
+            let bp: f64 = bs
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad b in `({inner})`"))?;
+            let tp: f64 = ts
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad t in `({inner})`"))?;
+            pairs.push((bp, tp));
+        }
+    } else {
+        for part in spec.split(',') {
+            let (bs, ts) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad skyline point `{part}` (expected b:t)"))?;
+            let bp: f64 = bs.parse().map_err(|_| format!("bad b in `{part}`"))?;
+            let tp: f64 = ts.parse().map_err(|_| format!("bad t in `{part}`"))?;
+            pairs.push((bp, tp));
+        }
+    }
+    if pairs.is_empty() {
+        return Err("empty --skyline point list".to_owned());
+    }
+    Ok(pairs)
+}
+
+/// Apply the optional `--algorithm` flag to a publisher.
+fn apply_algorithm(
+    publisher: Publisher,
+    flags: &HashMap<String, String>,
+) -> Result<Publisher, String> {
+    match flags.get("algorithm") {
+        None => Ok(publisher),
+        Some(name) => Algorithm::parse(name)
+            .map(|a| publisher.algorithm(a))
+            .ok_or_else(|| {
+                format!("unknown --algorithm `{name}` (mondrian | bucketize | fulldomain)")
+            }),
+    }
+}
+
 fn build_publisher(flags: &HashMap<String, String>) -> Result<Publisher, String> {
     let model = flags.get("model").ok_or("--model is required")?.as_str();
     let k: usize = parse(flags, "k")?.unwrap_or(3);
@@ -163,6 +225,7 @@ fn build_publisher(flags: &HashMap<String, String>) -> Result<Publisher, String>
     let publisher = Publisher::new()
         .k_anonymity(k)
         .parallelism(parse_parallelism(flags)?);
+    let publisher = apply_algorithm(publisher, flags)?;
     Ok(match model {
         "kanon" => publisher,
         "ldiv" => publisher.distinct_l_diversity(l),
@@ -173,16 +236,7 @@ fn build_publisher(flags: &HashMap<String, String>) -> Result<Publisher, String>
             let spec = flags
                 .get("skyline")
                 .ok_or("--skyline b:t,b:t,... is required for the skyline model")?;
-            let mut pairs = Vec::new();
-            for part in spec.split(',') {
-                let (bs, ts) = part
-                    .split_once(':')
-                    .ok_or_else(|| format!("bad skyline point `{part}` (expected b:t)"))?;
-                let bp: f64 = bs.parse().map_err(|_| format!("bad b in `{part}`"))?;
-                let tp: f64 = ts.parse().map_err(|_| format!("bad t in `{part}`"))?;
-                pairs.push((bp, tp));
-            }
-            publisher.skyline(pairs)
+            publisher.skyline(parse_skyline_points(spec)?)
         }
         other => return Err(format!("unknown --model `{other}`")),
     })
@@ -242,6 +296,7 @@ fn build_delta(flags: &HashMap<String, String>, table: &Table) -> Result<Option<
 fn open_session(flags: &HashMap<String, String>) -> Result<(Table, PublishSession), String> {
     let table = load_table(flags)?;
     let publisher = build_publisher(flags)?;
+    explain_if_asked(flags, &publisher, &table)?;
     let mut session = publisher.open(&table).map_err(|e| e.to_string())?;
     eprintln!(
         "requirement: {}\ngroups: {} (avg size {:.1}) in {:?}",
@@ -281,9 +336,24 @@ fn publish(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Under `--explain`, print the strategy the publisher would run on
+/// `table` and its resolved parameters.
+fn explain_if_asked(
+    flags: &HashMap<String, String>,
+    publisher: &Publisher,
+    table: &Table,
+) -> Result<(), String> {
+    if flags.contains_key("explain") {
+        let line = publisher.explain(table).map_err(|e| e.to_string())?;
+        eprintln!("strategy: {line}");
+    }
+    Ok(())
+}
+
 fn anonymize(flags: &HashMap<String, String>) -> Result<(), String> {
     let table = load_table(flags)?;
     let publisher = build_publisher(flags)?;
+    explain_if_asked(flags, &publisher, &table)?;
     let outcome = publisher.publish(&table).map_err(|e| e.to_string())?;
     eprintln!(
         "requirement: {}\ngroups: {} (avg size {:.1}) in {:?}",
@@ -358,9 +428,12 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let publisher = if flags.contains_key("model") {
         build_publisher(flags)?
     } else {
-        Publisher::new()
-            .k_anonymity(parse(flags, "k")?.unwrap_or(4))
-            .parallelism(parse_parallelism(flags)?)
+        apply_algorithm(
+            Publisher::new()
+                .k_anonymity(parse(flags, "k")?.unwrap_or(4))
+                .parallelism(parse_parallelism(flags)?),
+            flags,
+        )?
     };
 
     let max_resident_mb: Option<usize> = parse(flags, "max-resident-mb")?;
@@ -372,7 +445,8 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 max_resident_bytes,
                 ..Default::default()
             };
-            let (hub, report) = SessionHub::open_with(dir, options).map_err(|e| e.to_string())?;
+            let (hub, report) = SessionHub::<bgkanon::anon::AnyStrategy>::open_with(dir, options)
+                .map_err(|e| e.to_string())?;
             for tenant in &report.tenants {
                 match &tenant.error {
                     None => eprintln!(
@@ -409,6 +483,9 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let table = adult::generate(rows, seed.wrapping_add(i as u64));
         hub.register(name, &table, &publisher)
             .map_err(|e| e.to_string())?;
+    }
+    if let Ok(snap) = hub.snapshot(&names[0]) {
+        explain_if_asked(flags, &publisher, snap.table())?;
     }
     eprintln!(
         "hub: {} tenants × {rows} rows under `{}` ({} shards)",
@@ -574,7 +651,8 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // Durable mode: re-open the data directory cold and prove that the
     // recovered hub publishes exactly what the live hub was serving.
     if let Some(dir) = &data_dir {
-        let (reopened, report) = SessionHub::open(dir).map_err(|e| e.to_string())?;
+        let (reopened, report) =
+            SessionHub::<bgkanon::anon::AnyStrategy>::open(dir).map_err(|e| e.to_string())?;
         if !report.is_clean() {
             return Err(format!(
                 "reopen left {} tenant(s) unrecoverable",
@@ -687,6 +765,98 @@ mod tests {
         assert!(build_publisher(&unknown).is_err());
         let missing = flags(&[]);
         assert!(build_publisher(&missing).is_err());
+    }
+
+    #[test]
+    fn skyline_points_accept_both_spellings() {
+        let legacy = parse_skyline_points("0.2:0.3,0.4:0.2").unwrap();
+        let tuples = parse_skyline_points("(0.2, 0.3), (0.4, 0.2)").unwrap();
+        assert_eq!(legacy, vec![(0.2, 0.3), (0.4, 0.2)]);
+        assert_eq!(legacy, tuples);
+        assert!(parse_skyline_points("").is_err());
+        assert!(parse_skyline_points("(0.2)").is_err());
+        assert!(parse_skyline_points("(0.2,x)").is_err());
+        assert!(parse_skyline_points("0.2,0.3").is_err());
+    }
+
+    #[test]
+    fn algorithm_flag_selects_the_strategy() {
+        for (name, algorithm) in [
+            ("mondrian", Algorithm::Mondrian),
+            ("bucketize", Algorithm::Bucketize),
+            ("fulldomain", Algorithm::FullDomain),
+        ] {
+            let f = flags(&[("model", "kanon"), ("k", "3"), ("algorithm", name)]);
+            assert_eq!(build_publisher(&f).unwrap().algorithm_knob(), algorithm);
+        }
+        // Legacy invocations (no flag) stay Mondrian.
+        let f = flags(&[("model", "kanon"), ("k", "3")]);
+        assert_eq!(
+            build_publisher(&f).unwrap().algorithm_knob(),
+            Algorithm::Mondrian
+        );
+        let bad = flags(&[("model", "kanon"), ("algorithm", "warp")]);
+        assert!(build_publisher(&bad).unwrap_err().contains("--algorithm"));
+    }
+
+    #[test]
+    fn publish_runs_bucketize_with_explain() {
+        let dir = std::env::temp_dir().join("bgkanon_cli_bucketize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.csv");
+        let out = dir.join("published.csv");
+        run(&[
+            "generate".into(),
+            "--rows".into(),
+            "150".into(),
+            "--seed".into(),
+            "8".into(),
+            "--out".into(),
+            base.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        run(&[
+            "publish".into(),
+            "--input".into(),
+            base.to_string_lossy().into_owned(),
+            "--model".into(),
+            "ldiv".into(),
+            "--l".into(),
+            "3".into(),
+            "--algorithm".into(),
+            "bucketize".into(),
+            "--explain".into(),
+            "--out".into(),
+            out.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&out).unwrap().lines().count() > 1);
+        for p in [&base, &out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_runs_a_fulldomain_workload() {
+        run(&[
+            "serve".into(),
+            "--tenants".into(),
+            "1".into(),
+            "--rows".into(),
+            "80".into(),
+            "--deltas".into(),
+            "1".into(),
+            "--readers".into(),
+            "1".into(),
+            "--audits".into(),
+            "1".into(),
+            "--threads".into(),
+            "2".into(),
+            "--algorithm".into(),
+            "fulldomain".into(),
+            "--explain".into(),
+        ])
+        .unwrap();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   lock.
 //! * **One writer per tenant** — every tenant owns a `Mutex<PublishSession>`;
 //!   [`apply`](SessionHub::apply) validates and routes the delta through the
-//!   retained partition tree under that lock only. Writers to different
+//!   retained strategy state under that lock only. Writers to different
 //!   tenants run fully in parallel.
 //! * **Lock-free readers** — each applied delta publishes an immutable
 //!   [`TenantSnapshot`] behind an `RwLock<Arc<…>>` that is only ever held
@@ -68,7 +68,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, Weak};
 
-use bgkanon_anon::AnonymizedTable;
+use bgkanon_anon::{AnonymizedTable, AnyStrategy};
 use bgkanon_data::{Delta, Parallelism, Table};
 use bgkanon_knowledge::{
     Adversary, Bandwidth, FoldedTable, KernelFamily, PriorEstimator, PriorModel,
@@ -79,7 +79,14 @@ use bgkanon_stats::SmoothedJs;
 use crate::publisher::Publisher;
 use crate::recover::{self, RecoveryReport, TenantRecovery};
 use crate::session::{PublishSession, SessionError};
+use crate::strategy::SessionStrategy;
 use crate::wal::{encode_record, DurabilityOptions, WalWriter};
+
+/// Default registry shard count ([`SessionHub::DEFAULT_SHARDS`]).
+const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// Per-tenant reader-cache cap ([`SessionHub::MAX_READER_CACHES`]).
+const READER_CACHE_CAP: usize = 8;
 
 /// Recover a lock from a poisoned peer. The hub's guarded state is kept
 /// consistent at every await-free step (a panicking writer leaves either
@@ -239,9 +246,9 @@ struct TenantWal {
 }
 
 /// Residency of one tenant's in-memory session.
-enum TenantState {
+enum TenantState<S: SessionStrategy> {
     /// Session in memory, serving applies and audits.
-    Resident(Box<PublishSession>),
+    Resident(Box<PublishSession<S>>),
     /// Demoted to the durable form under the tenant's directory: no
     /// session, no snapshot, no caches, no open WAL descriptor. The next
     /// touch rehydrates through [`crate::recover`] — bit-identical to
@@ -250,12 +257,12 @@ enum TenantState {
 }
 
 /// One hosted tenant.
-struct Tenant {
+struct Tenant<S: SessionStrategy> {
     name: String,
     /// The single-writer evolving session (or its evicted placeholder).
     /// Held by [`SessionHub::apply`] for the duration of one delta and by
     /// rehydration/demotion for the duration of the state swap.
-    writer: Mutex<TenantState>,
+    writer: Mutex<TenantState<S>>,
     /// Durable-apply state; `None` on in-memory hubs. Nests inside the
     /// `writer` lock and is released before `published` is written.
     wal: Option<Mutex<TenantWal>>,
@@ -274,7 +281,7 @@ struct Tenant {
     reader_bytes: AtomicUsize,
 }
 
-impl Tenant {
+impl<S: SessionStrategy> Tenant<S> {
     fn snapshot_opt(&self) -> Option<Arc<TenantSnapshot>> {
         relock(self.published.read()).as_ref().map(Arc::clone)
     }
@@ -312,7 +319,7 @@ impl Tenant {
         if let ReaderKey::Bandwidth(bits, _) = key {
             readers.retain(|c| !matches!(c.key, ReaderKey::Bandwidth(b, _) if b == bits));
         }
-        if readers.len() >= SessionHub::MAX_READER_CACHES {
+        if readers.len() >= READER_CACHE_CAP {
             readers.remove(0);
         }
         readers.push(ReaderCache {
@@ -324,8 +331,8 @@ impl Tenant {
 }
 
 /// One registry shard.
-struct Shard {
-    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+struct Shard<S: SessionStrategy> {
+    tenants: Mutex<HashMap<String, Arc<Tenant<S>>>>,
 }
 
 /// Hub-level durability configuration (present only on hubs opened with
@@ -469,12 +476,19 @@ pub struct MemoryStats {
 /// The hub is `Send + Sync` — wrap it in an `Arc` and hand it to as many
 /// writer and reader threads as the workload needs.
 ///
+/// Like [`PublishSession`], the hub is generic over its tenants'
+/// [`SessionStrategy`]. The default, [`AnyStrategy`], dispatches on each
+/// tenant's [`Publisher::algorithm`](crate::Publisher::algorithm) knob, so
+/// one hub hosts Mondrian, bucketization and full-domain tenants side by
+/// side; a concrete parameter (`SessionHub<Mondrian>`) pins every tenant to
+/// one algorithm and rejects mismatched publishers at registration.
+///
 /// ```
 /// use std::sync::Arc;
 /// use bgkanon::data::{adult, DeltaBuilder};
 /// use bgkanon::{Publisher, SessionHub};
 ///
-/// let hub = SessionHub::new();
+/// let hub: SessionHub = SessionHub::new();
 /// let publisher = Publisher::new().k_anonymity(4);
 ///
 /// // Host two independently evolving tables.
@@ -499,8 +513,8 @@ pub struct MemoryStats {
 /// assert!(report.worst_case >= report.mean);
 /// # Ok::<(), bgkanon::SessionError>(())
 /// ```
-pub struct SessionHub {
-    shards: Vec<Shard>,
+pub struct SessionHub<S: SessionStrategy = AnyStrategy> {
+    shards: Vec<Shard<S>>,
     durability: Option<Durability>,
     /// In-memory budget ([`with_budget`](Self::with_budget)); durable hubs
     /// configure theirs via [`DurabilityOptions::max_resident_bytes`].
@@ -515,13 +529,13 @@ pub struct SessionHub {
     interned: Mutex<InternTable>,
 }
 
-impl SessionHub {
+impl<S: SessionStrategy> SessionHub<S> {
     /// Default number of registry shards.
-    pub const DEFAULT_SHARDS: usize = 16;
+    pub const DEFAULT_SHARDS: usize = DEFAULT_SHARD_COUNT;
 
     /// Reader-audit configurations retained per tenant; beyond this the
     /// least recently used shared session (and its caches) is dropped.
-    pub const MAX_READER_CACHES: usize = 8;
+    pub const MAX_READER_CACHES: usize = READER_CACHE_CAP;
 
     /// An empty hub with [`DEFAULT_SHARDS`](Self::DEFAULT_SHARDS) registry
     /// shards.
@@ -576,7 +590,7 @@ impl SessionHub {
     ///
     /// An empty or missing `dir` opens an empty durable hub — `open` is
     /// also how a durable hub is created in the first place.
-    pub fn open(dir: impl AsRef<Path>) -> Result<(SessionHub, RecoveryReport), SessionError> {
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Self, RecoveryReport), SessionError> {
         Self::open_with(dir, DurabilityOptions::default())
     }
 
@@ -584,7 +598,7 @@ impl SessionHub {
     pub fn open_with(
         dir: impl AsRef<Path>,
         options: DurabilityOptions,
-    ) -> Result<(SessionHub, RecoveryReport), SessionError> {
+    ) -> Result<(Self, RecoveryReport), SessionError> {
         let root = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&root).map_err(|e| {
             SessionError::Durability(format!("could not create data dir {root:?}: {e}"))
@@ -688,13 +702,13 @@ impl SessionHub {
         self.shards.len()
     }
 
-    fn shard(&self, tenant: &str) -> &Shard {
+    fn shard(&self, tenant: &str) -> &Shard<S> {
         let mut hasher = DefaultHasher::new();
         tenant.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
-    fn tenant(&self, name: &str) -> Result<Arc<Tenant>, SessionError> {
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant<S>>, SessionError> {
         relock(self.shard(name).tenants.lock())
             .get(name)
             .cloned()
@@ -732,7 +746,7 @@ impl SessionHub {
 
     /// Register a tenant: open a [`PublishSession`] on `table` with
     /// `publisher`'s requirements and publish version 0. The expensive work
-    /// (planting the partition tree) runs outside every hub lock; only the
+    /// (planting the strategy state) runs outside every hub lock; only the
     /// final registry insert briefly takes the tenant's shard.
     pub fn register(
         &self,
@@ -750,7 +764,7 @@ impl SessionHub {
         if self.contains(tenant) {
             return Err(SessionError::TenantExists(tenant.to_owned()));
         }
-        let session = publisher.open(table)?;
+        let session = PublishSession::open(table, publisher)?;
         let wal = if let Some(durability) = &self.durability {
             let dir = durability.root.join(recover::dir_name_for(tenant));
             let durable = |e: std::io::Error, what: &str| {
@@ -1043,7 +1057,7 @@ impl SessionHub {
     }
 
     /// Stamp the tenant's last-touch clock (LRU eviction order).
-    fn touch(&self, entry: &Tenant) {
+    fn touch(&self, entry: &Tenant<S>) {
         entry.last_touch.store(
             self.touch_clock.fetch_add(1, Ordering::Relaxed),
             Ordering::Relaxed,
@@ -1063,7 +1077,7 @@ impl SessionHub {
     /// Recompute the tenant's shared reader-cache bytes. The sessions are
     /// cloned out under the brief `readers` guard and summed outside it
     /// (each sum takes the session's own cache lock).
-    fn recount_readers(&self, entry: &Tenant) {
+    fn recount_readers(&self, entry: &Tenant<S>) {
         let sessions: Vec<Arc<SharedAuditSession>> = {
             let readers = relock(entry.readers.lock());
             readers.iter().map(|c| Arc::clone(&c.session)).collect()
@@ -1073,7 +1087,10 @@ impl SessionHub {
     }
 
     /// The tenant's current snapshot, rehydrating a demoted tenant first.
-    fn resident_snapshot(&self, entry: &Arc<Tenant>) -> Result<Arc<TenantSnapshot>, SessionError> {
+    fn resident_snapshot(
+        &self,
+        entry: &Arc<Tenant<S>>,
+    ) -> Result<Arc<TenantSnapshot>, SessionError> {
         self.touch(entry);
         if let Some(snapshot) = entry.snapshot_opt() {
             return Ok(snapshot);
@@ -1094,8 +1111,8 @@ impl SessionHub {
     /// to one that was never demoted.
     fn rehydrate_locked(
         &self,
-        entry: &Tenant,
-        state: &mut TenantState,
+        entry: &Tenant<S>,
+        state: &mut TenantState<S>,
     ) -> Result<Arc<TenantSnapshot>, SessionError> {
         if let TenantState::Resident(session) = state {
             if let Some(snapshot) = entry.snapshot_opt() {
@@ -1157,7 +1174,7 @@ impl SessionHub {
             return;
         }
         let low = budget - budget / 8;
-        let mut candidates: Vec<(u64, String, Arc<Tenant>)> = Vec::new();
+        let mut candidates: Vec<(u64, String, Arc<Tenant<S>>)> = Vec::new();
         for s in &self.shards {
             let tenants = relock(s.tenants.lock());
             // bgk-allow: R3 candidates are sorted by (touch, name) below
@@ -1186,7 +1203,7 @@ impl SessionHub {
     /// caches instead — there is no durable form to fall back to). Best
     /// effort: a contended writer, an unhealthy WAL, or a failed
     /// checkpoint flush leaves the tenant resident.
-    fn demote(&self, entry: &Tenant) {
+    fn demote(&self, entry: &Tenant<S>) {
         // try_lock, never lock: a tenant whose writer is held is mid-apply
         // — the opposite of cold — and eviction must not stall it.
         let Ok(mut state) = entry.writer.try_lock() else {
@@ -1233,8 +1250,8 @@ impl SessionHub {
                 true
             }
             None => {
-                // In-memory hub: the table and tree have nowhere to go;
-                // shed the rebuildable state (audit caches).
+                // In-memory hub: the table and strategy state have nowhere
+                // to go; shed the rebuildable state (audit caches).
                 session.evict_audit_caches();
                 false
             }
@@ -1292,7 +1309,7 @@ impl SessionHub {
         adversary
     }
 
-    fn snapshot_of(tenant: &str, session: &PublishSession) -> TenantSnapshot {
+    fn snapshot_of(tenant: &str, session: &PublishSession<S>) -> TenantSnapshot {
         TenantSnapshot {
             tenant: tenant.to_owned(),
             version: session.deltas_applied() as u64,
@@ -1304,13 +1321,13 @@ impl SessionHub {
     }
 }
 
-impl Default for SessionHub {
+impl<S: SessionStrategy> Default for SessionHub<S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl std::fmt::Debug for SessionHub {
+impl<S: SessionStrategy> std::fmt::Debug for SessionHub<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionHub")
             .field("shards", &self.shards.len())
@@ -1522,7 +1539,7 @@ mod tests {
     #[test]
     fn concurrent_writers_and_readers_stay_consistent() {
         let tenants: Vec<(String, u64)> = (0..4).map(|i| (format!("t{i}"), i as u64)).collect();
-        let hub = Arc::new(SessionHub::with_shards(4));
+        let hub: Arc<SessionHub> = Arc::new(SessionHub::with_shards(4));
         let publisher = Publisher::new().k_anonymity(4);
         for (name, seed) in &tenants {
             hub.register(name, &adult::generate(150, *seed), &publisher)
@@ -1652,7 +1669,7 @@ mod tests {
 
     #[test]
     fn in_memory_budget_trims_cold_audit_caches() {
-        let hub = SessionHub::with_budget(1);
+        let hub: SessionHub = SessionHub::with_budget(1);
         let publisher = Publisher::new().k_anonymity(4);
         hub.register("a", &adult::generate(150, 1), &publisher)
             .unwrap();

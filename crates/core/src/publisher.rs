@@ -1,15 +1,20 @@
 //! High-level publishing pipeline: declare requirements, anonymize, audit.
 //!
-//! [`Publisher`] collects declarative requirement specs; [`Publisher::publish`]
-//! instantiates them against a concrete table (several models need the table
-//! to derive reference distributions or prior models), runs Mondrian, and
-//! returns a [`PublishOutcome`] that can be audited and scored for utility.
+//! [`Publisher`] collects declarative requirement specs plus an
+//! [`Algorithm`] selection; [`Publisher::publish`] instantiates the specs
+//! against a concrete table (several models need the table to derive
+//! reference distributions or prior models), runs the selected
+//! anonymization strategy, and returns a [`PublishOutcome`] that can be
+//! audited and scored for utility.
 
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bgkanon_anon::{AnonymizedTable, Mondrian};
+use bgkanon_anon::{
+    AnonymizationStrategy, AnonymizedTable, AnyStrategy, Bucketize, FullDomain, Infeasible,
+    Mondrian, StrategyState,
+};
 use bgkanon_data::{Parallelism, Table};
 use bgkanon_knowledge::{Adversary, Bandwidth};
 use bgkanon_privacy::{
@@ -35,6 +40,62 @@ enum BandwidthSpec {
     Vector(Vec<f64>),
 }
 
+impl Spec {
+    /// Human-readable kind, for error messages about spec/algorithm
+    /// mismatches.
+    fn kind(&self) -> &'static str {
+        match self {
+            Spec::K(_) => "k-anonymity",
+            Spec::DistinctL(_) => "distinct ℓ-diversity",
+            Spec::ProbabilisticL(_) => "probabilistic ℓ-diversity",
+            Spec::TCloseness(_) => "t-closeness",
+            Spec::Bt { .. } => "(B,t)-privacy",
+            Spec::Skyline(_) => "skyline (B,t)-privacy",
+        }
+    }
+}
+
+/// Which anonymization algorithm a [`Publisher`] (and every session opened
+/// from it) runs. All three publish through the same
+/// [`AnonymizationStrategy`] contract; they differ in how groups are formed
+/// and which requirement kinds they can enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Mondrian multidimensional local recoding — the default; enforces any
+    /// requirement combination.
+    #[default]
+    Mondrian,
+    /// Anatomy-style bucketization on the sensitive attribute; enforces
+    /// k-anonymity and distinct ℓ-diversity (the bucket invariant — ≥ ℓ
+    /// distinct sensitive values, size ≥ ℓ — implies both).
+    Bucketize,
+    /// Incognito-style full-domain generalization over the level lattice;
+    /// enforces any requirement combination.
+    FullDomain,
+}
+
+impl Algorithm {
+    /// The stable lowercase identifier (CLI flag value, genesis-file tag,
+    /// strategy [`name()`](AnonymizationStrategy::name)).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Mondrian => "mondrian",
+            Algorithm::Bucketize => "bucketize",
+            Algorithm::FullDomain => "fulldomain",
+        }
+    }
+
+    /// Parse the identifier [`name()`](Self::name) emits.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mondrian" => Some(Algorithm::Mondrian),
+            "bucketize" => Some(Algorithm::Bucketize),
+            "fulldomain" => Some(Algorithm::FullDomain),
+            _ => None,
+        }
+    }
+}
+
 /// Errors from [`Publisher::publish`].
 #[derive(Debug, Clone)]
 pub enum PublishError {
@@ -53,6 +114,19 @@ pub enum PublishError {
         /// Required dimension (number of QI attributes).
         expected: usize,
     },
+    /// The selected algorithm cannot produce (or incrementally maintain) a
+    /// publication for these specs or this table — e.g. bucketization asked
+    /// to enforce t-closeness, or no ℓ-eligible bucket partition exists.
+    Infeasible {
+        /// Why the strategy cannot proceed.
+        reason: String,
+    },
+}
+
+impl From<Infeasible> for PublishError {
+    fn from(e: Infeasible) -> Self {
+        PublishError::Infeasible { reason: e.reason }
+    }
 }
 
 impl fmt::Display for PublishError {
@@ -69,6 +143,7 @@ impl fmt::Display for PublishError {
                     "bandwidth has {got} components, table has {expected} QI attributes"
                 )
             }
+            PublishError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
         }
     }
 }
@@ -92,12 +167,23 @@ impl std::error::Error for PublishError {}
 pub struct Publisher {
     specs: Vec<Spec>,
     parallelism: Parallelism,
+    algorithm: Algorithm,
 }
 
 impl Publisher {
-    /// Start an empty publisher (with [`Parallelism::Auto`]).
+    /// Start an empty publisher (with [`Parallelism::Auto`] and
+    /// [`Algorithm::Mondrian`]).
     pub fn new() -> Self {
         Publisher::default()
+    }
+
+    /// Select the anonymization algorithm. The default is
+    /// [`Algorithm::Mondrian`]; bucketization and full-domain
+    /// generalization publish the same [`AnonymizedTable`] group structure
+    /// through their own strategies.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
     }
 
     /// Select the execution engine for anonymization and the audits run off
@@ -159,14 +245,14 @@ impl Publisher {
         self
     }
 
-    /// Instantiate the requirements for `table`, run Mondrian, and return
-    /// the outcome.
+    /// Instantiate the requirements for `table`, run the selected
+    /// [`Algorithm`], and return the outcome.
     ///
-    /// This is the one-shot form of a publishing session: the same engine
-    /// plants a partition tree and derives the published view from it, but
-    /// none of the retained state (the tree, its replay histograms, audit
-    /// caches) outlives the call — callers that expect deltas open a
-    /// [`PublishSession`](crate::PublishSession) instead.
+    /// This is the one-shot form of a publishing session: the same strategy
+    /// plants its retained state and derives the published view from it,
+    /// but none of that state (partition tree, bucket lists, lattice
+    /// frontier, audit caches) outlives the call — callers that expect
+    /// deltas open a [`PublishSession`](crate::PublishSession) instead.
     pub fn publish(&self, table: &Table) -> Result<PublishOutcome, PublishError> {
         let requirement = self.instantiate(table)?;
         if !whole_table_satisfies(table, &requirement) {
@@ -175,15 +261,86 @@ impl Publisher {
             });
         }
         let requirement_name = requirement.name();
+        let strategy = self.strategy(&requirement)?;
         let started = std::time::Instant::now(); // bgk-allow: R3 telemetry only: elapsed is reported, never branches
-        let tree = Mondrian::new(requirement).plant_with(table, self.parallelism);
+        let state = strategy.plant_with(table, self.parallelism)?;
         let elapsed = started.elapsed();
+        let (anonymized, _stamps) = state.snapshot(table);
         Ok(PublishOutcome {
-            anonymized: tree.to_anonymized(table),
+            anonymized,
             requirement_name,
             elapsed,
             parallelism: self.parallelism,
         })
+    }
+
+    /// Describe the strategy this publisher would run on `table` — the
+    /// algorithm plus its derived parameters (Mondrian's requirement,
+    /// bucketization's ℓ, full-domain's search mode). The CLI's
+    /// `--explain` flag prints this.
+    pub fn explain(&self, table: &Table) -> Result<String, PublishError> {
+        let requirement = self.instantiate(table)?;
+        Ok(self.strategy(&requirement)?.describe())
+    }
+
+    /// Build the [`AnyStrategy`] the declared [`Algorithm`] and specs
+    /// select, against an already-instantiated requirement.
+    ///
+    /// Bucketization enforces only k-anonymity and distinct ℓ-diversity:
+    /// every bucket carries ≥ ℓ distinct sensitive values and ≥ ℓ rows, so
+    /// ℓ is the max over the declared k and ℓ values; any other spec kind
+    /// is infeasible for it. Full-domain generalization searches the level
+    /// lattice with the monotone frontier walk when every spec is monotone
+    /// in levels (k-anonymity, distinct ℓ-diversity), exhaustively
+    /// otherwise.
+    pub(crate) fn strategy(
+        &self,
+        requirement: &Arc<dyn PrivacyRequirement>,
+    ) -> Result<AnyStrategy, PublishError> {
+        let monotone_specs = self
+            .specs
+            .iter()
+            .all(|s| matches!(s, Spec::K(_) | Spec::DistinctL(_)));
+        match self.algorithm {
+            Algorithm::Mondrian => Ok(AnyStrategy::Mondrian(Mondrian::new(Arc::clone(
+                requirement,
+            )))),
+            Algorithm::Bucketize => {
+                if let Some(spec) = self
+                    .specs
+                    .iter()
+                    .find(|s| !matches!(s, Spec::K(_) | Spec::DistinctL(_)))
+                {
+                    return Err(PublishError::Infeasible {
+                        reason: format!(
+                            "bucketization cannot enforce {}; only k-anonymity and distinct \
+                             ℓ-diversity map onto ℓ-diverse buckets",
+                            spec.kind()
+                        ),
+                    });
+                }
+                let l = self
+                    .specs
+                    .iter()
+                    .map(|s| match s {
+                        Spec::K(k) => *k,
+                        Spec::DistinctL(l) => *l,
+                        _ => unreachable!("filtered above"),
+                    })
+                    .max()
+                    .unwrap_or(1)
+                    .max(1);
+                Ok(AnyStrategy::Bucketize(Bucketize::new(l)))
+            }
+            Algorithm::FullDomain => {
+                let strategy = if monotone_specs {
+                    FullDomain::new_monotone(Arc::clone(requirement))
+                } else {
+                    FullDomain::new_exhaustive(Arc::clone(requirement))
+                };
+                Ok(AnyStrategy::FullDomain(strategy))
+            }
+        }
     }
 
     /// Open a retained [`PublishSession`](crate::PublishSession) on
@@ -245,16 +402,31 @@ impl Publisher {
         self.parallelism
     }
 
-    /// Serialize the declarative specs as one text line each, for the
-    /// durable hub's genesis file ([`crate::recover`]). Floats use `{:.17e}`
+    /// The algorithm this publisher was configured with.
+    pub fn algorithm_knob(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Serialize the declarative specs as one text line each — preceded by
+    /// an `algorithm <name>` selector line when the algorithm is not the
+    /// Mondrian default — for the durable hub's genesis file
+    /// ([`crate::recover`]). Floats use `{:.17e}`
     /// so [`from_spec_lines`](Self::from_spec_lines) reconstructs them
     /// bit-for-bit; the parallelism knob is deliberately *not* recorded —
     /// engines are bit-identical across it, so recovered sessions run with
     /// the default.
     pub(crate) fn spec_lines(&self) -> Vec<String> {
-        self.specs
-            .iter()
-            .map(|spec| match spec {
+        let algorithm = if self.algorithm == Algorithm::Mondrian {
+            // Legacy shape: Mondrian publishers serialize exactly as they
+            // did before the algorithm knob existed, so old genesis files
+            // and new Mondrian ones are byte-identical.
+            None
+        } else {
+            Some(format!("algorithm {}", self.algorithm.name()))
+        };
+        algorithm
+            .into_iter()
+            .chain(self.specs.iter().map(|spec| match spec {
                 Spec::K(k) => format!("spec k {k}"),
                 Spec::DistinctL(l) => format!("spec distinct-l {l}"),
                 Spec::ProbabilisticL(l) => format!("spec probabilistic-l {l}"),
@@ -280,7 +452,7 @@ impl Publisher {
                     }
                     line
                 }
-            })
+            }))
             .collect()
     }
 
@@ -298,6 +470,17 @@ impl Publisher {
         let mut publisher = Publisher::new();
         for line in lines {
             let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.first() == Some(&"algorithm") {
+                // Optional selector line; absent (the legacy shape) means
+                // Mondrian.
+                let algorithm = toks
+                    .get(1)
+                    .filter(|_| toks.len() == 2)
+                    .and_then(|name| Algorithm::parse(name))
+                    .ok_or_else(|| format!("unknown algorithm on `{line}`"))?;
+                publisher = publisher.algorithm(algorithm);
+                continue;
+            }
             if toks.first() != Some(&"spec") || toks.len() < 2 {
                 return Err(format!("expected a `spec <kind> ...` line, got `{line}`"));
             }
@@ -578,6 +761,78 @@ mod tests {
             Publisher::from_spec_lines(std::iter::empty::<&str>()).is_err(),
             "empty spec list should be rejected"
         );
+    }
+
+    #[test]
+    fn bucketize_and_fulldomain_publish_through_the_same_outcome() {
+        let t = adult::generate(300, 55);
+        for algorithm in [Algorithm::Bucketize, Algorithm::FullDomain] {
+            let outcome = Publisher::new()
+                .k_anonymity(3)
+                .distinct_l_diversity(3)
+                .algorithm(algorithm)
+                .publish(&t)
+                .expect("satisfiable on adult");
+            assert!(outcome.anonymized.group_count() >= 1);
+            // Both enforce the declared requirement on every group.
+            for g in outcome.anonymized.groups() {
+                assert!(g.len() >= 3);
+                assert!(g.sensitive_counts.iter().filter(|&&c| c > 0).count() >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bucketize_rejects_non_diversity_specs() {
+        let t = toy::hospital_table();
+        let err = Publisher::new()
+            .k_anonymity(3)
+            .t_closeness(0.25)
+            .algorithm(Algorithm::Bucketize)
+            .publish(&t)
+            .unwrap_err();
+        match err {
+            PublishError::Infeasible { reason } => assert!(reason.contains("t-closeness")),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn algorithm_line_roundtrips_and_legacy_lines_stay_mondrian() {
+        let original = Publisher::new()
+            .distinct_l_diversity(3)
+            .algorithm(Algorithm::Bucketize);
+        let lines = original.spec_lines();
+        assert_eq!(lines[0], "algorithm bucketize");
+        let rebuilt =
+            Publisher::from_spec_lines(lines.iter().map(String::as_str)).expect("roundtrip");
+        assert_eq!(rebuilt.algorithm_knob(), Algorithm::Bucketize);
+        assert_eq!(rebuilt.spec_lines(), lines);
+        // Mondrian publishers serialize without the selector line (the
+        // legacy byte shape), and legacy lines parse back as Mondrian.
+        let legacy = Publisher::new().k_anonymity(3).spec_lines();
+        assert!(legacy.iter().all(|l| l.starts_with("spec ")));
+        let parsed = Publisher::from_spec_lines(legacy.iter().map(String::as_str)).unwrap();
+        assert_eq!(parsed.algorithm_knob(), Algorithm::Mondrian);
+        for bad in ["algorithm warp", "algorithm", "algorithm mondrian extra"] {
+            assert!(
+                Publisher::from_spec_lines([bad, "spec k 3"]).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_names_the_strategy() {
+        let t = adult::generate(100, 56);
+        let text = Publisher::new().k_anonymity(4).explain(&t).unwrap();
+        assert!(text.contains("mondrian"), "{text}");
+        let text = Publisher::new()
+            .k_anonymity(4)
+            .algorithm(Algorithm::Bucketize)
+            .explain(&t)
+            .unwrap();
+        assert!(text.contains("bucketize") && text.contains('4'), "{text}");
     }
 
     #[test]

@@ -12,11 +12,15 @@
 //!   the live session's requirement bit-for-bit.
 //! * `checkpoint.tbl` — rewritten atomically (tmp + fsync + rename + dir
 //!   fsync) every [`checkpoint_every`](crate::wal::DurabilityOptions::checkpoint_every)
-//!   applied deltas: the version-`K` table, the partition tree's exported
-//!   node records, and every session-built tracked adversary model
-//!   (serialized with the versioned `bgkanon-knowledge::persist` format —
-//!   `save_model`/`load_model` generalized from "the whole file" to "a
-//!   block inside a larger checkpoint").
+//!   applied deltas: the version-`K` table, a `strategy <name>` tag, the
+//!   strategy's exported state block
+//!   ([`SessionStrategy::export_state`](crate::strategy::SessionStrategy)),
+//!   and every session-built tracked adversary model (serialized with the
+//!   versioned `bgkanon-knowledge::persist` format — `save_model`/
+//!   `load_model` generalized from "the whole file" to "a block inside a
+//!   larger checkpoint"). Untagged v1/v2 checkpoints predate the strategy
+//!   layer; their tree block is byte-identical to the Mondrian strategy's
+//!   state encoding, so they still load — as Mondrian sessions.
 //! * `wal.log` — the append-only delta log ([`crate::wal`]).
 //!
 //! Both text files end with a `checksum <fnv1a64>` line over everything
@@ -37,7 +41,6 @@ use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
-use bgkanon_anon::{PartitionTree, SplitDecision, TreeNodeRecord};
 use bgkanon_data::hierarchy::HierarchyBuilder;
 use bgkanon_data::{
     Attribute, AttributeKind, DistanceMatrix, Hierarchy, Parallelism, Schema, Table, TableBuilder,
@@ -46,12 +49,16 @@ use bgkanon_knowledge::{load_model_str, save_model_string, PriorModel};
 
 use crate::publisher::Publisher;
 use crate::session::PublishSession;
+use crate::strategy::SessionStrategy;
 use crate::wal::{self, fnv1a64, DurabilityOptions, SyncPolicy, WalError};
 
 /// Genesis-file magic line (v2: columnar table block, one line per
 /// attribute code vector).
 const GENESIS_MAGIC: &str = "bgkanon-genesis v2";
-/// Checkpoint-file magic line (v2: columnar table block).
+/// Checkpoint-file magic line (v3: strategy-tagged state block).
+const CHECKPOINT_MAGIC_V3: &str = "bgkanon-checkpoint v3";
+/// Pre-strategy checkpoint magic (v2: columnar table block, untagged
+/// Mondrian tree block) — still loads, as a Mondrian session.
 const CHECKPOINT_MAGIC: &str = "bgkanon-checkpoint v2";
 /// Pre-columnar genesis magic — files in this format still load (their
 /// table block is one `r` line per row).
@@ -105,9 +112,9 @@ pub struct TenantRecovery {
 }
 
 /// A successfully recovered tenant, ready for the hub to install.
-pub(crate) struct RecoveredTenant {
+pub(crate) struct RecoveredTenant<S: SessionStrategy> {
     pub(crate) name: String,
-    pub(crate) session: PublishSession,
+    pub(crate) session: PublishSession<S>,
     pub(crate) version: u64,
     pub(crate) from_checkpoint: Option<u64>,
     pub(crate) replayed: usize,
@@ -572,47 +579,24 @@ fn parse_genesis(text: &str) -> Result<Genesis, String> {
 // ---------------------------------------------------------------------------
 
 /// Serialize and atomically write a tenant checkpoint at `version`: the
-/// current table, the exported partition tree, and every tracked adversary
-/// model (via the knowledge crate's versioned persist format).
-pub(crate) fn write_checkpoint(
+/// current table, the session strategy's tag and exported state block, and
+/// every tracked adversary model (via the knowledge crate's versioned
+/// persist format).
+pub(crate) fn write_checkpoint<S: SessionStrategy>(
     dir: &Path,
     version: u64,
-    session: &PublishSession,
+    session: &PublishSession<S>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
-    let _ = writeln!(out, "{CHECKPOINT_MAGIC}");
+    let _ = writeln!(out, "{CHECKPOINT_MAGIC_V3}");
     let _ = writeln!(out, "version {version}");
+    let _ = writeln!(out, "strategy {}", session.strategy().name());
     push_table_block(&mut out, session.table());
-    let records = session.partition_tree().export_records();
-    let _ = writeln!(out, "tree {}", records.len());
-    for record in &records {
-        match record {
-            TreeNodeRecord::Internal {
-                decision,
-                left,
-                right,
-                size,
-            } => {
-                let _ = write!(
-                    out,
-                    "tnode internal {left} {right} {size} {} {} {}",
-                    decision.dim,
-                    decision.median,
-                    u8::from(decision.le_mode)
-                );
-                for &dim in &decision.attempts {
-                    let _ = write!(out, " {dim}");
-                }
-                out.push('\n');
-            }
-            TreeNodeRecord::Leaf { rows } => {
-                out.push_str("tnode leaf");
-                for &row in rows {
-                    let _ = write!(out, " {row}");
-                }
-                out.push('\n');
-            }
-        }
+    let state_lines = S::export_state(session.strategy_state());
+    let _ = writeln!(out, "state {}", state_lines.len());
+    for line in &state_lines {
+        out.push_str(line);
+        out.push('\n');
     }
     let priors = session.tracked_priors();
     let _ = writeln!(out, "priors {}", priors.len());
@@ -630,68 +614,55 @@ pub(crate) fn write_checkpoint(
 
 struct Checkpoint {
     version: u64,
+    /// The strategy tag (v3 files); `None` for untagged v1/v2 files, which
+    /// can only resume Mondrian sessions.
+    strategy: Option<String>,
     table: Table,
-    records: Vec<TreeNodeRecord>,
+    /// The strategy's state block, verbatim — decoded and validated by
+    /// [`SessionStrategy::import_state`] against the concrete strategy, not
+    /// here. For untagged files this is the legacy tree block (including
+    /// its `tree <n>` head line), which is byte-identical to the Mondrian
+    /// strategy's encoding.
+    state_lines: Vec<String>,
     priors: Vec<(f64, PriorModel)>,
 }
 
 fn parse_checkpoint(text: &str, schema: &Arc<Schema>) -> Result<Checkpoint, String> {
     let body = check_trailer(text, "checkpoint")?;
     let mut cur = Cursor::new(body);
-    let v2 = match cur.next("the checkpoint magic")? {
-        CHECKPOINT_MAGIC => true,
-        CHECKPOINT_MAGIC_V1 => false,
+    let (columnar, tagged) = match cur.next("the checkpoint magic")? {
+        CHECKPOINT_MAGIC_V3 => (true, true),
+        CHECKPOINT_MAGIC => (true, false),
+        CHECKPOINT_MAGIC_V1 => (false, false),
         _ => return Err("checkpoint: unknown format/version".into()),
     };
     let toks = cur.record("version")?;
     let version: u64 = parse_num(toks.get(1).copied(), "checkpoint version")?;
-    let table = parse_table_block(&mut cur, schema, v2)?;
-    let head = cur.record("tree")?;
-    let node_count: usize = parse_num(head.get(1).copied(), "tree node count")?;
-    let mut records = Vec::with_capacity(node_count);
-    for _ in 0..node_count {
-        let toks = cur.record("tnode")?;
-        match toks.get(1).copied() {
-            Some("internal") => {
-                if toks.len() < 8 {
-                    return Err(format!("line {}: internal node too short", cur.line_no));
-                }
-                records.push(TreeNodeRecord::Internal {
-                    left: parse_num(Some(toks[2]), "left child")?,
-                    right: parse_num(Some(toks[3]), "right child")?,
-                    size: parse_num(Some(toks[4]), "node size")?,
-                    decision: SplitDecision {
-                        dim: parse_num(Some(toks[5]), "split dim")?,
-                        median: parse_num(Some(toks[6]), "split median")?,
-                        le_mode: match toks[7] {
-                            "0" => false,
-                            "1" => true,
-                            _ => return Err(format!("line {}: bad le_mode", cur.line_no)),
-                        },
-                        attempts: toks[8..]
-                            .iter()
-                            .map(|tok| parse_num(Some(tok), "attempt dim"))
-                            .collect::<Result<Vec<usize>, String>>()?,
-                    },
-                });
-            }
-            Some("leaf") => {
-                records.push(TreeNodeRecord::Leaf {
-                    rows: toks[2..]
-                        .iter()
-                        .map(|tok| parse_num(Some(tok), "leaf row"))
-                        .collect::<Result<Vec<usize>, String>>()?,
-                });
-            }
-            other => {
-                return Err(format!(
-                    "line {}: unknown tnode kind {other:?}",
-                    cur.line_no
-                ))
-            }
+    let strategy = if tagged {
+        let toks = cur.record("strategy")?;
+        match toks.as_slice() {
+            [_, name] => Some((*name).to_owned()),
+            _ => return Err("checkpoint: malformed strategy line".into()),
+        }
+    } else {
+        None
+    };
+    let table = parse_table_block(&mut cur, schema, columnar)?;
+    let mut state_lines = Vec::new();
+    if tagged {
+        let head = cur.record("state")?;
+        let n: usize = parse_num(head.get(1).copied(), "state line count")?;
+        for _ in 0..n {
+            state_lines.push(cur.next("a state line")?.to_owned());
+        }
+    } else {
+        let head = cur.record("tree")?;
+        let n: usize = parse_num(head.get(1).copied(), "tree node count")?;
+        state_lines.push(format!("tree {n}"));
+        for _ in 0..n {
+            state_lines.push(cur.next("a tnode line")?.to_owned());
         }
     }
-    validate_tree_records(&records, &table, schema)?;
     let head = cur.record("priors")?;
     let n_priors: usize = parse_num(head.get(1).copied(), "prior count")?;
     let mut priors = Vec::with_capacity(n_priors);
@@ -710,71 +681,11 @@ fn parse_checkpoint(text: &str, schema: &Arc<Schema>) -> Result<Checkpoint, Stri
     }
     Ok(Checkpoint {
         version,
+        strategy,
         table,
-        records,
+        state_lines,
         priors,
     })
-}
-
-/// Semantic validation of an exported tree against its table, so malformed
-/// checkpoints surface as recovery errors instead of panics inside
-/// [`PartitionTree::from_exported`] (which documents that it panics on
-/// inputs this function rejects).
-fn validate_tree_records(
-    records: &[TreeNodeRecord],
-    table: &Table,
-    schema: &Schema,
-) -> Result<(), String> {
-    if records.is_empty() {
-        return Err("checkpoint: empty tree".into());
-    }
-    let n = records.len();
-    let d = schema.qi_count();
-    let mut referenced = vec![0usize; n];
-    let mut seen_row = vec![false; table.len()];
-    for record in records {
-        match record {
-            TreeNodeRecord::Internal {
-                decision,
-                left,
-                right,
-                ..
-            } => {
-                for &child in &[*left, *right] {
-                    if child == 0 || child >= n {
-                        return Err("checkpoint: tree child link out of range".into());
-                    }
-                    referenced[child] += 1;
-                }
-                if decision.dim >= d || decision.attempts.iter().any(|&a| a >= d) {
-                    return Err("checkpoint: split dimension out of range".into());
-                }
-            }
-            TreeNodeRecord::Leaf { rows } => {
-                if rows.is_empty() {
-                    return Err("checkpoint: empty leaf".into());
-                }
-                for &row in rows {
-                    if row >= table.len() || seen_row[row] {
-                        return Err("checkpoint: leaves do not partition the table".into());
-                    }
-                    seen_row[row] = true;
-                }
-            }
-        }
-    }
-    if !seen_row.iter().all(|&s| s) {
-        return Err("checkpoint: leaves do not partition the table".into());
-    }
-    if referenced[1..].iter().any(|&r| r != 1) {
-        return Err("checkpoint: tree links are not a tree".into());
-    }
-    if let TreeNodeRecord::Internal { size, .. } = &records[0] {
-        if *size != table.len() {
-            return Err("checkpoint: root size disagrees with the table".into());
-        }
-    }
-    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -783,10 +694,10 @@ fn validate_tree_records(
 
 /// Recover one tenant directory. `Err(reason)` means the tenant is
 /// unrecoverable: the hub reports it and serves nothing for it.
-pub(crate) fn recover_tenant_dir(
+pub(crate) fn recover_tenant_dir<S: SessionStrategy>(
     dir: &Path,
     options: &DurabilityOptions,
-) -> Result<RecoveredTenant, String> {
+) -> Result<RecoveredTenant<S>, String> {
     let genesis_text = std::fs::read_to_string(dir.join("genesis.tbl"))
         .map_err(|e| format!("unreadable genesis.tbl: {e}"))?;
     let genesis = parse_genesis(&genesis_text)?;
@@ -839,12 +750,37 @@ pub(crate) fn recover_tenant_dir(
                 .publisher
                 .instantiate(&genesis.table)
                 .map_err(|e| format!("could not re-instantiate the requirement: {e}"))?;
-            let tree = PartitionTree::from_exported(&ck.table, ck.records);
+            let strategy = S::from_publisher(&genesis.publisher, &requirement)
+                .map_err(|e| format!("could not rebuild the strategy: {e}"))?;
+            match ck.strategy.as_deref() {
+                Some(tag) if tag != strategy.name() => {
+                    return Err(format!(
+                        "checkpoint is tagged strategy `{tag}` but the genesis publisher \
+                         selects `{}`",
+                        strategy.name()
+                    ));
+                }
+                // Untagged (pre-v3) checkpoints were written by the
+                // Mondrian-only engine; their tree block only decodes as a
+                // Mondrian state.
+                None if strategy.name() != "mondrian" => {
+                    return Err(format!(
+                        "untagged (pre-v3) checkpoint can only resume a mondrian session, \
+                         but the genesis publisher selects `{}`",
+                        strategy.name()
+                    ));
+                }
+                _ => {}
+            }
+            let state = strategy
+                .import_state(&ck.table, &ck.state_lines)
+                .map_err(|e| format!("checkpoint: {e}"))?;
             let mut session = PublishSession::resume(
                 ck.table,
                 requirement,
                 Parallelism::Auto,
-                tree,
+                strategy,
+                state,
                 ck.version as usize,
             );
             for (b_prime, model) in ck.priors {
@@ -855,9 +791,7 @@ pub(crate) fn recover_tenant_dir(
             (session, ck.version, Some(ck.version))
         }
         None => {
-            let session = genesis
-                .publisher
-                .open(&genesis.table)
+            let session = PublishSession::open(&genesis.table, &genesis.publisher)
                 .map_err(|e| format!("could not republish the genesis table: {e}"))?;
             (session, 0, None)
         }
@@ -949,6 +883,7 @@ pub(crate) fn reopen_wal(dir: &Path, sync: SyncPolicy) -> std::io::Result<wal::W
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgkanon_anon::AnyStrategy;
     use bgkanon_data::{adult, toy, DeltaBuilder};
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -1075,10 +1010,13 @@ mod tests {
         let text = std::fs::read_to_string(dir.join("checkpoint.tbl")).unwrap();
         let ck = parse_checkpoint(&text, table.schema()).unwrap();
         assert_eq!(ck.version, 1);
+        assert_eq!(ck.strategy.as_deref(), Some("mondrian"));
         assert_eq!(ck.priors.len(), 1);
         let requirement = publisher.instantiate(&table).unwrap();
-        let tree = PartitionTree::from_exported(&ck.table, ck.records);
-        let mut resumed = PublishSession::resume(ck.table, requirement, Parallelism::Auto, tree, 1);
+        let strategy = AnyStrategy::from_publisher(&publisher, &requirement).unwrap();
+        let state = strategy.import_state(&ck.table, &ck.state_lines).unwrap();
+        let mut resumed =
+            PublishSession::resume(ck.table, requirement, Parallelism::Auto, strategy, state, 1);
         for (bp, model) in ck.priors {
             assert!(resumed.restore_tracked_prior(bp, model));
         }
@@ -1109,10 +1047,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    /// Rewrite a v2 (columnar) persistence file into the pre-columnar v1
+    /// Rewrite a current-format persistence file into the pre-columnar v1
     /// format: v1 magic line, one `r` line per row instead of the
-    /// `col`/`sens` block, fresh checksum trailer. This is exactly the
-    /// file shape the format bump promises to keep loading.
+    /// `col`/`sens` block, no strategy tag or `state` head (checkpoints),
+    /// fresh checksum trailer. This is exactly the file shape the format
+    /// bumps promise to keep loading.
     fn downgrade_to_v1(path: &Path) {
         let text = std::fs::read_to_string(path).unwrap();
         let body = check_trailer(&text, "file").unwrap();
@@ -1120,11 +1059,16 @@ mod tests {
         let mut out = String::new();
         match lines.next().unwrap() {
             m if m == GENESIS_MAGIC => out.push_str(GENESIS_MAGIC_V1),
-            m if m == CHECKPOINT_MAGIC => out.push_str(CHECKPOINT_MAGIC_V1),
-            other => panic!("not a v2 file: magic `{other}`"),
+            m if m == CHECKPOINT_MAGIC_V3 => out.push_str(CHECKPOINT_MAGIC_V1),
+            other => panic!("not a current-format file: magic `{other}`"),
         }
         out.push('\n');
         while let Some(line) = lines.next() {
+            // Strategy tag and state-block head are v3-only records; the
+            // Mondrian state lines they frame are the legacy tree block.
+            if line.starts_with("strategy ") || line.starts_with("state ") {
+                continue;
+            }
             out.push_str(line);
             out.push('\n');
             if let Some(rest) = line.strip_prefix("rows ") {
@@ -1155,6 +1099,28 @@ mod tests {
                     let _ = writeln!(out, " {}", sens[r]);
                 }
             }
+        }
+        push_trailer(&mut out);
+        std::fs::write(path, out).unwrap();
+    }
+
+    /// Rewrite a v3 checkpoint into the pre-strategy v2 format: v2 magic,
+    /// no `strategy` tag, no `state` head — the columnar table block and
+    /// the raw tree block as the Mondrian-only engine wrote them.
+    fn downgrade_checkpoint_to_v2(path: &Path) {
+        let text = std::fs::read_to_string(path).unwrap();
+        let body = check_trailer(&text, "file").unwrap();
+        let mut lines = body.lines();
+        let mut out = String::new();
+        assert_eq!(lines.next().unwrap(), CHECKPOINT_MAGIC_V3);
+        out.push_str(CHECKPOINT_MAGIC);
+        out.push('\n');
+        for line in lines {
+            if line.starts_with("strategy ") || line.starts_with("state ") {
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
         }
         push_trailer(&mut out);
         std::fs::write(path, out).unwrap();
@@ -1214,7 +1180,7 @@ mod tests {
         let table = adult::generate(150, 11);
         let publisher = Publisher::new().k_anonymity(4);
         let (expected_groups, expected_version) = {
-            let (hub, report) = SessionHub::open_with(&dir, opts).unwrap();
+            let (hub, report) = SessionHub::<AnyStrategy>::open_with(&dir, opts).unwrap();
             assert!(report.is_clean());
             hub.register("t", &table, &publisher).unwrap();
             // Three deltas: the checkpoint lands at version 2, the WAL
@@ -1246,7 +1212,7 @@ mod tests {
         downgrade_to_v1(&tenant_dir.join("genesis.tbl"));
         downgrade_to_v1(&tenant_dir.join("checkpoint.tbl"));
 
-        let (hub, report) = SessionHub::open_with(&dir, opts).unwrap();
+        let (hub, report) = SessionHub::<AnyStrategy>::open_with(&dir, opts).unwrap();
         assert!(report.is_clean(), "{:?}", report.unrecoverable());
         assert_eq!(report.tenants.len(), 1);
         assert_eq!(report.tenants[0].from_checkpoint, Some(2));
@@ -1256,6 +1222,59 @@ mod tests {
         // The recovered session serves columnar tables and the exact
         // publication the pre-downgrade hub served.
         assert_eq!(snap.table().layout(), Layout::Columnar);
+        let groups = snap.anonymized().groups();
+        assert_eq!(groups.len(), expected_groups.len());
+        for (g, (rows, ranges, counts)) in groups.iter().zip(&expected_groups) {
+            assert_eq!(&g.rows, rows);
+            assert_eq!(&g.ranges, ranges);
+            assert_eq!(&g.sensitive_counts, counts);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_checkpoint_loads_as_an_untagged_mondrian_session() {
+        use crate::SessionHub;
+        let dir = tmp_dir("v2ckpt");
+        let opts = DurabilityOptions {
+            checkpoint_every: 2,
+            ..DurabilityOptions::default()
+        };
+        let table = adult::generate(150, 12);
+        let publisher = Publisher::new().k_anonymity(4);
+        let expected_groups = {
+            let (hub, report) = SessionHub::<AnyStrategy>::open_with(&dir, opts).unwrap();
+            assert!(report.is_clean());
+            hub.register("t", &table, &publisher).unwrap();
+            let mut snap = hub.snapshot("t").unwrap();
+            for step in 0..3u64 {
+                let mut b = DeltaBuilder::new(Arc::clone(table.schema()));
+                b.delete(step as usize * 5);
+                let donors = adult::generate(2, 200 + step);
+                for r in 0..2 {
+                    b.insert_codes(&donors.qi(r), donors.sensitive_value(r))
+                        .unwrap();
+                }
+                snap = hub.apply("t", &b.build()).unwrap();
+            }
+            assert_eq!(snap.version(), 3);
+            snap.anonymized()
+                .groups()
+                .iter()
+                .map(|g| (g.rows.clone(), g.ranges.clone(), g.sensitive_counts.clone()))
+                .collect::<Vec<_>>()
+        };
+
+        // Strip the checkpoint back to the pre-strategy v2 shape (the
+        // genesis file stays as-is — its format did not change).
+        let tenant_dir = dir.join(dir_name_for("t"));
+        downgrade_checkpoint_to_v2(&tenant_dir.join("checkpoint.tbl"));
+
+        let (hub, report) = SessionHub::<AnyStrategy>::open_with(&dir, opts).unwrap();
+        assert!(report.is_clean(), "{:?}", report.unrecoverable());
+        assert_eq!(report.tenants[0].from_checkpoint, Some(2));
+        assert_eq!(report.tenants[0].replayed, 1);
+        let snap = hub.snapshot("t").unwrap();
         let groups = snap.anonymized().groups();
         assert_eq!(groups.len(), expected_groups.len());
         for (g, (rows, ranges, counts)) in groups.iter().zip(&expected_groups) {
@@ -1281,16 +1300,31 @@ mod tests {
             push_trailer(&mut s);
             s
         };
+        // Parsing captures the state block verbatim; the import step is
+        // what must reject it, without panicking.
+        let import = |text: &str| -> Result<(), String> {
+            let ck = parse_checkpoint(text, table.schema())?;
+            let requirement = publisher.instantiate(&table).unwrap();
+            let strategy = AnyStrategy::from_publisher(&publisher, &requirement).unwrap();
+            strategy.import_state(&ck.table, &ck.state_lines).map(drop)
+        };
+        assert!(import(&good).is_ok());
         let body = check_trailer(&good, "checkpoint").unwrap();
         // Duplicate a leaf row.
         let broken = rewrap(&body.replacen("tnode leaf ", "tnode leaf 0 0 ", 1));
-        match parse_checkpoint(&broken, table.schema()) {
+        match import(&broken) {
             Err(reason) => assert!(reason.contains("partition"), "{reason}"),
             Ok(_) => panic!("duplicated leaf row accepted"),
         }
         // Point a child link out of range.
         let broken = rewrap(&body.replacen("tnode internal ", "tnode internal 9999 ", 1));
-        assert!(parse_checkpoint(&broken, table.schema()).is_err());
+        assert!(import(&broken).is_err());
+        // A checkpoint tagged with a strategy the publisher does not select
+        // is rejected by recovery (exercised through the full tenant-dir
+        // path in the recovery integration tests).
+        let broken = rewrap(&body.replacen("strategy mondrian", "strategy bucketize", 1));
+        let ck = parse_checkpoint(&broken, table.schema()).unwrap();
+        assert_eq!(ck.strategy.as_deref(), Some("bucketize"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

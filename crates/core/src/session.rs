@@ -6,8 +6,11 @@
 //!
 //! * the instantiated privacy requirement (fixed when the session opens —
 //!   the publisher's threat model holds still while the data moves);
-//! * the retained [`PartitionTree`], so a [`Delta`] re-splits only the
-//!   subtrees it dirties ([`Mondrian::refresh`](bgkanon_anon::Mondrian));
+//! * the retained strategy state (Mondrian's
+//!   [`PartitionTree`](bgkanon_anon::PartitionTree), a bucket list, a
+//!   generalization-lattice frontier — the session is generic over
+//!   [`SessionStrategy`]), so a [`Delta`] reworks only what it dirties
+//!   through [`AnonymizationStrategy::refresh`](bgkanon_anon::AnonymizationStrategy::refresh);
 //! * per-adversary [`AuditSession`]s whose group-risk caches are
 //!   invalidated by leaf stamp — an audit after a delta recomputes Ω only
 //!   for the groups the delta touched;
@@ -31,13 +34,14 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bgkanon_anon::{AnonymizedTable, Mondrian, PartitionTree};
+use bgkanon_anon::{AnonymizedTable, AnyStrategy, StrategyState};
 use bgkanon_data::{Delta, Parallelism, Table};
 use bgkanon_knowledge::{Adversary, Bandwidth, PriorEstimator, PriorModel};
 use bgkanon_privacy::{AuditReport, AuditSession, Auditor, PrivacyRequirement};
 use bgkanon_stats::SmoothedJs;
 
 use crate::publisher::{whole_table_satisfies, PublishError, PublishOutcome, Publisher};
+use crate::strategy::SessionStrategy;
 
 /// Errors from [`PublishSession::apply`] and the
 /// [`SessionHub`](crate::SessionHub) operations built on top of it.
@@ -170,13 +174,19 @@ struct AuditCache {
 /// );
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct PublishSession {
+///
+/// The session is generic over its [`SessionStrategy`]; the default
+/// [`AnyStrategy`] dispatches at runtime on the publisher's
+/// [`Algorithm`](crate::publisher::Algorithm) selection, while a concrete
+/// parameter (`PublishSession<Mondrian>`, `PublishSession<Bucketize>`,
+/// `PublishSession<FullDomain>`) fixes it at compile time.
+pub struct PublishSession<S: SessionStrategy = AnyStrategy> {
     requirement: Arc<dyn PrivacyRequirement>,
     requirement_name: String,
-    mondrian: Mondrian,
+    strategy: S,
     parallelism: Parallelism,
     table: Table,
-    tree: PartitionTree,
+    state: S::State,
     anonymized: AnonymizedTable,
     stamps: Vec<u64>,
     audits: Vec<AuditCache>,
@@ -184,10 +194,10 @@ pub struct PublishSession {
     deltas_applied: usize,
 }
 
-impl PublishSession {
+impl<S: SessionStrategy> PublishSession<S> {
     /// Open a session: instantiate `publisher`'s requirements against
     /// `table` (they stay fixed for the session's lifetime), plant the
-    /// partition tree and derive the first publication.
+    /// strategy state and derive the first publication.
     pub fn open(table: &Table, publisher: &Publisher) -> Result<Self, PublishError> {
         let requirement = publisher.instantiate(table)?;
         if !whole_table_satisfies(table, &requirement) {
@@ -196,21 +206,22 @@ impl PublishSession {
             });
         }
         let parallelism = publisher.parallelism_knob();
-        let mondrian = Mondrian::new(Arc::clone(&requirement));
+        let strategy = S::from_publisher(publisher, &requirement)?;
         let started = Instant::now(); // bgk-allow: R3 telemetry only: elapsed is reported, never branches
-        let mut tree = mondrian.plant_with(table, parallelism);
+        let mut state = strategy.plant_with(table, parallelism)?;
         let last_elapsed = started.elapsed();
-        // Amortize the refresh engine's per-node histograms up front so the
-        // first delta runs at steady-state speed.
-        mondrian.warm_stats(&mut tree, table);
-        let (anonymized, stamps) = tree.snapshot(table);
+        // Amortize the refresh engine's derived caches (e.g. Mondrian's
+        // per-node histograms) up front so the first delta runs at
+        // steady-state speed.
+        strategy.warm(&mut state, table);
+        let (anonymized, stamps) = state.snapshot(table);
         Ok(PublishSession {
             requirement_name: requirement.name(),
             requirement,
-            mondrian,
+            strategy,
             parallelism,
             table: table.clone(),
-            tree,
+            state,
             anonymized,
             stamps,
             audits: Vec::new(),
@@ -220,11 +231,11 @@ impl PublishSession {
     }
 
     /// Rebuild a session from recovered durable state ([`crate::recover`]):
-    /// a checkpointed `table` + partition `tree` pair and the requirement
-    /// re-instantiated from the genesis table. The tree is adopted as-is —
+    /// a checkpointed `table` + strategy `state` pair and the requirement
+    /// re-instantiated from the genesis table. The state is adopted as-is —
     /// no re-partitioning — so the resumed publication is bit-identical to
-    /// the one the checkpoint captured; `warm_stats` only rebuilds the
-    /// refresh engine's per-node histograms (they are derived state).
+    /// the one the checkpoint captured; [`AnonymizationStrategy::warm`]
+    /// only rebuilds derived refresh caches.
     ///
     /// Audit caches start empty; tracked priors are restored separately via
     /// [`restore_tracked_prior`](Self::restore_tracked_prior).
@@ -232,19 +243,19 @@ impl PublishSession {
         table: Table,
         requirement: Arc<dyn PrivacyRequirement>,
         parallelism: Parallelism,
-        mut tree: PartitionTree,
+        strategy: S,
+        mut state: S::State,
         deltas_applied: usize,
     ) -> Self {
-        let mondrian = Mondrian::new(Arc::clone(&requirement));
-        mondrian.warm_stats(&mut tree, &table);
-        let (anonymized, stamps) = tree.snapshot(&table);
+        strategy.warm(&mut state, &table);
+        let (anonymized, stamps) = state.snapshot(&table);
         PublishSession {
             requirement_name: requirement.name(),
             requirement,
-            mondrian,
+            strategy,
             parallelism,
             table,
-            tree,
+            state,
             anonymized,
             stamps,
             audits: Vec::new(),
@@ -312,7 +323,7 @@ impl PublishSession {
     }
 
     /// Apply one delta: evolve the table, route the changes through the
-    /// retained partition tree (re-splitting only dirty subtrees), and
+    /// retained strategy state (reworking only what the delta dirties), and
     /// return the new publication. On error the session is unchanged and
     /// remains usable.
     pub fn apply(&mut self, delta: &Delta) -> Result<PublishOutcome, SessionError> {
@@ -330,17 +341,22 @@ impl PublishSession {
             .into());
         }
         let t1b = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
-                                  // Session-built adversary models track the evolving table: refresh
-                                  // each one's dirty kernel neighborhood against the pre-delta table
-                                  // it currently reflects (external auditors stay caller-frozen).
-        self.refresh_tracked_priors(delta);
-        let t2 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         let started = Instant::now(); // bgk-allow: R3 telemetry only: elapsed is reported, never branches
-        self.mondrian
-            .refresh(&mut self.tree, &self.table, &next, delta.deletes());
+                                      // The strategy refresh is the last fallible step; its contract
+                                      // leaves the state untouched on error, so a rejected delta
+                                      // (e.g. bucketization losing ℓ-eligibility) leaves the whole
+                                      // session unchanged — including the tracked priors below.
+        self.strategy
+            .refresh(&mut self.state, &self.table, &next, delta.deletes())
+            .map_err(PublishError::from)?;
         self.last_elapsed = started.elapsed();
+        let t2 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
+                                 // Session-built adversary models track the evolving table: refresh
+                                 // each one's dirty kernel neighborhood against the pre-delta table
+                                 // it currently reflects (external auditors stay caller-frozen).
+        self.refresh_tracked_priors(delta);
         let t3 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
-        let (anonymized, stamps) = self.tree.snapshot(&next);
+        let (anonymized, stamps) = self.state.snapshot(&next);
         let t4 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         self.table = next;
         self.anonymized = anonymized;
@@ -350,7 +366,7 @@ impl PublishSession {
         let t5 = Instant::now(); // bgk-allow: R3 BGK_PROFILE timer, output-neutral
         if std::env::var("BGK_PROFILE").is_ok() {
             eprintln!(
-                "apply: delta={:?} check={:?} priors={:?} refresh={:?} snapshot={:?} clone={:?}",
+                "apply: delta={:?} check={:?} refresh={:?} priors={:?} snapshot={:?} clone={:?}",
                 t1 - t0,
                 t1b - t1,
                 t2 - t1b,
@@ -384,13 +400,20 @@ impl PublishSession {
         &self.anonymized
     }
 
-    /// The retained partition tree.
-    pub fn partition_tree(&self) -> &PartitionTree {
-        &self.tree
+    /// The session's strategy (for checkpointing: its
+    /// [`name()`](AnonymizationStrategy::name) tags the file).
+    pub(crate) fn strategy(&self) -> &S {
+        &self.strategy
     }
 
-    /// The partition-tree leaf stamps of the current publication, aligned
-    /// with [`anonymized()`](Self::anonymized)`.groups()`. A leaf's stamp
+    /// The retained strategy state (for checkpointing via
+    /// [`SessionStrategy::export_state`]).
+    pub(crate) fn strategy_state(&self) -> &S::State {
+        &self.state
+    }
+
+    /// The per-group stamps of the current publication, aligned with
+    /// [`anonymized()`](Self::anonymized)`.groups()`. A group's stamp
     /// changes whenever its membership changes and never collides between
     /// distinct memberships, which makes the stamps valid cache tokens for
     /// [`AuditSession::report_groups`] /
@@ -501,7 +524,7 @@ impl PublishSession {
     }
 
     /// Heap bytes this session holds resident: the working table, the
-    /// partition tree, the current publication, leaf stamps, and every
+    /// strategy state, the current publication, group stamps, and every
     /// retained audit configuration (risk caches plus, for session-built
     /// `Adv(b')` adversaries, the tracked estimator and prior model — they
     /// are owned here, so they are charged here). The serving hub rolls
@@ -520,7 +543,7 @@ impl PublishSession {
             })
             .sum();
         self.table.bytes_accounted()
-            + self.tree.bytes_accounted()
+            + self.state.bytes_accounted()
             + self.anonymized.bytes_accounted()
             + self.stamps.len() * 8
             + audits
@@ -636,9 +659,10 @@ impl PublishSession {
     }
 }
 
-impl fmt::Debug for PublishSession {
+impl<S: SessionStrategy> fmt::Debug for PublishSession<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PublishSession")
+            .field("strategy", &self.strategy.name())
             .field("requirement", &self.requirement_name)
             .field("rows", &self.table.len())
             .field("groups", &self.anonymized.group_count())
@@ -882,22 +906,22 @@ mod tests {
         let t = adult::generate(80, 3);
         let mut session = Publisher::new().k_anonymity(3).open(&t).unwrap();
         // Distinct bandwidths force distinct cache entries.
-        for i in 0..(PublishSession::MAX_AUDIT_CACHES + 3) {
+        for i in 0..(PublishSession::<AnyStrategy>::MAX_AUDIT_CACHES + 3) {
             let b = 0.2 + 0.01 * i as f64;
             let _ = session.audit_against(b, 0.2);
         }
         assert_eq!(
             session.audit_cache_count(),
-            PublishSession::MAX_AUDIT_CACHES
+            PublishSession::<AnyStrategy>::MAX_AUDIT_CACHES
         );
         // The most recent entry survived and replays bit-identically.
-        let b_last = 0.2 + 0.01 * (PublishSession::MAX_AUDIT_CACHES + 2) as f64;
+        let b_last = 0.2 + 0.01 * (PublishSession::<AnyStrategy>::MAX_AUDIT_CACHES + 2) as f64;
         let a = session.audit_against(b_last, 0.2);
         let b = session.audit_against(b_last, 0.2);
         assert_eq!(a.worst_case.to_bits(), b.worst_case.to_bits());
         assert_eq!(
             session.audit_cache_count(),
-            PublishSession::MAX_AUDIT_CACHES
+            PublishSession::<AnyStrategy>::MAX_AUDIT_CACHES
         );
     }
 
@@ -907,6 +931,118 @@ mod tests {
         let session = Publisher::new().k_anonymity(3).open(&t).unwrap();
         let s = format!("{session:?}");
         assert!(s.contains("PublishSession"));
+        assert!(s.contains("mondrian"));
         assert!(s.contains("3-anonymity"));
+    }
+
+    #[test]
+    fn concrete_strategy_sessions_match_their_publishers() {
+        use crate::publisher::Algorithm;
+        use bgkanon_anon::{Bucketize, FullDomain, Mondrian};
+        let t = adult::generate(250, 21);
+        let d = delta(&t, &[3, 40, 99], 5, 7);
+
+        fn check<S: crate::strategy::SessionStrategy>(
+            table: &Table,
+            d: &Delta,
+            publisher: &Publisher,
+        ) {
+            let mut session: PublishSession<S> = PublishSession::open(table, publisher).unwrap();
+            session.apply(d).unwrap();
+            let fresh = publisher.publish(session.table()).unwrap();
+            assert_eq!(
+                session.anonymized().group_count(),
+                fresh.anonymized.group_count()
+            );
+            for (a, b) in session
+                .anonymized()
+                .groups()
+                .iter()
+                .zip(fresh.anonymized.groups())
+            {
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.ranges, b.ranges);
+                assert_eq!(a.sensitive_counts, b.sensitive_counts);
+            }
+        }
+
+        check::<Mondrian>(&t, &d, &Publisher::new().k_anonymity(3));
+        check::<Bucketize>(
+            &t,
+            &d,
+            &Publisher::new()
+                .k_anonymity(3)
+                .algorithm(Algorithm::Bucketize),
+        );
+        check::<FullDomain>(
+            &t,
+            &d,
+            &Publisher::new()
+                .k_anonymity(3)
+                .algorithm(Algorithm::FullDomain),
+        );
+        // The default runtime-dispatched parameter follows the publisher's
+        // algorithm selection.
+        check::<AnyStrategy>(
+            &t,
+            &d,
+            &Publisher::new()
+                .k_anonymity(3)
+                .algorithm(Algorithm::Bucketize),
+        );
+    }
+
+    #[test]
+    fn concrete_session_rejects_a_mismatched_publisher() {
+        use crate::publisher::Algorithm;
+        use bgkanon_anon::Bucketize;
+        let t = adult::generate(80, 23);
+        let publisher = Publisher::new()
+            .k_anonymity(3)
+            .algorithm(Algorithm::FullDomain);
+        let err = PublishSession::<Bucketize>::open(&t, &publisher).unwrap_err();
+        assert!(matches!(err, PublishError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn infeasible_strategy_refresh_leaves_the_session_unchanged() {
+        use crate::publisher::Algorithm;
+        use bgkanon_anon::Bucketize;
+        let t = adult::generate(60, 22);
+        let publisher = Publisher::new()
+            .k_anonymity(3)
+            .algorithm(Algorithm::Bucketize);
+        let mut session: PublishSession<Bucketize> = PublishSession::open(&t, &publisher).unwrap();
+        let before: Vec<Vec<usize>> = session
+            .anonymized()
+            .groups()
+            .iter()
+            .map(|g| g.rows.clone())
+            .collect();
+        // Flood the table with one sensitive value: 3-anonymity still holds
+        // on the whole table (the pre-check passes), but no 3-diverse
+        // bucket partition exists any more — the strategy refresh is what
+        // rejects the delta.
+        let mut b = DeltaBuilder::new(Arc::clone(t.schema()));
+        let v = t.sensitive_value(0);
+        for _ in 0..(2 * t.len()) {
+            b.insert_codes(&t.qi(0), v).unwrap();
+        }
+        let err = session.apply(&b.build()).unwrap_err();
+        assert!(
+            matches!(err, SessionError::Publish(PublishError::Infeasible { .. })),
+            "{err}"
+        );
+        assert_eq!(session.len(), 60);
+        assert_eq!(session.deltas_applied(), 0);
+        let after: Vec<Vec<usize>> = session
+            .anonymized()
+            .groups()
+            .iter()
+            .map(|g| g.rows.clone())
+            .collect();
+        assert_eq!(before, after);
+        // The session survives and keeps accepting feasible deltas.
+        session.apply(&delta(&t, &[0], 0, 5)).unwrap();
     }
 }

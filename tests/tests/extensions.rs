@@ -60,7 +60,7 @@ fn persisted_model_drives_identical_audits() {
 fn full_domain_release_audits_through_same_pipeline() {
     let table = bgkanon::data::adult::generate(400, 23);
     let fd = FullDomain::new_monotone(Arc::new(KAnonymity::new(4)));
-    let outcome = fd.anonymize(&table).expect("satisfiable at the top");
+    let outcome = fd.try_anonymize(&table).expect("satisfiable at the top");
 
     let adversary = Arc::new(Adversary::kernel(
         &table,

@@ -15,6 +15,9 @@ use bgkanon::data::{adult, Delta, DeltaBuilder, Table};
 use bgkanon::prelude::*;
 use bgkanon::{DurabilityOptions, SyncPolicy};
 
+/// The hub under test: the default, algorithm-dispatching strategy.
+type SessionHub = bgkanon::SessionHub;
+
 /// A unique scratch directory per call — tests must not share state.
 fn tmp_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicUsize = AtomicUsize::new(0);

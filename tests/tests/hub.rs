@@ -24,6 +24,9 @@ use bgkanon::data::{adult, Delta, DeltaBuilder, Table};
 use bgkanon::knowledge::{Adversary, Bandwidth};
 use bgkanon::prelude::*;
 
+/// The hub under test: the default, algorithm-dispatching strategy.
+type SessionHub = bgkanon::SessionHub;
+
 const SEED: u64 = 0xB6_2026;
 const TENANTS: usize = 5;
 const ROWS: usize = 220;

@@ -100,7 +100,7 @@ fn bucketization_and_mondrian_audit_through_same_machinery() {
     // §III.A: under the paper's threat model the two techniques expose the
     // same information — the group structure. Both plug into the auditor.
     let table = adult(400, 6);
-    let bucketized = bgkanon::anon::bucketize(&table, 3).expect("3-eligible");
+    let bucketized = bgkanon::anon::try_bucketize(&table, 3).expect("3-eligible");
     let mondrian = Publisher::new()
         .k_anonymity(3)
         .distinct_l_diversity(3)

@@ -208,7 +208,7 @@ proptest! {
         l in 2usize..5,
     ) {
         let table = bgkanon::data::adult::generate(n, seed);
-        if let Some(at) = bgkanon::anon::bucketize(&table, l) {
+        if let Ok(at) = bgkanon::anon::try_bucketize(&table, l) {
             let covered: usize = at.groups().iter().map(|g| g.len()).sum();
             prop_assert_eq!(covered, table.len());
             for g in at.groups() {

@@ -15,6 +15,9 @@ use bgkanon::data::{adult, Delta, DeltaBuilder, Parallelism, Table};
 use bgkanon::knowledge::{load_model_str, save_model_string, PriorEstimator};
 use bgkanon::prelude::*;
 use bgkanon::wal;
+
+/// The hub under test: the default, algorithm-dispatching strategy.
+type SessionHub = bgkanon::SessionHub;
 use bgkanon::{DurabilityOptions, SyncPolicy};
 
 /// A unique scratch directory per call — tests must not share state.
@@ -412,4 +415,177 @@ proptest! {
         prop_assert_eq!(live_audit.vulnerable, cold_audit.vulnerable);
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Every strategy's checkpoint is tagged with its name and recovers
+/// bit-identically through a cold reopen — the strategy-generic half of
+/// the durability contract.
+#[test]
+fn strategy_tagged_checkpoints_recover_every_algorithm() {
+    for algorithm in [
+        Algorithm::Mondrian,
+        Algorithm::Bucketize,
+        Algorithm::FullDomain,
+    ] {
+        let dir = tmp_dir(&format!("tagged_{}", algorithm.name()));
+        let options = DurabilityOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 2,
+            verify_on_open: true,
+            max_resident_bytes: None,
+        };
+        let publisher = Publisher::new()
+            .k_anonymity(3)
+            .distinct_l_diversity(3)
+            .algorithm(algorithm);
+        let (hub, _) = SessionHub::open_with(&dir, options).unwrap();
+        hub.register("tenant", &adult::generate(150, 21), &publisher)
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(0xA1_u64 ^ algorithm.name().len() as u64);
+        let mut acked = 0u64;
+        while acked < 3 {
+            let snap = hub.snapshot("tenant").unwrap();
+            let d = random_delta(snap.table(), &mut rng, 0.03, 3);
+            if hub.apply("tenant", &d).is_ok() {
+                acked += 1;
+            }
+        }
+        let live = hub.snapshot("tenant").unwrap();
+        drop(hub);
+
+        let ckpt = std::fs::read_to_string(dir.join("tenant").join("checkpoint.tbl")).unwrap();
+        assert!(
+            ckpt.contains(&format!("strategy {}", algorithm.name())),
+            "{}: checkpoint must carry the strategy tag",
+            algorithm.name()
+        );
+
+        let (cold, report) = SessionHub::open_with(&dir, options).unwrap();
+        assert!(
+            report.is_clean(),
+            "{}: {:?}",
+            algorithm.name(),
+            report.tenants
+        );
+        let recovered = cold.snapshot("tenant").unwrap();
+        assert_eq!(live.version(), recovered.version(), "{}", algorithm.name());
+        assert_same_publication(live.anonymized(), recovered.anonymized(), algorithm.name());
+        // And identical to a from-scratch publish of the recovered table.
+        let fresh = publisher.publish(recovered.table()).unwrap();
+        assert_same_publication(recovered.anonymized(), &fresh.anonymized, algorithm.name());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A torn WAL tail on a bucketize or full-domain tenant is discarded and
+/// the longest complete prefix is served — crash injection is not a
+/// Mondrian-only property.
+#[test]
+fn bucketize_and_fulldomain_tenants_survive_torn_tails() {
+    for algorithm in [Algorithm::Bucketize, Algorithm::FullDomain] {
+        let dir = tmp_dir(&format!("torn_{}", algorithm.name()));
+        let options = DurabilityOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 2,
+            verify_on_open: false,
+            max_resident_bytes: None,
+        };
+        let publisher = Publisher::new()
+            .k_anonymity(3)
+            .distinct_l_diversity(3)
+            .algorithm(algorithm);
+        let (hub, _) = SessionHub::open_with(&dir, options).unwrap();
+        let base = adult::generate(140, 33);
+        hub.register("tenant", &base, &publisher).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0xB2);
+        let mut applied: Vec<Delta> = Vec::new();
+        // Checkpoint lands at version 2; version 3 lives only in the WAL.
+        while applied.len() < 3 {
+            let snap = hub.snapshot("tenant").unwrap();
+            let d = random_delta(snap.table(), &mut rng, 0.03, 3);
+            if hub.apply("tenant", &d).is_ok() {
+                applied.push(d);
+            }
+        }
+        drop(hub);
+
+        // Tear the final WAL record in half.
+        let wal_path = dir.join("tenant").join("wal.log");
+        let scanned = wal::scan(&wal_path).unwrap();
+        assert_eq!(scanned.records.len(), 1, "{}", algorithm.name());
+        let (offset, payload) = &scanned.records[0];
+        wal::truncate_to(&wal_path, offset + (payload.len() as u64) / 2).unwrap();
+
+        let (cold, report) = SessionHub::open_with(&dir, options).unwrap();
+        assert!(
+            report.is_clean(),
+            "{}: {:?}",
+            algorithm.name(),
+            report.tenants
+        );
+        assert!(report.tenants[0].truncated_tail, "{}", algorithm.name());
+        let snap = cold.snapshot("tenant").unwrap();
+        assert_eq!(snap.version(), 2, "{}", algorithm.name());
+        // Reference: a from-scratch session replaying the surviving prefix.
+        let mut reference = publisher.open(&base).unwrap();
+        for d in &applied[..2] {
+            reference.apply(d).unwrap();
+        }
+        assert_same_publication(
+            snap.anonymized(),
+            reference.anonymized(),
+            &format!("{} torn tail", algorithm.name()),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A checkpoint whose strategy tag disagrees with the genesis publisher is
+/// reported unrecoverable through the full tenant-directory path — even
+/// when its checksum is intact.
+#[test]
+fn checkpoint_strategy_tag_mismatch_is_unrecoverable() {
+    let dir = tmp_dir("tag_mismatch");
+    let options = DurabilityOptions {
+        sync: SyncPolicy::Always,
+        checkpoint_every: 1,
+        verify_on_open: false,
+        max_resident_bytes: None,
+    };
+    let publisher = Publisher::new()
+        .distinct_l_diversity(3)
+        .algorithm(Algorithm::Bucketize);
+    let (hub, _) = SessionHub::open_with(&dir, options).unwrap();
+    let base = adult::generate(120, 44);
+    hub.register("tenant", &base, &publisher).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xC3);
+    loop {
+        let d = random_delta(hub.snapshot("tenant").unwrap().table(), &mut rng, 0.03, 3);
+        if hub.apply("tenant", &d).is_ok() {
+            break;
+        }
+    }
+    drop(hub);
+
+    // Re-tag the checkpoint as mondrian and restore a valid trailer, so
+    // the *semantic* tag check (not the checksum) must reject it.
+    let ckpt = dir.join("tenant").join("checkpoint.tbl");
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    let retagged = text.replace("strategy bucketize", "strategy mondrian");
+    assert_ne!(text, retagged, "checkpoint must have carried the tag");
+    let body_end = retagged.rfind("checksum ").unwrap();
+    let mut out = retagged[..body_end].to_string();
+    let sum = bgkanon::wal::fnv1a64(out.as_bytes());
+    out.push_str(&format!("checksum {sum:016x}\n"));
+    std::fs::write(&ckpt, out).unwrap();
+
+    let (cold, report) = SessionHub::open_with(&dir, options).unwrap();
+    assert_eq!(report.unrecoverable().len(), 1);
+    let reason = report.tenants[0].error.clone().unwrap();
+    assert!(
+        reason.contains("tagged") && reason.contains("mondrian"),
+        "unexpected reason: {reason}"
+    );
+    assert!(!cold.contains("tenant"));
+    let _ = std::fs::remove_dir_all(&dir);
 }
